@@ -1,0 +1,84 @@
+"""Ablation: minimal versus non-minimal routing (the hop-count bound).
+
+The MILP's hop constraint (Section 3.5) is the paper's mechanism for trading
+path length against load balance: ``hop_i`` equal to the minimal path length
+restricts BSOR to minimal routes, and "should be incremented by 2 or more to
+allow for non-minimal routing".  This ablation solves the same workloads with
+hop slack 0, 2 and 4 and records the MCL / average-hop trade-off.
+
+A second ablation covers the Dijkstra selector's rip-up-and-reroute
+refinement passes, which the framework exposes on top of the paper's
+single-pass heuristic.
+"""
+
+from bench_utils import bench_config, emit
+
+from repro.cdg import TurnModel, turn_model_cdg
+from repro.experiments import build_mesh, render_table, workload_flow_set
+from repro.flowgraph import FlowGraph
+from repro.routing import DijkstraSelector, MILPSelector, ResidualCapacityWeight
+from repro.routing.bsor import ad_hoc_strategy
+
+
+def hop_slack_ablation(config):
+    mesh = build_mesh(config)
+    rows = []
+    for workload in ("perf-modeling", "transpose"):
+        flows = workload_flow_set(workload, mesh, config)
+        # the ad hoc CDG that reaches the transpose optimum in Table 6.1
+        cdg = ad_hoc_strategy(2).build(mesh)
+        for slack in (0, 2, 4):
+            flow_graph = FlowGraph(cdg)
+            flow_graph.add_flow_terminals(flows)
+            selector = MILPSelector(flow_graph, hop_slack=slack,
+                                    time_limit=config.milp_time_limit)
+            routes = selector.select_routes(flows)
+            rows.append([workload, slack, routes.max_channel_load(),
+                         routes.average_hop_count()])
+    return rows
+
+
+def refinement_ablation(config):
+    mesh = build_mesh(config)
+    flows = workload_flow_set("transpose", mesh, config)
+    rows = []
+    for passes in (0, 1, 2):
+        cdg = turn_model_cdg(mesh, TurnModel.WEST_FIRST)
+        flow_graph = FlowGraph(cdg)
+        flow_graph.add_flow_terminals(flows)
+        selector = DijkstraSelector(
+            flow_graph, weight=ResidualCapacityWeight(flows),
+            order="demand-descending", refine_passes=passes,
+        )
+        routes = selector.select_routes(flows)
+        rows.append([passes, routes.max_channel_load(),
+                     routes.average_hop_count()])
+    return rows
+
+
+def test_ablation_hop_slack(benchmark):
+    config = bench_config()
+    rows = benchmark.pedantic(hop_slack_ablation, args=(config,),
+                              rounds=1, iterations=1)
+    emit("Ablation: MILP hop slack (minimal vs non-minimal routing)",
+         render_table(["workload", "hop slack", "MCL", "avg hops"], rows))
+    by_workload = {}
+    for workload, slack, mcl, hops in rows:
+        by_workload.setdefault(workload, {})[slack] = (mcl, hops)
+    for workload, results in by_workload.items():
+        # Larger slack can only lower (or keep) the optimal MCL ...
+        assert results[4][0] <= results[2][0] + 1e-9 <= results[0][0] + 2e-9
+        # ... at the cost of equal-or-longer average paths.
+        assert results[4][1] >= results[0][1] - 1e-9
+
+
+def test_ablation_dijkstra_refinement(benchmark):
+    config = bench_config()
+    rows = benchmark.pedantic(refinement_ablation, args=(config,),
+                              rounds=1, iterations=1)
+    emit("Ablation: Dijkstra rip-up-and-reroute refinement passes (transpose)",
+         render_table(["refine passes", "MCL", "avg hops"], rows))
+    mcls = [row[1] for row in rows]
+    # Refinement never makes the MCL worse.
+    assert mcls[1] <= mcls[0] + 1e-9
+    assert mcls[2] <= mcls[0] + 1e-9

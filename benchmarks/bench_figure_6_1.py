@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Figure 6-1 (transpose throughput & latency sweep).
+
+Paper claim: "Our BSOR scheme, for the transpose traffic pattern, produces
+routes that achieve a network throughput of approximately 70% greater than
+other routing algorithms, at a comparable average packet latency."
+"""
+
+from bench_utils import bench_config, emit, is_full_scale
+
+from repro.experiments import figure_throughput_latency
+
+
+def test_figure_6_1_transpose(benchmark):
+    config = bench_config()
+    figure = benchmark.pedantic(
+        figure_throughput_latency, args=("transpose", config),
+        kwargs=dict(figure_name="Figure 6-1"), rounds=1, iterations=1,
+    )
+    emit("Figure 6-1 (transpose)", figure.render())
+    emit("Saturation summary", figure.summary("BSOR-Dijkstra"))
+
+    saturation = figure.saturation_throughputs()
+    baselines = [saturation[name] for name in ("XY", "YX", "ROMM", "Valiant")]
+    if is_full_scale(config):
+        # BSOR must clearly outperform every baseline on transpose.
+        assert saturation["BSOR-Dijkstra"] > max(baselines)
+        assert saturation["BSOR-MILP"] > max(baselines)
+        # The paper reports ~70%; allow a generous band at reduced simulation
+        # scale.
+        gain = saturation["BSOR-Dijkstra"] / max(baselines) - 1.0
+        assert gain > 0.25, f"expected a large transpose gain, got {gain:.0%}"
+    else:
+        assert saturation["BSOR-Dijkstra"] >= 0.8 * max(baselines)

@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Figure 6-3 (shuffle throughput & latency sweep).
+
+Paper claims: both BSOR variants reach the lowest MCL (75 vs 100 for DOR and
+ROMM, 175 for Valiant) and the highest saturation throughput; BSOR-Dijkstra
+edges out BSOR-MILP at high injection rates despite the equal MCL.
+"""
+
+from bench_utils import bench_config, emit, is_full_scale
+
+from repro.experiments import figure_throughput_latency
+
+
+def test_figure_6_3_shuffle(benchmark):
+    config = bench_config()
+    figure = benchmark.pedantic(
+        figure_throughput_latency, args=("shuffle", config),
+        kwargs=dict(figure_name="Figure 6-3"), rounds=1, iterations=1,
+    )
+    emit("Figure 6-3 (shuffle)", figure.render())
+    emit("Saturation summary", figure.summary("BSOR-Dijkstra"))
+
+    saturation = figure.saturation_throughputs()
+    if is_full_scale(config):
+        # BSOR finds a lower-or-equal MCL than every baseline on shuffle.
+        baseline_mcl = min(figure.route_mcl[name]
+                           for name in ("XY", "YX", "ROMM", "Valiant"))
+        assert figure.route_mcl["BSOR-MILP"] <= baseline_mcl
+        assert figure.route_mcl["BSOR-Dijkstra"] <= baseline_mcl
+        assert saturation["BSOR-Dijkstra"] >= 0.95 * max(
+            saturation[name] for name in ("XY", "YX", "ROMM", "Valiant")
+        )
+    else:
+        assert saturation["BSOR-Dijkstra"] > 0

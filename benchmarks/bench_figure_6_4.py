@@ -1,0 +1,37 @@
+"""Benchmark: regenerate Figure 6-4 (H.264 decoder throughput & latency).
+
+Paper claims: the H.264 decoder is throughput- and latency-sensitive; BSOR's
+MCL minimisation lowers congestion and average latency at moderate loads
+(DOR only catches up at very high injection rates thanks to more isolated
+hot spots).
+
+Note on absolute numbers: the paper's DOR MCLs (254-365 MB/s) depend on the
+unpublished placement of the nine decoder modules on the 8x8 mesh; with this
+library's compact block placement DOR is closer to optimal, so the *gap*
+is smaller while the ordering (BSOR <= every baseline) is preserved.
+"""
+
+from bench_utils import bench_config, emit, is_full_scale
+
+from repro.experiments import figure_throughput_latency
+
+
+def test_figure_6_4_h264(benchmark):
+    config = bench_config()
+    figure = benchmark.pedantic(
+        figure_throughput_latency, args=("h264", config),
+        kwargs=dict(figure_name="Figure 6-4"), rounds=1, iterations=1,
+    )
+    emit("Figure 6-4 (H.264 decoder)", figure.render())
+
+    saturation = figure.saturation_throughputs()
+    assert saturation["BSOR-MILP"] > 0
+    if is_full_scale(config):
+        # BSOR-MILP reaches the provable optimum: the MCL equals the single
+        # heaviest flow of the decoder (120.4 MB/s reconstructed-frame
+        # traffic).
+        assert figure.route_mcl["BSOR-MILP"] <= figure.route_mcl["XY"] + 1e-9
+        assert abs(figure.route_mcl["BSOR-MILP"] - 120.4) < 1.0
+        assert saturation["BSOR-MILP"] >= 0.85 * max(
+            saturation[name] for name in ("XY", "YX", "ROMM", "Valiant")
+        )

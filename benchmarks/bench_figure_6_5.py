@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Figure 6-5 (performance-modeling throughput & latency).
+
+Paper claim: "BSORMILP produces routes that achieve a network throughput
+approximately 33% greater than other routing algorithms, at a comparable
+average packet latency."  The corresponding MCLs (Table 6.3) are 62.73 for
+BSOR-MILP versus 95.04-146.38 for the baselines.
+"""
+
+from bench_utils import bench_config, emit, is_full_scale
+
+from repro.experiments import figure_throughput_latency
+
+
+def test_figure_6_5_performance_modeling(benchmark):
+    config = bench_config()
+    figure = benchmark.pedantic(
+        figure_throughput_latency, args=("perf-modeling", config),
+        kwargs=dict(figure_name="Figure 6-5"), rounds=1, iterations=1,
+    )
+    emit("Figure 6-5 (performance modeling)", figure.render())
+    emit("Saturation summary", figure.summary("BSOR-MILP"))
+
+    saturation = figure.saturation_throughputs()
+    assert saturation["BSOR-MILP"] > 0
+    if is_full_scale(config):
+        # MCL shape from Table 6.3: BSOR-MILP = 62.73 (the heaviest flow),
+        # i.e. provably optimal, and strictly below every baseline.
+        assert abs(figure.route_mcl["BSOR-MILP"] - 62.73) < 0.1
+        for name in ("XY", "YX", "ROMM", "Valiant"):
+            assert figure.route_mcl["BSOR-MILP"] < figure.route_mcl[name]
+        assert saturation["BSOR-MILP"] >= 0.85 * max(
+            saturation[name] for name in ("XY", "YX", "ROMM", "Valiant")
+        )

@@ -1,0 +1,52 @@
+"""Benchmark: regenerate Figure 6-7 (effect of the number of virtual channels).
+
+Paper claims: "increasing the number of virtual channels from two to four
+improves performance, in terms of throughput, by almost 40% ... increasing
+the number of virtual channels from four to eight does not have the same
+impact"; BSOR stays ahead of the other schemes at every VC count.  The paper
+shows transpose and the H.264 decoder; other workloads behave the same.
+"""
+
+from bench_utils import bench_config, emit, is_full_scale
+
+from repro.experiments import figure_vc_sweep
+
+
+def test_figure_6_7_transpose_vc_sweep(benchmark):
+    config = bench_config()
+    result = benchmark.pedantic(
+        figure_vc_sweep, args=("transpose", config),
+        kwargs=dict(vc_counts=(1, 2, 4, 8),
+                    algorithms=["XY", "BSOR-Dijkstra"]),
+        rounds=1, iterations=1,
+    )
+    emit("Figure 6-7 (transpose, VC sweep)", result.render())
+
+    for algorithm in ("XY", "BSOR-Dijkstra"):
+        by_vc = result.saturation[algorithm]
+        # more VCs never hurt throughput (head-of-line blocking only shrinks)
+        assert by_vc[2] >= by_vc[1] * 0.95
+        assert by_vc[4] >= by_vc[2] * 0.95
+    if is_full_scale(config):
+        for algorithm in ("XY", "BSOR-Dijkstra"):
+            # diminishing returns: the 4->8 gain is below the 2->4 gain
+            gain_2_to_4 = result.improvement(algorithm, 2, 4)
+            gain_4_to_8 = result.improvement(algorithm, 4, 8)
+            assert gain_4_to_8 <= gain_2_to_4 + 0.10
+        # BSOR stays ahead of XY at every VC count on transpose.
+        for vcs in (1, 2, 4, 8):
+            assert result.saturation["BSOR-Dijkstra"][vcs] >= \
+                result.saturation["XY"][vcs]
+
+
+def test_figure_6_7_h264_vc_sweep(benchmark):
+    config = bench_config()
+    result = benchmark.pedantic(
+        figure_vc_sweep, args=("h264", config),
+        kwargs=dict(vc_counts=(2, 4), algorithms=["XY", "BSOR-Dijkstra"]),
+        rounds=1, iterations=1,
+    )
+    emit("Figure 6-7 (H.264, VC sweep)", result.render())
+    for algorithm in ("XY", "BSOR-Dijkstra"):
+        assert result.saturation[algorithm][4] >= \
+            result.saturation[algorithm][2] * 0.95

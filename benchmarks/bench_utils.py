@@ -1,0 +1,78 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and prints the
+resulting rows/series so they can be compared with the published numbers
+(``pytest benchmarks/ --benchmark-only -s`` shows the tables inline; the
+EXPERIMENTS.md file records a captured run).
+
+The benchmark scale is selected with the ``REPRO_BENCH_PROFILE`` environment
+variable:
+
+* ``quick``   -- 4x4 mesh, very short simulations (seconds per benchmark);
+* ``default`` -- the paper's 8x8 mesh and demands with trimmed cycle counts
+  (the default; roughly a minute per figure benchmark);
+* ``paper``   -- the paper's full 20k + 100k cycle methodology (hours; only
+  for full-fidelity reproduction runs).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.experiments import ExperimentConfig
+
+
+def bench_config() -> ExperimentConfig:
+    """The experiment configuration selected by REPRO_BENCH_PROFILE."""
+    profile = os.environ.get("REPRO_BENCH_PROFILE", "default").lower()
+    if profile == "quick":
+        return ExperimentConfig.quick()
+    if profile == "paper":
+        return ExperimentConfig.paper_scale()
+    return ExperimentConfig.benchmark_scale()
+
+
+def emit(title: str, text: str) -> None:
+    """Print a benchmark's result block and persist it under results/."""
+    separator = "=" * max(len(title), 20)
+    print(f"\n{separator}\n{title}\n{separator}\n{text}\n")
+    emit_to_file(title, text)
+
+
+def is_full_scale(config: ExperimentConfig) -> bool:
+    """True when the configuration is at the paper's 8x8 scale.
+
+    The quantitative claims of the figures (e.g. the ~70% transpose gain)
+    are only asserted at full scale; the ``quick`` profile still exercises
+    every code path but only checks weak sanity properties, because a 4x4
+    mesh with three offered-rate points does not saturate the baselines.
+    """
+    return config.mesh_size >= 8
+
+
+def _results_dir() -> "os.PathLike[str]":
+    import pathlib
+
+    directory = pathlib.Path(__file__).parent / "results"
+    directory.mkdir(exist_ok=True)
+    return directory
+
+
+def _slugify(title: str) -> str:
+    keep = [ch.lower() if ch.isalnum() else "-" for ch in title]
+    slug = "".join(keep)
+    while "--" in slug:
+        slug = slug.replace("--", "-")
+    return slug.strip("-")
+
+
+def emit_to_file(title: str, text: str) -> None:
+    """Persist a benchmark's rendered table/figure under benchmarks/results/.
+
+    pytest captures stdout of passing tests, so the printed tables are not
+    visible in a plain ``pytest benchmarks/ --benchmark-only`` log; the
+    results directory keeps a durable copy of every regenerated table and
+    figure for EXPERIMENTS.md and for diffing across runs.
+    """
+    path = _results_dir() / f"{_slugify(title)}.txt"
+    path.write_text(f"{title}\n{'=' * len(title)}\n{text}\n")

@@ -1,0 +1,6 @@
+"""Pytest configuration for the benchmark harness.
+
+The benchmarks are plain pytest-benchmark tests; the shared configuration
+helpers live in :mod:`bench_utils` so they can be imported explicitly by the
+individual benchmark modules.
+"""

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Run-time bandwidth variation: bursty injection and its effect on routing.
+
+Reproduces the machinery behind Section 5.3 and Figures 5-4 / 6-8 / 6-9 /
+6-10:
+
+1. plot (as text) the Markov-modulated injection rate of one transpose flow
+   under 25 % variation — the bursty trace of Figure 5-4;
+2. recompute the MCL of fixed routes when the demands move by 10 / 25 / 50 %
+   (the static view of mis-estimation);
+3. simulate XY and BSOR under 25 % variation and compare throughput with the
+   unvaried case.
+
+Run:  python examples/bandwidth_variation.py
+"""
+
+from __future__ import annotations
+
+from repro import BSORRouting, Mesh2D, XYRouting, transpose
+from repro.metrics import recompute_mcl_with_demands
+from repro.simulator import SimulationConfig, make_injection_process, sweep_algorithm
+from repro.traffic import MarkovModulatedRate, perturbed_demands
+
+
+def injection_trace_demo() -> None:
+    print("Markov-modulated rate of one flow (nominal 25 MB/s, +/-25%):")
+    process = MarkovModulatedRate(nominal_rate=25.0, variation_fraction=0.25,
+                                  mean_dwell_cycles=40, seed=52)
+    trace = process.trace(400)
+    # render an ASCII sparkline: one character per 10-cycle bucket
+    buckets = [sum(trace[i:i + 10]) / 10 for i in range(0, len(trace), 10)]
+    low, high = min(buckets), max(buckets)
+    glyphs = " .:-=+*#%@"
+    line = "".join(
+        glyphs[int((value - low) / (high - low + 1e-9) * (len(glyphs) - 1))]
+        for value in buckets
+    )
+    print(f"  {line}")
+    print(f"  min {low:.1f}  max {high:.1f}  mean "
+          f"{sum(trace) / len(trace):.1f} MB/s\n")
+
+
+def static_mcl_sensitivity(mesh, flows) -> None:
+    print("MCL of fixed routes when demands are mis-estimated:")
+    xy = XYRouting().compute_routes(mesh, flows)
+    bsor = BSORRouting(selector="dijkstra").compute_routes(mesh, flows)
+    print(f"  nominal: XY {xy.max_channel_load():6.1f}   "
+          f"BSOR {bsor.max_channel_load():6.1f}")
+    for fraction in (0.10, 0.25, 0.50):
+        demands = perturbed_demands(flows, fraction, seed=3)
+        print(f"  +/-{int(fraction * 100):2d}%  : "
+              f"XY {recompute_mcl_with_demands(xy, demands):6.1f}   "
+              f"BSOR {recompute_mcl_with_demands(bsor, demands):6.1f}")
+    print()
+
+
+def simulated_variation(mesh, flows) -> None:
+    print("simulated saturation throughput with and without 25% variation:")
+    rates = [1.0, 2.5, 5.0]
+    nominal = SimulationConfig(num_vcs=2, warmup_cycles=200,
+                               measurement_cycles=1200)
+    varied = nominal.with_variation(0.25)
+    for algorithm_factory in (XYRouting, lambda: BSORRouting(selector="dijkstra")):
+        algorithm = algorithm_factory()
+        base = sweep_algorithm(algorithm, mesh, flows, nominal, rates)
+        algorithm = algorithm_factory()
+        bursty = sweep_algorithm(algorithm, mesh, flows, varied, rates)
+        print(f"  {base.route_set.algorithm:>14}: "
+              f"nominal {base.saturation_throughput:.2f}  "
+              f"25% variation {bursty.saturation_throughput:.2f} packets/cycle")
+
+
+def main() -> None:
+    mesh = Mesh2D(8)
+    flows = transpose(mesh.num_nodes, demand=25.0)
+    injection_trace_demo()
+    static_mcl_sensitivity(mesh, flows)
+    simulated_variation(mesh, flows)
+    print("\nExpected shape (Figures 6-8/6-9): moderate variation barely "
+          "affects transpose because BSOR's low MCL leaves headroom; only at "
+          "50% (Figure 6-10) do minimal algorithms become competitive on "
+          "latency-sensitive applications.")
+
+
+if __name__ == "__main__":
+    main()

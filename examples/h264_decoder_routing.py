@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Route the H.264 decoder application onto a mesh and inspect the result.
+
+This example walks the full BSOR flow for a real application (Section 5.2.1
+and Figure 6-4 of the paper):
+
+1. load the decoder's flow table (nine modules, fifteen flows, 0.47 - 120.4
+   MB/s) and place the modules onto the mesh;
+2. explore several acyclic channel-dependence graphs with both the MILP and
+   the Dijkstra selector, reporting the per-CDG MCL (the paper's Table 6.1
+   row for H.264);
+3. compile the chosen routes into node-table routers (Section 4.2.1) and
+   report the table occupancy;
+4. run a short simulation comparing BSOR against XY-ordered routing.
+
+Run:  python examples/h264_decoder_routing.py
+"""
+
+from __future__ import annotations
+
+from repro import BSORRouting, Mesh2D, XYRouting, check_deadlock_freedom
+from repro.metrics import load_report
+from repro.routing import NodeRoutingTable
+from repro.simulator import SimulationConfig, sweep_algorithm
+from repro.traffic import h264_decoder, map_onto_mesh, module_names
+
+
+def main() -> None:
+    mesh = Mesh2D(8)
+    logical = h264_decoder()
+    flows = map_onto_mesh(logical, mesh, strategy="block")
+
+    print("H.264 decoder flows (logical modules -> mesh nodes):")
+    names = module_names("h264")
+    for flow, logical_flow in zip(flows, logical):
+        src_name = names[logical_flow.source]
+        dst_name = names[logical_flow.destination]
+        print(f"  {flow.name:>4}: {src_name:>26} -> {dst_name:<26} "
+              f"{flow.demand:7.3f} MB/s "
+              f"(nodes {flow.source:2d} -> {flow.destination:2d})")
+    print(f"total demand: {flows.total_demand():.2f} MB/s\n")
+
+    # ------------------------------------------------------------------
+    # explore acyclic CDGs with both selectors
+    # ------------------------------------------------------------------
+    for selector in ("milp", "dijkstra"):
+        bsor = BSORRouting(selector=selector, milp_time_limit=30)
+        bsor.explore(mesh, flows)
+        print(f"BSOR-{selector.upper()} per-CDG MCL (MB/s):")
+        for strategy, mcl in bsor.exploration_table().items():
+            print(f"  {strategy:>16}: {mcl if mcl is not None else 'unroutable'}")
+        best = bsor.best_entry()
+        print(f"  -> best: {best.strategy_name} with MCL {best.mcl:g}\n")
+
+    # ------------------------------------------------------------------
+    # final routes: verification, router tables, load report
+    # ------------------------------------------------------------------
+    bsor = BSORRouting(selector="milp", milp_time_limit=30)
+    routes = bsor.compute_routes(mesh, flows)
+    print("deadlock analysis:", check_deadlock_freedom(routes).describe())
+    print(load_report(routes).describe(mesh))
+
+    tables = NodeRoutingTable.from_route_set(routes)
+    print(f"\nnode-table routing: max table occupancy "
+          f"{tables.max_occupancy()} entries, "
+          f"{tables.total_storage_bits()} bits total storage")
+
+    # ------------------------------------------------------------------
+    # simulate against XY routing
+    # ------------------------------------------------------------------
+    config = SimulationConfig(num_vcs=2, warmup_cycles=200,
+                              measurement_cycles=1500)
+    rates = [1.0, 2.5, 5.0]
+    print("\nsimulated sweep (packets/cycle):")
+    for algorithm in (XYRouting(), BSORRouting(selector="milp",
+                                               milp_time_limit=30)):
+        result = sweep_algorithm(algorithm, mesh, flows, config, rates,
+                                 workload="h264")
+        throughputs = ", ".join(f"{value:.2f}"
+                                for value in result.curve.throughputs)
+        latencies = ", ".join(f"{value:.1f}"
+                              for value in result.curve.latencies)
+        print(f"  {algorithm.name:>10}: throughput [{throughputs}]  "
+              f"latency [{latencies}]")
+
+    print("\nExpected shape (Figure 6-4): BSOR's MCL equals the heaviest flow "
+          "(120.4 MB/s reconstructed-frame write-back), below every baseline, "
+          "with lower latency at moderate loads.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Design-space walk for the 802.11a/g transmitter: mappings, VCs, CDGs.
+
+The transmitter (Section 5.2.3, Table 5.2) is the largest application in the
+paper: sixteen modules and twenty flows, dominated by the 58.72 MBit/s
+GI-insertion stream.  This example uses it to show the knobs a system
+designer gets from the library:
+
+* module placement strategies (compact block versus spread-out placement)
+  and their effect on the achievable MCL;
+* the number of virtual channels and static VC allocation via VC-expanded
+  CDGs and virtual networks;
+* the choice of cycle-breaking strategy (turn models versus ad hoc).
+
+Run:  python examples/wlan_transmitter_design.py
+"""
+
+from __future__ import annotations
+
+from repro import BSORRouting, Mesh2D, TurnModel, XYRouting
+from repro.cdg import turn_model_cdg, vc_escalation_cdg, virtual_network_cdg
+from repro.flowgraph import FlowGraph
+from repro.routing import DijkstraSelector, check_deadlock_freedom
+from repro.routing.bsor import full_strategy_set
+from repro.traffic import map_onto_mesh, wlan_transmitter
+
+
+def mcl_for_mapping(mesh: Mesh2D, strategy: str) -> None:
+    flows = map_onto_mesh(wlan_transmitter(), mesh, strategy=strategy, seed=7)
+    xy = XYRouting().compute_routes(mesh, flows)
+    bsor = BSORRouting(selector="milp", milp_time_limit=20,
+                       strategies=full_strategy_set(mesh))
+    routes = bsor.compute_routes(mesh, flows)
+    print(f"  {strategy:>9} placement: XY MCL = {xy.max_channel_load():7.2f}  "
+          f"BSOR-MILP MCL = {routes.max_channel_load():7.2f}  "
+          f"(avg hops {routes.average_hop_count():.2f})")
+
+
+def static_vc_allocation(mesh: Mesh2D) -> None:
+    flows = map_onto_mesh(wlan_transmitter(), mesh, strategy="block")
+    print("\nstatic virtual-channel allocation (2 VCs per link):")
+
+    # (a) the same turn model replicated on every VC
+    uniform = turn_model_cdg(mesh, TurnModel.WEST_FIRST, num_vcs=2)
+    # (b) all turns allowed when escalating to a higher VC (Figure 3-6(c))
+    escalation = vc_escalation_cdg(mesh, 2, model=TurnModel.WEST_FIRST)
+    # (c) two independent virtual networks with different turn models (Fig 3-7)
+    vnets = virtual_network_cdg(mesh, [TurnModel.WEST_FIRST, TurnModel.NORTH_LAST])
+
+    for label, cdg in (("uniform turn model", uniform),
+                       ("VC escalation", escalation),
+                       ("virtual networks", vnets)):
+        graph = FlowGraph(cdg)
+        graph.add_flow_terminals(flows)
+        routes = DijkstraSelector(graph, refine_passes=1).select_routes(flows)
+        report = check_deadlock_freedom(routes)
+        vcs_used = sorted({vc for route in routes for vc in route.vc_indices})
+        print(f"  {label:>18}: MCL = {routes.max_channel_load():7.2f}  "
+              f"VCs used = {vcs_used}  {report.describe()}")
+
+
+def main() -> None:
+    mesh = Mesh2D(8)
+    flows = map_onto_mesh(wlan_transmitter(), mesh, strategy="block")
+    print(f"802.11a/g transmitter: {len(flows)} flows, "
+          f"{flows.total_demand():.2f} MBit/s aggregate, "
+          f"heaviest flow {flows.max_demand():.2f} MBit/s\n")
+
+    print("module placement versus achievable MCL (MBit/s):")
+    for strategy in ("block", "spread", "random"):
+        mcl_for_mapping(mesh, strategy)
+
+    static_vc_allocation(mesh)
+
+    print("\nExpected shape (Table 6.3): BSOR-MILP reaches an MCL equal to the "
+          "heaviest flow (58.72 MBit/s = the paper's 7.34 MB/s), whatever the "
+          "placement; the baselines degrade as the placement spreads out.")
+
+
+if __name__ == "__main__":
+    main()

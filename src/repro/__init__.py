@@ -1,0 +1,145 @@
+"""repro: Application-Aware Deadlock-Free Oblivious Routing (BSOR).
+
+A reproduction of Kinsy's bandwidth-sensitive oblivious routing (BSOR) for
+networks-on-chip: acyclic channel-dependence-graph construction (turn models
+and ad hoc cycle breaking), flow-graph derivation, MILP and Dijkstra route
+selectors, baseline oblivious routers (XY/YX DOR, ROMM, Valiant, O1TURN), a
+cycle-accurate wormhole virtual-channel NoC simulator, the paper's synthetic
+and application workloads, and the experiment harness that regenerates every
+table and figure of the evaluation chapter.
+
+Quick start::
+
+    from repro import Mesh2D, transpose, BSORRouting, XYRouting
+
+    mesh = Mesh2D(8)
+    flows = transpose(mesh.num_nodes, demand=75.0)
+    bsor = BSORRouting(selector="dijkstra")
+    routes = bsor.compute_routes(mesh, flows)
+    print("BSOR MCL:", routes.max_channel_load())
+    print("XY   MCL:", XYRouting().compute_routes(mesh, flows).max_channel_load())
+"""
+
+from .cdg import (
+    ChannelDependenceGraph,
+    TurnModel,
+    ad_hoc_cdg,
+    dor_cdg,
+    turn_model_cdg,
+)
+from .exceptions import (
+    CDGError,
+    CyclicCDGError,
+    DeadlockError,
+    ExperimentError,
+    ReproError,
+    RoutingError,
+    SimulationError,
+    SolverError,
+    TableError,
+    TopologyError,
+    TrafficError,
+    UnroutableFlowError,
+)
+from .flowgraph import ChannelCapacities, FlowGraph
+from .metrics import (
+    SimulationStatistics,
+    SweepCurve,
+    SweepPoint,
+    load_report,
+    maximum_channel_load,
+)
+from .routing import (
+    BSORRouting,
+    DijkstraSelector,
+    MILPSelector,
+    O1TurnRouting,
+    ROMMRouting,
+    Route,
+    RouteSet,
+    RoutingAlgorithm,
+    ValiantRouting,
+    XYRouting,
+    YXRouting,
+    bsor_dijkstra,
+    bsor_milp,
+    check_deadlock_freedom,
+    paper_strategies,
+)
+from .topology import Channel, Direction, Mesh2D, Ring, Topology, Torus2D, VirtualChannel
+from .traffic import (
+    Flow,
+    FlowSet,
+    application_by_name,
+    bit_complement,
+    h264_decoder,
+    map_onto_mesh,
+    performance_modeling,
+    shuffle,
+    synthetic_by_name,
+    transpose,
+    wlan_transmitter,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BSORRouting",
+    "CDGError",
+    "Channel",
+    "ChannelCapacities",
+    "ChannelDependenceGraph",
+    "CyclicCDGError",
+    "DeadlockError",
+    "DijkstraSelector",
+    "Direction",
+    "ExperimentError",
+    "Flow",
+    "FlowGraph",
+    "FlowSet",
+    "MILPSelector",
+    "Mesh2D",
+    "O1TurnRouting",
+    "ROMMRouting",
+    "ReproError",
+    "Ring",
+    "Route",
+    "RouteSet",
+    "RoutingAlgorithm",
+    "RoutingError",
+    "SimulationError",
+    "SimulationStatistics",
+    "SolverError",
+    "SweepCurve",
+    "SweepPoint",
+    "TableError",
+    "Topology",
+    "TopologyError",
+    "Torus2D",
+    "TrafficError",
+    "TurnModel",
+    "UnroutableFlowError",
+    "ValiantRouting",
+    "VirtualChannel",
+    "XYRouting",
+    "YXRouting",
+    "ad_hoc_cdg",
+    "application_by_name",
+    "bit_complement",
+    "bsor_dijkstra",
+    "bsor_milp",
+    "check_deadlock_freedom",
+    "dor_cdg",
+    "h264_decoder",
+    "load_report",
+    "map_onto_mesh",
+    "maximum_channel_load",
+    "paper_strategies",
+    "performance_modeling",
+    "shuffle",
+    "synthetic_by_name",
+    "transpose",
+    "turn_model_cdg",
+    "wlan_transmitter",
+    "__version__",
+]

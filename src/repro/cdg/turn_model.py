@@ -1,0 +1,187 @@
+"""Turn models: systematic cycle breaking for mesh CDGs (Section 3.3).
+
+Glass & Ni's turn model observes that every cycle of a 2-D mesh CDG must use
+at least one clockwise turn and at least one counter-clockwise turn, so
+prohibiting one turn of each rotational sense everywhere in the network
+breaks all cycles.  The paper uses three of these models when exploring
+acyclic CDGs (Tables 6.1 and 6.2):
+
+* **west-first** — prohibits the two turns *into* the west direction
+  (``N->W`` and ``S->W``): any westward travel must happen first.
+* **north-last** — prohibits the two turns *out of* the north direction
+  (``N->E`` and ``N->W``): once a packet travels north it cannot turn, so
+  northward travel must come last.
+* **negative-first** — prohibits the turns from a positive direction into a
+  negative direction (``N->W`` and ``E->S``): travel in negative directions
+  must come first.
+
+Two degenerate "models" are also provided because they yield the CDGs that
+dimension-order routing conforms to:
+
+* **xy** — prohibits all four turns out of the y axis into the x axis, which
+  is exactly the dependence set used by XY-ordered DOR;
+* **yx** — prohibits all four turns out of the x axis into the y axis
+  (YX-ordered DOR).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, Iterable, List, Tuple
+
+from ..exceptions import CDGError
+from ..topology.base import Topology
+from ..topology.directions import Direction, Turn
+from .cdg import ChannelDependenceGraph, Resource
+
+
+class TurnModel(Enum):
+    """Named turn-prohibition strategies."""
+
+    WEST_FIRST = "west-first"
+    NORTH_LAST = "north-last"
+    NEGATIVE_FIRST = "negative-first"
+    XY = "xy"
+    YX = "yx"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: The three turn models used to populate Tables 6.1 and 6.2.
+PAPER_TURN_MODELS: Tuple[TurnModel, ...] = (
+    TurnModel.NORTH_LAST,
+    TurnModel.WEST_FIRST,
+    TurnModel.NEGATIVE_FIRST,
+)
+
+_E, _W, _N, _S = Direction.EAST, Direction.WEST, Direction.NORTH, Direction.SOUTH
+
+_PROHIBITED: Dict[TurnModel, Tuple[Turn, ...]] = {
+    TurnModel.WEST_FIRST: ((_N, _W), (_S, _W)),
+    TurnModel.NORTH_LAST: ((_N, _E), (_N, _W)),
+    TurnModel.NEGATIVE_FIRST: ((_N, _W), (_E, _S)),
+    TurnModel.XY: ((_N, _E), (_N, _W), (_S, _E), (_S, _W)),
+    TurnModel.YX: ((_E, _N), (_E, _S), (_W, _N), (_W, _S)),
+}
+
+
+def prohibited_turns(model: TurnModel) -> Tuple[Turn, ...]:
+    """The set of turns a model forbids."""
+    if model not in _PROHIBITED:
+        raise CDGError(f"unknown turn model: {model!r}")
+    return _PROHIBITED[model]
+
+
+def allowed_turns(model: TurnModel) -> List[Turn]:
+    """The 90-degree turns a model allows (complement of the prohibited set)."""
+    from ..topology.directions import ALL_TURNS
+
+    banned = set(prohibited_turns(model))
+    return [turn for turn in ALL_TURNS if turn not in banned]
+
+
+def turn_model_by_name(name: str) -> TurnModel:
+    """Look a turn model up by its canonical name (case / separator tolerant)."""
+    key = name.lower().replace("_", "-").strip()
+    for model in TurnModel:
+        if model.value == key:
+            return model
+    raise CDGError(f"unknown turn model {name!r}; known: "
+                   f"{[model.value for model in TurnModel]}")
+
+
+def prohibited_edges(cdg: ChannelDependenceGraph,
+                     turns: Iterable[Turn]) -> List[Tuple[Resource, Resource]]:
+    """All dependence edges of *cdg* whose turn is in *turns*."""
+    banned = set(turns)
+    edges: List[Tuple[Resource, Resource]] = []
+    for upstream, downstream in cdg.edges:
+        if cdg.turn_of_edge(upstream, downstream) in banned:
+            edges.append((upstream, downstream))
+    return edges
+
+
+def apply_turn_model(cdg: ChannelDependenceGraph, model: TurnModel,
+                     in_place: bool = False,
+                     allow_vc_switch_turns: bool = False) -> ChannelDependenceGraph:
+    """Remove the dependence edges a turn model prohibits.
+
+    Parameters
+    ----------
+    cdg:
+        A channel dependence graph (single- or multi-VC).
+    model:
+        The turn prohibition to apply.
+    in_place:
+        Mutate *cdg* instead of working on a copy.
+    allow_vc_switch_turns:
+        Multi-VC variant of Figure 3-6(c): virtual-channel indices are only
+        allowed to stay equal or increase along a route, and a turn the
+        model prohibits is kept **only** when the packet simultaneously
+        moves to a strictly higher virtual-channel index.  Any cycle would
+        have to use at least one prohibited turn (the turn-model argument),
+        each of which strictly increases the VC index, while no edge ever
+        decreases it — so no cycle can close.  Compared with applying the
+        turn model uniformly to every VC this sacrifices the VC-decreasing
+        dependences but makes *every* turn usable somewhere, which is the
+        extra path/allocation diversity Section 3.7 describes.
+    """
+    result = cdg if in_place else cdg.copy(name=f"{cdg.name}/{model.value}")
+    if not in_place:
+        result.name = f"{cdg.name}/{model.value}"
+    banned = set(prohibited_turns(model))
+
+    from ..topology.links import virtual_index
+
+    to_remove: List[Tuple[Resource, Resource]] = []
+    for upstream, downstream in result.edges:
+        turn = result.turn_of_edge(upstream, downstream)
+        if allow_vc_switch_turns:
+            up_vc = virtual_index(upstream)
+            down_vc = virtual_index(downstream)
+            if up_vc is not None and down_vc is not None:
+                if turn in banned:
+                    if down_vc > up_vc:
+                        continue  # escape to a higher VC: keep the dependence
+                    to_remove.append((upstream, downstream))
+                elif down_vc < up_vc:
+                    # VC indices must be monotone along a route for the
+                    # escalation argument to hold.
+                    to_remove.append((upstream, downstream))
+                continue
+        if turn in banned:
+            to_remove.append((upstream, downstream))
+    result.remove_edges(to_remove)
+    return result
+
+
+def turn_model_cdg(topology: Topology, model: TurnModel, num_vcs: int = 1,
+                   allow_vc_switch_turns: bool = False) -> ChannelDependenceGraph:
+    """Build the acyclic CDG of *topology* under a turn model.
+
+    Convenience composition of :meth:`ChannelDependenceGraph.from_topology`
+    and :func:`apply_turn_model`.  The result is verified to be acyclic
+    (which it always is on meshes; on tori with wrap-around links a plain
+    turn model is *not* sufficient and the check will raise, signalling that
+    the caller needs a VC-based scheme such as
+    :func:`repro.cdg.virtual.vc_escalation_cdg`).
+    """
+    base = ChannelDependenceGraph.from_topology(
+        topology, num_vcs=num_vcs, name=f"{type(topology).__name__.lower()}"
+    )
+    acyclic = apply_turn_model(
+        base, model, in_place=True, allow_vc_switch_turns=allow_vc_switch_turns
+    )
+    acyclic.require_acyclic()
+    return acyclic
+
+
+def dor_cdg(topology: Topology, order: str = "xy",
+            num_vcs: int = 1) -> ChannelDependenceGraph:
+    """The acyclic CDG that dimension-order routing conforms to."""
+    if order == "xy":
+        return turn_model_cdg(topology, TurnModel.XY, num_vcs=num_vcs)
+    if order == "yx":
+        return turn_model_cdg(topology, TurnModel.YX, num_vcs=num_vcs)
+    raise CDGError(f"order must be 'xy' or 'yx', got {order!r}")

@@ -1,0 +1,85 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TopologyError(ReproError):
+    """Raised for invalid topology construction or queries.
+
+    Examples: asking for a channel between non-adjacent nodes, building a
+    mesh with non-positive dimensions, or looking up a node outside the
+    network.
+    """
+
+
+class TrafficError(ReproError):
+    """Raised for invalid traffic or flow specifications.
+
+    Examples: a flow whose source equals its destination, a negative
+    bandwidth demand, or a synthetic pattern applied to a network whose node
+    count is not a power of two.
+    """
+
+
+class CDGError(ReproError):
+    """Raised for invalid channel-dependence-graph operations.
+
+    Examples: requesting a turn model on a topology that does not support it
+    or asking for an acyclic CDG check on a graph that is not a CDG of the
+    given topology.
+    """
+
+
+class CyclicCDGError(CDGError):
+    """Raised when an operation requires an acyclic CDG but cycles remain."""
+
+
+class RoutingError(ReproError):
+    """Raised when route construction or validation fails.
+
+    Examples: a route that does not connect its flow's source to its
+    destination, a route using a channel that does not exist, or a selector
+    that cannot find any path for a flow under the given CDG.
+    """
+
+
+class DeadlockError(RoutingError):
+    """Raised when a route set would permit deadlock.
+
+    A route set permits deadlock exactly when the channel-dependence graph
+    induced by its routes contains a cycle (Dally & Seitz condition).
+    """
+
+
+class UnroutableFlowError(RoutingError):
+    """Raised when no path exists for a flow under the current constraints."""
+
+
+class SolverError(ReproError):
+    """Raised when the MILP solver fails to produce a usable solution."""
+
+
+class SimulationError(ReproError):
+    """Raised for invalid simulator configuration or runtime faults."""
+
+
+class TableError(ReproError):
+    """Raised when routes cannot be compiled into the router tables.
+
+    Examples: exceeding the configured table capacity of a node or a route
+    that revisits a node (which node-table routing cannot express with a
+    single index per node).
+    """
+
+
+class ExperimentError(ReproError):
+    """Raised for invalid experiment configuration."""

@@ -1,0 +1,74 @@
+"""Experiment harness: regenerate every table and figure of the evaluation."""
+
+from .config import SYNTHETIC_FLOW_DEMAND, ExperimentConfig
+from .figures import (
+    FIGURE_WORKLOADS,
+    PAPER_FIGURE_CLAIMS,
+    FigureResult,
+    VCSweepResult,
+    default_algorithms,
+    figure_by_number,
+    figure_throughput_latency,
+    figure_variation_sweep,
+    figure_vc_sweep,
+)
+from .report import (
+    format_value,
+    improvement_summary,
+    render_comparison,
+    render_series,
+    render_table,
+)
+from .tables import (
+    CDG_COLUMNS,
+    PAPER_TABLE_6_1,
+    PAPER_TABLE_6_2,
+    PAPER_TABLE_6_3,
+    TABLE_6_3_COLUMNS,
+    TableResult,
+    table_6_1,
+    table_6_2,
+    table_6_3,
+)
+from .workloads import (
+    APPLICATION_WORKLOADS,
+    SYNTHETIC_WORKLOADS,
+    WORKLOAD_NAMES,
+    all_workloads,
+    build_mesh,
+    workload_flow_set,
+)
+
+__all__ = [
+    "APPLICATION_WORKLOADS",
+    "CDG_COLUMNS",
+    "ExperimentConfig",
+    "FIGURE_WORKLOADS",
+    "FigureResult",
+    "PAPER_FIGURE_CLAIMS",
+    "PAPER_TABLE_6_1",
+    "PAPER_TABLE_6_2",
+    "PAPER_TABLE_6_3",
+    "SYNTHETIC_FLOW_DEMAND",
+    "SYNTHETIC_WORKLOADS",
+    "TABLE_6_3_COLUMNS",
+    "TableResult",
+    "VCSweepResult",
+    "WORKLOAD_NAMES",
+    "all_workloads",
+    "build_mesh",
+    "default_algorithms",
+    "figure_by_number",
+    "figure_throughput_latency",
+    "figure_variation_sweep",
+    "figure_vc_sweep",
+    "format_value",
+    "improvement_summary",
+    "render_comparison",
+    "render_series",
+    "render_table",
+    "table_6_1",
+    "table_6_2",
+    "table_6_3",
+    "workload_flow_set",
+]

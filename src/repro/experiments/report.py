@@ -1,0 +1,106 @@
+"""Plain-text rendering of experiment results.
+
+Every table and figure harness returns structured data; this module turns it
+into aligned text tables so ``pytest benchmarks/ --benchmark-only`` output
+(and the examples) shows the same rows the paper prints, ready to paste into
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def format_value(value, precision: int = 2) -> str:
+    """Format a cell: numbers to *precision* decimals, None as a dash."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e6:
+            return str(int(value))
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: Optional[str] = None, precision: int = 2) -> str:
+    """Render an aligned text table with a header rule."""
+    formatted_rows: List[List[str]] = [
+        [format_value(cell, precision) for cell in row] for row in rows
+    ]
+    columns = len(headers)
+    widths = [len(str(header)) for header in headers]
+    for row in formatted_rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row has {len(row)} cells but the table has {columns} columns"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[index])
+                         for index, cell in enumerate(cells)).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_row([str(header) for header in headers]))
+    lines.append(render_row(["-" * width for width in widths]))
+    for row in formatted_rows:
+        lines.append(render_row(row))
+    return "\n".join(lines)
+
+
+def render_comparison(measured: Dict[str, float], reference: Dict[str, float],
+                      title: str, value_label: str = "value") -> str:
+    """Side-by-side measured-vs-paper comparison for EXPERIMENTS.md."""
+    headers = ["key", f"measured {value_label}", f"paper {value_label}", "ratio"]
+    rows = []
+    for key in measured:
+        ours = measured[key]
+        theirs = reference.get(key)
+        ratio = None
+        if theirs not in (None, 0) and ours is not None:
+            ratio = ours / theirs
+        rows.append([key, ours, theirs, ratio])
+    return render_table(headers, rows, title=title)
+
+
+def render_series(x_label: str, x_values: Sequence[float],
+                  series: Dict[str, Sequence[float]],
+                  title: Optional[str] = None, precision: int = 3) -> str:
+    """Render figure-style data: one x column plus one column per series."""
+    headers = [x_label] + list(series)
+    rows = []
+    for index, x in enumerate(x_values):
+        row = [x]
+        for name in series:
+            values = series[name]
+            row.append(values[index] if index < len(values) else None)
+        rows.append(row)
+    return render_table(headers, rows, title=title, precision=precision)
+
+
+def improvement_summary(values: Dict[str, float], subject: str,
+                        higher_is_better: bool = True) -> str:
+    """One-line summary: how the subject compares to the best of the rest."""
+    if subject not in values:
+        return f"{subject}: no data"
+    others = {name: value for name, value in values.items() if name != subject}
+    if not others:
+        return f"{subject}: {values[subject]:.3f} (no baselines)"
+    subject_value = values[subject]
+    if higher_is_better:
+        best_other = max(others.values())
+        gain = (subject_value - best_other) / best_other if best_other else 0.0
+        direction = "higher" if gain >= 0 else "lower"
+    else:
+        best_other = min(others.values())
+        gain = (best_other - subject_value) / best_other if best_other else 0.0
+        direction = "lower" if gain >= 0 else "higher"
+    return (
+        f"{subject} = {subject_value:.3f}, best baseline = {best_other:.3f} "
+        f"({abs(gain) * 100:.0f}% {direction})"
+    )

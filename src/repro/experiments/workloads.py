@@ -1,0 +1,88 @@
+"""The six evaluation workloads, instantiated on the experiment mesh.
+
+Three synthetic patterns (transpose, bit-complement, shuffle) cover the whole
+mesh; three applications (H.264 decoder, processor performance model,
+802.11a/g transmitter) are task graphs whose modules are placed onto a
+compact block of the mesh (the paper treats mapping as an orthogonal,
+pre-existing decision).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from ..exceptions import ExperimentError
+from ..topology.mesh import Mesh2D
+from ..traffic.applications import h264_decoder, performance_modeling, wlan_transmitter
+from ..traffic.flow import FlowSet
+from ..traffic.mapping import map_onto_mesh
+from ..traffic.synthetic import bit_complement, shuffle, transpose
+from .config import ExperimentConfig
+
+#: Canonical workload names, in the order the paper's tables list them.
+WORKLOAD_NAMES: Tuple[str, ...] = (
+    "transpose",
+    "bit-complement",
+    "shuffle",
+    "h264",
+    "perf-modeling",
+    "transmitter",
+)
+
+#: Workloads whose flows are synthetic bit permutations over the whole mesh.
+SYNTHETIC_WORKLOADS: Tuple[str, ...] = ("transpose", "bit-complement", "shuffle")
+
+#: Workloads derived from application task graphs.
+APPLICATION_WORKLOADS: Tuple[str, ...] = ("h264", "perf-modeling", "transmitter")
+
+
+def build_mesh(config: ExperimentConfig) -> Mesh2D:
+    """The experiment mesh (8x8 by default)."""
+    return Mesh2D(config.mesh_size)
+
+
+def _synthetic(name: str, mesh: Mesh2D, config: ExperimentConfig) -> FlowSet:
+    factories: Dict[str, Callable[..., FlowSet]] = {
+        "transpose": transpose,
+        "bit-complement": bit_complement,
+        "shuffle": shuffle,
+    }
+    return factories[name](mesh.num_nodes, demand=config.synthetic_demand)
+
+
+def _application(name: str, mesh: Mesh2D, config: ExperimentConfig) -> FlowSet:
+    factories: Dict[str, Callable[[], FlowSet]] = {
+        "h264": h264_decoder,
+        "perf-modeling": performance_modeling,
+        "transmitter": wlan_transmitter,
+    }
+    logical = factories[name]()
+    return map_onto_mesh(
+        logical, mesh,
+        strategy=config.mapping_strategy,
+        seed=config.seed,
+    )
+
+
+def workload_flow_set(name: str, mesh: Mesh2D,
+                      config: ExperimentConfig) -> FlowSet:
+    """Instantiate one named workload on *mesh*."""
+    key = name.lower()
+    if key in SYNTHETIC_WORKLOADS:
+        return _synthetic(key, mesh, config)
+    if key in APPLICATION_WORKLOADS:
+        return _application(key, mesh, config)
+    raise ExperimentError(
+        f"unknown workload {name!r}; known workloads: {list(WORKLOAD_NAMES)}"
+    )
+
+
+def all_workloads(config: ExperimentConfig,
+                  names: Tuple[str, ...] = WORKLOAD_NAMES
+                  ) -> List[Tuple[str, Mesh2D, FlowSet]]:
+    """Instantiate every requested workload on the experiment mesh."""
+    mesh = build_mesh(config)
+    result = []
+    for name in names:
+        result.append((name, mesh, workload_flow_set(name, mesh, config)))
+    return result

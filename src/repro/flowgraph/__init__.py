@@ -1,0 +1,17 @@
+"""Flow-graph derivation from acyclic channel dependence graphs."""
+
+from .flowgraph import (
+    ChannelCapacities,
+    FlowGraph,
+    FlowVertex,
+    Terminal,
+    route_node_path,
+)
+
+__all__ = [
+    "ChannelCapacities",
+    "FlowGraph",
+    "FlowVertex",
+    "Terminal",
+    "route_node_path",
+]

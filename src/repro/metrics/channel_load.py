@@ -1,0 +1,193 @@
+"""Channel-load analysis: MCL, load maps and load-balance statistics.
+
+The maximum channel load (MCL, Definition 3) is the cost function BSOR
+minimises: the load of the single most loaded link bounds the saturation
+throughput of the whole network, so lowering it raises the achievable
+application throughput.  This module computes MCL and several companion
+statistics the paper's discussion section mentions (average load, number of
+near-critical links, locality of routes) for any route set, so baseline and
+BSOR route sets can be compared on equal footing (Table 6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..routing.base import RouteSet
+from ..topology.base import Topology
+from ..topology.links import Channel
+from ..topology.mesh import Mesh2D
+
+
+@dataclass
+class ChannelLoadReport:
+    """Aggregate load statistics of one route set."""
+
+    loads: Dict[Channel, float]
+    mcl: float
+    average_load: float
+    loaded_channels: int
+    total_channels: int
+    bottlenecks: List[Channel]
+    near_critical: List[Channel]
+    gini: float
+
+    def describe(self, topology: Optional[Topology] = None) -> str:
+        def label(channel: Channel) -> str:
+            if topology is None:
+                return str(channel)
+            return topology.channel_label(channel)
+
+        lines = [
+            f"MCL = {self.mcl:g}",
+            f"average load over used channels = {self.average_load:g}",
+            f"used channels: {self.loaded_channels}/{self.total_channels}",
+            f"bottleneck channels: {[label(c) for c in self.bottlenecks]}",
+            f"near-critical channels (>= 90% of MCL): "
+            f"{len(self.near_critical)}",
+            f"load imbalance (Gini) = {self.gini:.3f}",
+        ]
+        return "\n".join(lines)
+
+
+def channel_loads(route_set: RouteSet) -> Dict[Channel, float]:
+    """Demand-weighted load of every physical channel used by a route set."""
+    return route_set.channel_loads()
+
+
+def maximum_channel_load(route_set: RouteSet) -> float:
+    """The MCL of a route set (Definition 3)."""
+    return route_set.max_channel_load()
+
+
+def _gini_coefficient(values: Sequence[float]) -> float:
+    """Gini coefficient of a load distribution (0 = perfectly even)."""
+    data = sorted(values)
+    n = len(data)
+    total = sum(data)
+    if n == 0 or total == 0:
+        return 0.0
+    cumulative = 0.0
+    for rank, value in enumerate(data, start=1):
+        cumulative += rank * value
+    return (2.0 * cumulative) / (n * total) - (n + 1.0) / n
+
+
+def load_report(route_set: RouteSet,
+                near_critical_fraction: float = 0.9) -> ChannelLoadReport:
+    """Full channel-load report for a route set.
+
+    ``near_critical_fraction`` controls which links count as "close to the
+    MCL" — the paper's discussion notes that many links near the MCL hurt
+    performance even when the MCL itself is low.
+    """
+    loads = route_set.channel_loads()
+    topology = route_set.topology
+    mcl = max(loads.values(), default=0.0)
+    used = [load for load in loads.values() if load > 0]
+    average = sum(used) / len(used) if used else 0.0
+    bottlenecks = [channel for channel, load in loads.items() if load == mcl and mcl > 0]
+    near_critical = [
+        channel for channel, load in loads.items()
+        if mcl > 0 and load >= near_critical_fraction * mcl
+    ]
+    return ChannelLoadReport(
+        loads=loads,
+        mcl=mcl,
+        average_load=average,
+        loaded_channels=len(used),
+        total_channels=topology.num_channels,
+        bottlenecks=sorted(bottlenecks),
+        near_critical=sorted(near_critical),
+        gini=_gini_coefficient([loads.get(ch, 0.0) for ch in topology.channels]),
+    )
+
+
+def load_matrix(route_set: RouteSet) -> List[Tuple[str, float]]:
+    """Channel label / load pairs sorted by decreasing load (for reports)."""
+    topology = route_set.topology
+    loads = route_set.channel_loads()
+    rows = [(topology.channel_label(channel), load)
+            for channel, load in loads.items()]
+    rows.sort(key=lambda row: (-row[1], row[0]))
+    return rows
+
+
+def recompute_mcl_with_demands(route_set: RouteSet,
+                               demands: Dict[str, float]) -> float:
+    """MCL of existing routes under *different* per-flow demands.
+
+    This is the static core of the bandwidth-variation experiments: routes
+    are fixed from the original estimates, demands move at run time, and we
+    ask how the bottleneck load responds.
+    """
+    loads: Dict[Channel, float] = {}
+    for route in route_set:
+        demand = demands.get(route.flow.name, route.flow.demand)
+        for channel in route.channels:
+            loads[channel] = loads.get(channel, 0.0) + demand
+    return max(loads.values(), default=0.0)
+
+
+# ----------------------------------------------------------------------
+# path quality metrics
+# ----------------------------------------------------------------------
+def average_path_length(route_set: RouteSet) -> float:
+    """Mean hop count over all routes."""
+    return route_set.average_hop_count()
+
+
+def path_stretch(route_set: RouteSet) -> float:
+    """Mean ratio of route length to the minimal possible length."""
+    topology = route_set.topology
+    ratios = []
+    for route in route_set:
+        minimal = topology.shortest_path_length(
+            route.flow.source, route.flow.destination
+        )
+        if minimal > 0:
+            ratios.append(route.hop_count / minimal)
+    return sum(ratios) / len(ratios) if ratios else 1.0
+
+
+def non_minimal_fraction(route_set: RouteSet) -> float:
+    """Fraction of routes that are longer than minimal."""
+    topology = route_set.topology
+    routes = route_set.routes
+    if not routes:
+        return 0.0
+    non_minimal = sum(0 if route.is_minimal(topology) else 1 for route in routes)
+    return non_minimal / len(routes)
+
+
+def locality(route_set: RouteSet) -> float:
+    """Fraction of route hops that stay inside the minimal quadrant.
+
+    "Locality describes the degree to which the path assigned to a flow goes
+    outside the minimum quadrant formed by the source and destination pair"
+    (Section 6.2.4); 1.0 means every hop stays inside it.
+    """
+    topology = route_set.topology
+    if not isinstance(topology, Mesh2D):
+        return 1.0
+    inside = 0
+    total = 0
+    for route in route_set:
+        quadrant = set(topology.minimal_quadrant(
+            route.flow.source, route.flow.destination
+        ))
+        for node in route.node_path:
+            total += 1
+            if node in quadrant:
+                inside += 1
+    return inside / total if total else 1.0
+
+
+def average_turns(route_set: RouteSet) -> float:
+    """Mean number of 90-degree turns per route (discussion, Section 6.3)."""
+    topology = route_set.topology
+    routes = route_set.routes
+    if not routes:
+        return 0.0
+    return sum(route.turn_count(topology) for route in routes) / len(routes)

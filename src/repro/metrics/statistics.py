@@ -1,0 +1,239 @@
+"""Latency / throughput statistics collected from simulations.
+
+The simulator reports, per run, the packets delivered and their latencies;
+the experiment harness turns those into the two curves every figure of
+Chapter 6 plots:
+
+* **throughput** — packets delivered per cycle, averaged over the
+  measurement window ("average delivery rate");
+* **average latency** — cycles from injection of a packet's head flit to
+  reception of its tail flit, averaged over delivered packets.
+
+This module holds the small, simulator-agnostic statistic containers plus a
+few generic helpers (saturation detection, percentile latency) used by the
+experiment harness and the tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class LatencySample:
+    """Latency of one delivered packet."""
+
+    flow_name: str
+    injected_cycle: int
+    delivered_cycle: int
+
+    @property
+    def latency(self) -> int:
+        return self.delivered_cycle - self.injected_cycle
+
+
+class RunningStatistics:
+    """Streaming mean / min / max / variance without storing every sample."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def standard_deviation(self) -> float:
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "RunningStatistics") -> None:
+        """Fold another accumulator into this one."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            return
+        total = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self._mean += delta * other.count / total
+        self.count = total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+
+@dataclass
+class SimulationStatistics:
+    """Aggregate results of one simulation run."""
+
+    cycles: int
+    warmup_cycles: int
+    packets_injected: int
+    packets_delivered: int
+    flits_delivered: int
+    total_latency: float
+    per_flow_latency: Dict[str, float] = field(default_factory=dict)
+    per_flow_delivered: Dict[str, int] = field(default_factory=dict)
+    dropped_at_source: int = 0
+
+    @property
+    def measurement_cycles(self) -> int:
+        return max(self.cycles - self.warmup_cycles, 1)
+
+    @property
+    def throughput(self) -> float:
+        """Packets delivered per cycle during the measurement window."""
+        return self.packets_delivered / self.measurement_cycles
+
+    @property
+    def flit_throughput(self) -> float:
+        """Flits delivered per cycle during the measurement window."""
+        return self.flits_delivered / self.measurement_cycles
+
+    @property
+    def average_latency(self) -> float:
+        """Mean packet latency (cycles) over delivered packets."""
+        if self.packets_delivered == 0:
+            return 0.0
+        return self.total_latency / self.packets_delivered
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Delivered / injected packets; below 1.0 past saturation."""
+        if self.packets_injected == 0:
+            return 1.0
+        return self.packets_delivered / self.packets_injected
+
+    def flow_average_latency(self, flow_name: str) -> float:
+        delivered = self.per_flow_delivered.get(flow_name, 0)
+        if delivered == 0:
+            return 0.0
+        return self.per_flow_latency.get(flow_name, 0.0) / delivered
+
+    def describe(self) -> str:
+        return (
+            f"cycles={self.cycles} (warmup {self.warmup_cycles}), "
+            f"injected={self.packets_injected}, delivered={self.packets_delivered}, "
+            f"throughput={self.throughput:.4f} pkt/cycle, "
+            f"avg latency={self.average_latency:.2f} cycles"
+        )
+
+
+@dataclass
+class SweepPoint:
+    """One point of a load sweep: offered rate versus achieved performance."""
+
+    offered_rate: float
+    throughput: float
+    average_latency: float
+    delivery_ratio: float = 1.0
+
+
+@dataclass
+class SweepCurve:
+    """A full load sweep for one routing algorithm (one line of a figure)."""
+
+    algorithm: str
+    workload: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def add_point(self, point: SweepPoint) -> None:
+        self.points.append(point)
+
+    @property
+    def offered_rates(self) -> List[float]:
+        return [point.offered_rate for point in self.points]
+
+    @property
+    def throughputs(self) -> List[float]:
+        return [point.throughput for point in self.points]
+
+    @property
+    def latencies(self) -> List[float]:
+        return [point.average_latency for point in self.points]
+
+    def saturation_throughput(self) -> float:
+        """The highest throughput observed along the sweep."""
+        return max(self.throughputs, default=0.0)
+
+    def saturation_point(self, latency_threshold: Optional[float] = None,
+                         delivery_threshold: float = 0.95) -> Optional[float]:
+        """Offered rate at which the network saturates.
+
+        Saturation is declared when the delivery ratio drops below
+        ``delivery_threshold`` (the network stops absorbing the offered
+        load) or, when a latency threshold is supplied, when the average
+        latency exceeds it.  Returns ``None`` when the sweep never
+        saturates.
+        """
+        for point in self.points:
+            if point.delivery_ratio < delivery_threshold:
+                return point.offered_rate
+            if latency_threshold is not None and \
+                    point.average_latency > latency_threshold:
+                return point.offered_rate
+        return None
+
+    def is_stable(self, tolerance: float = 0.15) -> bool:
+        """Whether throughput never collapses after saturation.
+
+        "A routing algorithm is stable if its throughput remains constant
+        even as the traffic load is increased beyond the network saturation
+        point" (Section 6.2.2).  We allow a relative dip of *tolerance*
+        below the peak before declaring instability.
+        """
+        peak = 0.0
+        for point in self.points:
+            peak = max(peak, point.throughput)
+            if peak > 0 and point.throughput < (1.0 - tolerance) * peak:
+                return False
+        return True
+
+
+def relative_improvement(value: float, baseline: float) -> float:
+    """``(value - baseline) / baseline``; 0 when the baseline is zero."""
+    if baseline == 0:
+        return 0.0
+    return (value - baseline) / baseline
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolation percentile (fraction in [0, 1])."""
+    if not values:
+        return 0.0
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be within [0, 1]: {fraction}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = fraction * (len(ordered) - 1)
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high:
+        return ordered[low]
+    weight = position - low
+    return ordered[low] * (1.0 - weight) + ordered[high] * weight

@@ -1,0 +1,95 @@
+"""Routing algorithms: baselines (DOR, ROMM, Valiant, O1TURN) and BSOR."""
+
+from .base import Route, RouteSet, RoutingAlgorithm
+from .bsor import (
+    BSORRouting,
+    CDGStrategy,
+    DijkstraSelector,
+    ExplorationEntry,
+    MILPSelector,
+    MILPSolution,
+    ResidualCapacityWeight,
+    ad_hoc_strategy,
+    all_two_turn_strategies,
+    bsor_dijkstra,
+    bsor_milp,
+    dijkstra_route_set,
+    full_strategy_set,
+    milp_route_set,
+    paper_strategies,
+    turn_model_strategy,
+    two_turn_strategy,
+    vc_escalation_strategy,
+    virtual_network_strategy,
+)
+from .deadlock import (
+    DeadlockReport,
+    analyze_route_set,
+    analyze_two_phase,
+    check_deadlock_freedom,
+    induced_cdg,
+    split_route_at,
+)
+from .dor import DimensionOrderRouting, XYRouting, YXRouting
+from .o1turn import O1TurnRouting
+from .romm import ROMMRouting
+from .table import (
+    NodeRoutingTable,
+    NodeTableEntry,
+    PortSelection,
+    SourceRoute,
+    SourceRoutingTable,
+)
+from .valiant import ValiantRouting
+
+#: Registry of baseline (non application-aware) routing algorithms by name.
+BASELINE_ALGORITHMS = {
+    "XY": XYRouting,
+    "YX": YXRouting,
+    "ROMM": ROMMRouting,
+    "Valiant": ValiantRouting,
+    "O1TURN": O1TurnRouting,
+}
+
+__all__ = [
+    "BASELINE_ALGORITHMS",
+    "BSORRouting",
+    "CDGStrategy",
+    "DeadlockReport",
+    "DijkstraSelector",
+    "DimensionOrderRouting",
+    "ExplorationEntry",
+    "MILPSelector",
+    "MILPSolution",
+    "NodeRoutingTable",
+    "NodeTableEntry",
+    "O1TurnRouting",
+    "PortSelection",
+    "ROMMRouting",
+    "ResidualCapacityWeight",
+    "Route",
+    "RouteSet",
+    "RoutingAlgorithm",
+    "SourceRoute",
+    "SourceRoutingTable",
+    "ValiantRouting",
+    "XYRouting",
+    "YXRouting",
+    "ad_hoc_strategy",
+    "all_two_turn_strategies",
+    "analyze_route_set",
+    "analyze_two_phase",
+    "bsor_dijkstra",
+    "bsor_milp",
+    "check_deadlock_freedom",
+    "dijkstra_route_set",
+    "full_strategy_set",
+    "induced_cdg",
+    "milp_route_set",
+    "paper_strategies",
+    "split_route_at",
+    "turn_model_strategy",
+    "two_turn_strategy",
+    "vc_escalation_strategy",
+    "virtual_network_strategy",
+]

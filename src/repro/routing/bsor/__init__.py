@@ -1,0 +1,43 @@
+"""Bandwidth-Sensitive Oblivious Routing: the paper's core contribution."""
+
+from .dijkstra import DijkstraSelector, dijkstra_route_set
+from .framework import (
+    BSORRouting,
+    CDGStrategy,
+    ExplorationEntry,
+    ad_hoc_strategy,
+    all_two_turn_strategies,
+    bsor_dijkstra,
+    bsor_milp,
+    full_strategy_set,
+    paper_strategies,
+    turn_model_strategy,
+    two_turn_strategy,
+    vc_escalation_strategy,
+    virtual_network_strategy,
+)
+from .milp import MILPSelector, MILPSolution, milp_route_set
+from .weights import ResidualCapacityWeight, minimal_hop_weight
+
+__all__ = [
+    "BSORRouting",
+    "CDGStrategy",
+    "DijkstraSelector",
+    "ExplorationEntry",
+    "MILPSelector",
+    "MILPSolution",
+    "ResidualCapacityWeight",
+    "ad_hoc_strategy",
+    "all_two_turn_strategies",
+    "bsor_dijkstra",
+    "bsor_milp",
+    "dijkstra_route_set",
+    "full_strategy_set",
+    "milp_route_set",
+    "minimal_hop_weight",
+    "paper_strategies",
+    "turn_model_strategy",
+    "two_turn_strategy",
+    "vc_escalation_strategy",
+    "virtual_network_strategy",
+]

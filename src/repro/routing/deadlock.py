@@ -1,0 +1,144 @@
+"""Deadlock-freedom verification for route sets.
+
+Lemma 1 of the paper (Dally & Seitz 1987, Dally & Aoki 1993): a routing
+algorithm is deadlock free if and only if the set of routes it produces forms
+an acyclic channel dependence graph.  This module checks that condition for
+an arbitrary :class:`~repro.routing.base.RouteSet`:
+
+* BSOR route sets must always pass (they conform to an acyclic CDG by
+  construction);
+* DOR route sets always pass on meshes (dimension order admits no cycles);
+* ROMM / Valiant route sets may fail with a single virtual channel — the
+  paper gives them two virtual channels in the simulations precisely to
+  guarantee deadlock freedom, and the checker models that by analysing each
+  phase of a two-phase route in its own virtual network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..cdg.cdg import ChannelDependenceGraph, cdg_from_routes
+from ..exceptions import DeadlockError
+from ..topology.links import physical
+from .base import Route, RouteSet
+
+
+@dataclass
+class DeadlockReport:
+    """The result of a deadlock-freedom analysis."""
+
+    deadlock_free: bool
+    cycle: Optional[List[Tuple]] = None
+    induced_cdg: Optional[ChannelDependenceGraph] = None
+    detail: str = ""
+
+    def __bool__(self) -> bool:
+        return self.deadlock_free
+
+    def describe(self) -> str:
+        if self.deadlock_free:
+            return f"deadlock free ({self.detail or 'induced CDG is acyclic'})"
+        pretty = ""
+        if self.cycle:
+            pretty = " cycle: " + " -> ".join(str(edge[0]) for edge in self.cycle)
+        return f"NOT deadlock free ({self.detail}).{pretty}"
+
+
+def induced_cdg(route_set: RouteSet) -> ChannelDependenceGraph:
+    """The channel dependence graph induced by a route set's routes."""
+    return cdg_from_routes(
+        route_set.topology,
+        [route.resources for route in route_set],
+        name=f"induced-{route_set.algorithm or 'routes'}",
+    )
+
+
+def analyze_route_set(route_set: RouteSet) -> DeadlockReport:
+    """Analyse a route set and report whether it permits deadlock."""
+    cdg = induced_cdg(route_set)
+    cycle = cdg.find_cycle()
+    if cycle is None:
+        return DeadlockReport(
+            deadlock_free=True,
+            induced_cdg=cdg,
+            detail=f"{cdg.num_vertices} used resources, {cdg.num_edges} dependences",
+        )
+    return DeadlockReport(
+        deadlock_free=False,
+        cycle=cycle,
+        induced_cdg=cdg,
+        detail=f"induced CDG of {route_set.algorithm or 'routes'} has a cycle",
+    )
+
+
+def check_deadlock_freedom(route_set: RouteSet) -> DeadlockReport:
+    """Like :func:`analyze_route_set` but raises on a deadlock-prone set."""
+    report = analyze_route_set(route_set)
+    if not report.deadlock_free:
+        raise DeadlockError(report.describe())
+    return report
+
+
+def split_route_at(route: Route, pivot_node: int) -> Tuple[Sequence, Sequence]:
+    """Split a route's resources at the first visit of *pivot_node*.
+
+    Returns the (first phase, second phase) resource sequences.  Raises
+    :class:`DeadlockError` when the route never passes through the node.
+    Used by the two-phase analysis below and by tests of ROMM / Valiant.
+    """
+    channels = [physical(resource) for resource in route.resources]
+    for index, channel in enumerate(channels):
+        if channel.dst == pivot_node:
+            return route.resources[: index + 1], route.resources[index + 1:]
+    raise DeadlockError(
+        f"route of flow {route.flow.name} does not pass through node {pivot_node}"
+    )
+
+
+def analyze_two_phase(route_set: RouteSet,
+                      intermediates: dict) -> DeadlockReport:
+    """Deadlock analysis for two-phase algorithms (ROMM, Valiant) with 2 VCs.
+
+    Two-phase randomized algorithms are deadlock free when each phase is
+    routed with a deadlock-free sub-algorithm (DOR in our implementation)
+    *and* the two phases use disjoint virtual channels, so the dependence
+    graph decomposes into two independent virtual networks.  This function
+    checks exactly that: it splits every route at its intermediate node and
+    verifies each phase's induced CDG is acyclic on its own.
+
+    Parameters
+    ----------
+    intermediates:
+        Mapping of flow name to the intermediate node chosen for that flow.
+        Flows absent from the mapping are treated as single-phase (their
+        whole route is analysed in phase one).
+    """
+    phase_one: List[Sequence] = []
+    phase_two: List[Sequence] = []
+    for route in route_set:
+        pivot = intermediates.get(route.flow.name)
+        if pivot is None or pivot in (route.flow.source, route.flow.destination):
+            phase_one.append(route.resources)
+            continue
+        first, second = split_route_at(route, pivot)
+        if first:
+            phase_one.append(first)
+        if second:
+            phase_two.append(second)
+
+    for label, phase_routes in (("phase 1", phase_one), ("phase 2", phase_two)):
+        cdg = cdg_from_routes(route_set.topology, phase_routes, name=label)
+        cycle = cdg.find_cycle()
+        if cycle is not None:
+            return DeadlockReport(
+                deadlock_free=False,
+                cycle=cycle,
+                induced_cdg=cdg,
+                detail=f"{label} of two-phase routing has a cyclic dependence",
+            )
+    return DeadlockReport(
+        deadlock_free=True,
+        detail="each phase conforms to an acyclic CDG on its own virtual network",
+    )

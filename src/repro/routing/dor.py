@@ -1,0 +1,68 @@
+"""Dimension-order routing (DOR): XY-ordered and YX-ordered (Section 2.1.1).
+
+DOR is the workhorse deterministic oblivious algorithm: a packet first
+travels along one dimension until its offset in that dimension is zero, then
+along the other.  XY-ordered routing exhausts the x dimension first,
+YX-ordered routing the y dimension.  Both are deadlock free on meshes
+because the routes conform to the XY (respectively YX) acyclic CDG, and both
+require only trivial fixed-logic routers — which is why the paper uses them
+as the primary baselines.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import RoutingError
+from ..topology.base import Topology
+from ..topology.mesh import Mesh2D
+from ..topology.torus import Torus2D
+from ..traffic.flow import FlowSet
+from .base import RouteSet, RoutingAlgorithm
+
+
+def _require_mesh(topology: Topology) -> Mesh2D:
+    if not isinstance(topology, Mesh2D):
+        raise RoutingError(
+            f"dimension-order routing is implemented for 2-D meshes; "
+            f"got {type(topology).__name__}"
+        )
+    return topology
+
+
+class DimensionOrderRouting(RoutingAlgorithm):
+    """Dimension-order routing with a configurable dimension order.
+
+    Parameters
+    ----------
+    order:
+        ``"xy"`` for XY-ordered routing (default) or ``"yx"``.
+    """
+
+    def __init__(self, order: str = "xy") -> None:
+        if order not in ("xy", "yx"):
+            raise RoutingError(f"order must be 'xy' or 'yx', got {order!r}")
+        self.order = order
+        self.name = order.upper()
+
+    def compute_routes(self, topology: Topology, flow_set: FlowSet) -> RouteSet:
+        mesh = _require_mesh(topology)
+        route_set = RouteSet(mesh, flow_set, algorithm=self.name)
+        for flow in flow_set:
+            node_path = mesh.dimension_ordered_path(
+                flow.source, flow.destination, order=self.order
+            )
+            route_set.add_node_path(flow, node_path)
+        return route_set
+
+
+class XYRouting(DimensionOrderRouting):
+    """XY-ordered dimension-order routing."""
+
+    def __init__(self) -> None:
+        super().__init__(order="xy")
+
+
+class YXRouting(DimensionOrderRouting):
+    """YX-ordered dimension-order routing."""
+
+    def __init__(self) -> None:
+        super().__init__(order="yx")

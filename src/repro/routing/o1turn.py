@@ -1,0 +1,61 @@
+"""O1TURN: orthogonal one-turn routing (Seo et al., Section 2.1.2).
+
+O1TURN balances traffic between the two dimension-order routes of every
+source/destination pair — each packet takes either the XY route or the YX
+route, so it makes at most one turn.  Seo et al. show this simple scheme
+achieves provably near-optimal worst-case throughput while keeping router
+complexity at the DOR level.
+
+In this flow-level implementation each **flow** is assigned either its XY or
+its YX route.  Two assignment policies are provided:
+
+* ``"alternate"`` (default): flows alternate deterministically between the
+  two orders, giving an exact 50/50 split without randomness;
+* ``"random"``: a seeded coin flip per flow.
+
+Deadlock freedom requires the XY and YX sub-routes to use disjoint virtual
+channels (one virtual network per order), mirroring the original proposal.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from ..exceptions import RoutingError
+from ..topology.base import Topology
+from ..traffic.flow import FlowSet
+from .base import RouteSet, RoutingAlgorithm
+from .dor import _require_mesh
+
+
+class O1TurnRouting(RoutingAlgorithm):
+    """Per-flow O1TURN: each flow takes its XY or YX dimension-order route."""
+
+    def __init__(self, policy: str = "alternate", seed: Optional[int] = 0) -> None:
+        if policy not in ("alternate", "random"):
+            raise RoutingError(
+                f"policy must be 'alternate' or 'random', got {policy!r}"
+            )
+        self.policy = policy
+        self.seed = seed
+        self.name = "O1TURN"
+        #: dimension order assigned to each flow name ("xy" or "yx").
+        self.assignments: Dict[str, str] = {}
+
+    def compute_routes(self, topology: Topology, flow_set: FlowSet) -> RouteSet:
+        mesh = _require_mesh(topology)
+        rng = random.Random(self.seed)
+        route_set = RouteSet(mesh, flow_set, algorithm=self.name)
+        self.assignments = {}
+        for index, flow in enumerate(flow_set):
+            if self.policy == "alternate":
+                order = "xy" if index % 2 == 0 else "yx"
+            else:
+                order = "xy" if rng.random() < 0.5 else "yx"
+            self.assignments[flow.name] = order
+            node_path = mesh.dimension_ordered_path(
+                flow.source, flow.destination, order=order
+            )
+            route_set.add_node_path(flow, node_path)
+        return route_set

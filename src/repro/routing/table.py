@@ -1,0 +1,272 @@
+"""Table-based routing: source routing and node-table routing (Section 4.2.1).
+
+BSOR's only hardware requirement over a stock virtual-channel router is a
+programmable routing module.  Two standard realisations exist and both are
+modelled here so the simulator and the tests can exercise them:
+
+* **Source routing** — each node holds, per flow it injects, the complete
+  route as a list of output ports; the route is prepended to the packet as
+  routing flits and routers simply pop the next port.
+* **Node-table routing** — each node holds a table indexed by a small field
+  carried in the packet header; the entry gives the output port *and* the
+  index to use at the next hop, so routes of any shape can be chained
+  through the network without carrying them in full.
+
+Both tables are compiled from a :class:`~repro.routing.base.RouteSet`.  Table
+capacity limits are enforced (the paper notes the routing algorithm "can
+include restrictions enforced by the router hardware"), and static
+virtual-channel assignments are preserved when the route set carries them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..exceptions import TableError
+from ..topology.base import Topology
+from ..topology.directions import Direction
+from ..topology.links import physical, virtual_index
+from .base import Route, RouteSet
+
+
+@dataclass(frozen=True)
+class PortSelection:
+    """One routing decision: the output direction and, optionally, the
+    statically allocated virtual channel and the next node-table index."""
+
+    direction: Direction
+    vc: Optional[int] = None
+    next_index: Optional[int] = None
+
+
+@dataclass
+class SourceRoute:
+    """A fully expanded source route: one port selection per hop."""
+
+    flow_name: str
+    selections: Tuple[PortSelection, ...]
+
+    @property
+    def length(self) -> int:
+        return len(self.selections)
+
+
+class SourceRoutingTable:
+    """Per-node source-routing tables.
+
+    Each injecting node stores the complete port sequence of every flow it
+    sources.  ``max_routes_per_node`` models the hardware table capacity.
+    """
+
+    def __init__(self, topology: Topology,
+                 max_routes_per_node: Optional[int] = None) -> None:
+        self.topology = topology
+        self.max_routes_per_node = max_routes_per_node
+        self._tables: Dict[int, Dict[str, SourceRoute]] = {}
+
+    @classmethod
+    def from_route_set(cls, route_set: RouteSet,
+                       max_routes_per_node: Optional[int] = None
+                       ) -> "SourceRoutingTable":
+        table = cls(route_set.topology, max_routes_per_node)
+        for route in route_set:
+            table.add_route(route)
+        return table
+
+    def add_route(self, route: Route) -> SourceRoute:
+        node = route.flow.source
+        per_node = self._tables.setdefault(node, {})
+        if self.max_routes_per_node is not None and \
+                len(per_node) >= self.max_routes_per_node:
+            raise TableError(
+                f"source routing table of node {node} is full "
+                f"({self.max_routes_per_node} routes)"
+            )
+        selections = []
+        for resource in route.resources:
+            channel = physical(resource)
+            selections.append(
+                PortSelection(
+                    direction=self.topology.direction_of(channel),
+                    vc=virtual_index(resource),
+                )
+            )
+        source_route = SourceRoute(route.flow.name, tuple(selections))
+        per_node[route.flow.name] = source_route
+        return source_route
+
+    def route_for(self, node: int, flow_name: str) -> SourceRoute:
+        try:
+            return self._tables[node][flow_name]
+        except KeyError as exc:
+            raise TableError(
+                f"node {node} has no source route for flow {flow_name!r}"
+            ) from exc
+
+    def routes_at(self, node: int) -> List[SourceRoute]:
+        return list(self._tables.get(node, {}).values())
+
+    def occupancy(self, node: int) -> int:
+        """Number of routes stored at a node."""
+        return len(self._tables.get(node, {}))
+
+    def total_routing_flits(self) -> int:
+        """Total number of routing flits added across all packets' headers.
+
+        Source routing's only overhead versus node-table routing: every
+        packet carries its route, one port selection per hop.
+        """
+        return sum(route.length
+                   for per_node in self._tables.values()
+                   for route in per_node.values())
+
+
+@dataclass
+class NodeTableEntry:
+    """One entry of a node's routing table (Figure 4-2(b))."""
+
+    direction: Direction
+    next_index: int
+    vc: Optional[int] = None
+
+
+class NodeRoutingTable:
+    """Per-node indexed routing tables (node-table routing).
+
+    A packet carries a table index; the entry at that index gives the output
+    port, the statically allocated VC (if any) and the index to present at
+    the next hop.  The destination is reached when the entry directs the
+    packet to the local port, encoded here by ``direction=None`` entries not
+    being stored — instead the last hop's ``next_index`` is ``EJECT_INDEX``.
+    """
+
+    #: Next-index value meaning "consume the packet at this node".
+    EJECT_INDEX = -1
+
+    def __init__(self, topology: Topology,
+                 max_entries_per_node: Optional[int] = 256) -> None:
+        self.topology = topology
+        self.max_entries_per_node = max_entries_per_node
+        self._tables: Dict[int, List[NodeTableEntry]] = {}
+        #: (source node, flow name) -> initial table index carried by packets.
+        self._initial_indices: Dict[Tuple[int, str], int] = {}
+
+    @classmethod
+    def from_route_set(cls, route_set: RouteSet,
+                       max_entries_per_node: Optional[int] = 256
+                       ) -> "NodeRoutingTable":
+        table = cls(route_set.topology, max_entries_per_node)
+        for route in route_set:
+            table.add_route(route)
+        return table
+
+    def _allocate_entry(self, node: int, entry: NodeTableEntry) -> int:
+        entries = self._tables.setdefault(node, [])
+        if self.max_entries_per_node is not None and \
+                len(entries) >= self.max_entries_per_node:
+            raise TableError(
+                f"node-table of node {node} is full "
+                f"({self.max_entries_per_node} entries)"
+            )
+        entries.append(entry)
+        return len(entries) - 1
+
+    def add_route(self, route: Route) -> int:
+        """Program a route, returning the initial index for its packets.
+
+        The route is walked backwards so each hop's entry can point at the
+        next hop's already-allocated index.
+        """
+        resources = list(route.resources)
+        next_index = self.EJECT_INDEX
+        for resource in reversed(resources):
+            channel = physical(resource)
+            entry = NodeTableEntry(
+                direction=self.topology.direction_of(channel),
+                next_index=next_index,
+                vc=virtual_index(resource),
+            )
+            next_index = self._allocate_entry(channel.src, entry)
+        key = (route.flow.source, route.flow.name)
+        if key in self._initial_indices:
+            raise TableError(
+                f"flow {route.flow.name!r} already programmed at node "
+                f"{route.flow.source}"
+            )
+        self._initial_indices[key] = next_index
+        return next_index
+
+    def initial_index(self, source: int, flow_name: str) -> int:
+        try:
+            return self._initial_indices[(source, flow_name)]
+        except KeyError as exc:
+            raise TableError(
+                f"no node-table route programmed for flow {flow_name!r} at "
+                f"node {source}"
+            ) from exc
+
+    def lookup(self, node: int, index: int) -> NodeTableEntry:
+        entries = self._tables.get(node, [])
+        if not 0 <= index < len(entries):
+            raise TableError(
+                f"node {node} has no routing-table entry at index {index}"
+            )
+        return entries[index]
+
+    def occupancy(self, node: int) -> int:
+        return len(self._tables.get(node, []))
+
+    def max_occupancy(self) -> int:
+        """The fullest table in the network (hardware sizing metric)."""
+        return max((len(entries) for entries in self._tables.values()), default=0)
+
+    def walk(self, source: int, flow_name: str) -> List[Tuple[int, NodeTableEntry]]:
+        """Follow a programmed route hop by hop; useful for verification.
+
+        Returns the list of (node, entry) pairs visited, ending at the entry
+        whose ``next_index`` is :data:`EJECT_INDEX`.
+        """
+        steps: List[Tuple[int, NodeTableEntry]] = []
+        node = source
+        index = self.initial_index(source, flow_name)
+        # A route can visit at most every channel once per VC, so bound the
+        # walk to catch accidental loops in a corrupted table.
+        limit = self.topology.num_channels * 8 + 1
+        for _ in range(limit):
+            entry = self.lookup(node, index)
+            steps.append((node, entry))
+            next_node = None
+            for channel in self.topology.out_channels(node):
+                if self.topology.direction_of(channel) is entry.direction:
+                    next_node = channel.dst
+                    break
+            if next_node is None:
+                raise TableError(
+                    f"node {node} has no output channel in direction "
+                    f"{entry.direction}"
+                )
+            node = next_node
+            if entry.next_index == self.EJECT_INDEX:
+                return steps
+            index = entry.next_index
+        raise TableError(
+            f"route walk for flow {flow_name!r} exceeded {limit} hops; "
+            f"the node tables appear to contain a loop"
+        )
+
+    def bits_per_entry(self) -> int:
+        """Storage cost of one entry in bits (2 port bits + index bits + VC bits).
+
+        Matches the paper's estimate of "2 bits to represent the output port
+        in a 2-D mesh and 8 bits for the next table index (256 entries)".
+        """
+        index_space = self.max_entries_per_node or max(self.max_occupancy(), 1)
+        index_bits = max(1, (max(index_space - 1, 1)).bit_length())
+        vc_bits = 2
+        return 2 + index_bits + vc_bits
+
+    def total_storage_bits(self) -> int:
+        """Total table storage across the network in bits."""
+        return sum(len(entries) for entries in self._tables.values()) * \
+            self.bits_per_entry()

@@ -1,0 +1,75 @@
+"""Valiant's randomized two-phase routing (Section 2.1.2).
+
+Valiant routes every flow through a uniformly random intermediate node
+anywhere in the network: source -> intermediate in phase one and
+intermediate -> destination in phase two, each phase using dimension-order
+routing.  The scheme equalises load for worst-case traffic at the price of
+(often much) longer paths — the paper repeatedly observes that Valiant's
+loss of locality hurts it when traffic is not adversarial ("having longer
+paths creates extra congestion which leads to a higher MCL").
+
+As with ROMM, the intermediate node is drawn **per flow** so that the route
+of a flow is a single path and an MCL can be attributed to the algorithm.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from ..exceptions import RoutingError
+from ..topology.base import Topology
+from ..traffic.flow import FlowSet
+from .base import RouteSet, RoutingAlgorithm
+from .dor import _require_mesh
+
+
+class ValiantRouting(RoutingAlgorithm):
+    """Valiant routing with per-flow random intermediate nodes.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the intermediate choices (reproducible experiments).
+    exclude_endpoints:
+        When True (default) the intermediate node is never the flow's own
+        source or destination, so every flow genuinely takes two phases.
+    first_phase_order / second_phase_order:
+        Dimension order used within each phase.
+    """
+
+    def __init__(self, seed: Optional[int] = 0, exclude_endpoints: bool = True,
+                 first_phase_order: str = "xy",
+                 second_phase_order: str = "yx") -> None:
+        for order in (first_phase_order, second_phase_order):
+            if order not in ("xy", "yx"):
+                raise RoutingError(f"phase order must be 'xy' or 'yx': {order!r}")
+        self.seed = seed
+        self.exclude_endpoints = exclude_endpoints
+        self.first_phase_order = first_phase_order
+        self.second_phase_order = second_phase_order
+        self.name = "Valiant"
+        #: intermediate node per flow name, filled by :meth:`compute_routes`.
+        self.intermediates: Dict[str, int] = {}
+
+    def compute_routes(self, topology: Topology, flow_set: FlowSet) -> RouteSet:
+        mesh = _require_mesh(topology)
+        rng = random.Random(self.seed)
+        route_set = RouteSet(mesh, flow_set, algorithm=self.name)
+        self.intermediates = {}
+        for flow in flow_set:
+            candidates = list(mesh.nodes)
+            if self.exclude_endpoints:
+                candidates = [node for node in candidates
+                              if node not in (flow.source, flow.destination)]
+            intermediate = rng.choice(candidates)
+            self.intermediates[flow.name] = intermediate
+            first = mesh.dimension_ordered_path(
+                flow.source, intermediate, order=self.first_phase_order
+            )
+            second = mesh.dimension_ordered_path(
+                intermediate, flow.destination, order=self.second_phase_order
+            )
+            node_path = first + second[1:]
+            route_set.add_node_path(flow, node_path)
+        return route_set

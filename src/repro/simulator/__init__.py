@@ -1,0 +1,40 @@
+"""Cycle-accurate wormhole virtual-channel NoC simulator."""
+
+from .config import SimulationConfig
+from .injection import (
+    BernoulliInjection,
+    InjectionProcess,
+    ModulatedInjection,
+    injection_trace,
+    make_injection_process,
+)
+from .network import NetworkSimulator
+from .packet import Flit, Packet
+from .simulation import (
+    SweepResult,
+    compare_algorithms,
+    phase_boundaries_for,
+    phase_boundaries_from_intermediates,
+    simulate_route_set,
+    sweep_algorithm,
+    sweep_injection_rates,
+)
+
+__all__ = [
+    "BernoulliInjection",
+    "Flit",
+    "InjectionProcess",
+    "ModulatedInjection",
+    "NetworkSimulator",
+    "Packet",
+    "SimulationConfig",
+    "SweepResult",
+    "compare_algorithms",
+    "injection_trace",
+    "make_injection_process",
+    "phase_boundaries_for",
+    "phase_boundaries_from_intermediates",
+    "simulate_route_set",
+    "sweep_algorithm",
+    "sweep_injection_rates",
+]

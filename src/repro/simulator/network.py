@@ -1,0 +1,438 @@
+"""Cycle-accurate wormhole virtual-channel network simulator.
+
+The simulator models the router microarchitecture of Chapter 4 at the level
+that determines relative routing-algorithm performance:
+
+* **wormhole flow control** — packets are trains of flits; the head flit
+  allocates a virtual channel at each hop, body flits follow it, the tail
+  flit releases the allocation;
+* **virtual channels with credit-based back-pressure** — every physical
+  channel has ``num_vcs`` input buffers of ``buffer_depth`` flits at its
+  downstream router; a flit may only advance when its target buffer has a
+  free slot (occupancy is evaluated at the start of the cycle, so a slot
+  freed this cycle becomes visible next cycle, modelling the credit
+  round-trip);
+* **one flit per physical channel per cycle** — switch-to-switch links move
+  at most one flit per cycle (per-hop latency of one cycle); the local
+  (resource-to-switch) ports move up to ``local_bandwidth`` flits per cycle,
+  the paper's 4x provisioning;
+* **one departure per input buffer per cycle** — a router grants each input
+  VC at most one switch traversal per cycle;
+* **table-based routing** — every packet follows the (static, per-flow)
+  route computed offline; virtual channels are either statically allocated
+  by the route (BSOR with VC-expanded CDGs) or dynamically allocated at each
+  hop, optionally restricted to a per-phase partition (ROMM / Valiant with
+  one virtual network per phase).
+
+The simulator is deliberately network-centric rather than router-object
+centric: state lives in per-(channel, VC) FIFOs, which keeps the Python
+inner loop small enough to sweep injection rates on an 8x8 mesh.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import SimulationError
+from ..metrics.statistics import SimulationStatistics
+from ..routing.base import RouteSet
+from ..topology.base import Topology
+from ..topology.links import physical, virtual_index
+from .config import SimulationConfig
+from .injection import InjectionProcess
+from .packet import Flit, Packet
+
+
+class _VCBuffer:
+    """One virtual-channel input buffer (FIFO plus wormhole ownership)."""
+
+    __slots__ = ("fifo", "owner")
+
+    def __init__(self) -> None:
+        self.fifo: deque = deque()
+        self.owner: Optional[int] = None  # packet_id currently holding the VC
+
+    def __len__(self) -> int:
+        return len(self.fifo)
+
+
+class NetworkSimulator:
+    """Simulates one routing configuration under one injection process.
+
+    Parameters
+    ----------
+    topology:
+        The network topology (channel inventory and adjacency).
+    route_set:
+        Offline routes, one per flow.  Routes over
+        :class:`~repro.topology.links.VirtualChannel` resources imply static
+        VC allocation; routes over physical channels use dynamic allocation.
+    config:
+        Microarchitecture and run-length parameters.
+    injection:
+        The per-flow packet injection process (offered load).
+    phase_boundaries:
+        Optional mapping ``flow name -> hop index`` marking where a
+        two-phase route's second phase begins; hops before the boundary may
+        only use the lower half of the VCs and hops at or after it only the
+        upper half.  This is how ROMM and Valiant obtain deadlock freedom
+        with two virtual channels.
+    """
+
+    def __init__(self, topology: Topology, route_set: RouteSet,
+                 config: SimulationConfig, injection: InjectionProcess,
+                 phase_boundaries: Optional[Dict[str, int]] = None) -> None:
+        self.topology = topology
+        self.route_set = route_set
+        self.config = config
+        self.injection = injection
+        self.phase_boundaries = phase_boundaries or {}
+
+        self._channels = list(topology.channels)
+        self._channel_index = {channel: index
+                               for index, channel in enumerate(self._channels)}
+        self._num_channels = len(self._channels)
+        self._num_vcs = config.num_vcs
+
+        # flow routes compiled to channel-id / static-vc tuples
+        self._flow_routes: Dict[str, Tuple[Tuple[int, ...], Tuple[Optional[int], ...]]] = {}
+        self._compile_routes()
+
+        # per-(channel, vc) buffers
+        self._buffers: List[List[_VCBuffer]] = [
+            [_VCBuffer() for _ in range(self._num_vcs)]
+            for _ in range(self._num_channels)
+        ]
+        # per-(node, flow) injection queues and per-flow generation backlog
+        self._injection_queues: Dict[Tuple[int, str], deque] = {}
+        self._backlog: Dict[str, deque] = {flow.name: deque()
+                                           for flow in route_set.flow_set}
+        # round-robin pointers
+        self._output_rr: List[int] = [0] * self._num_channels
+        self._node_rr: Dict[int, int] = {node: 0 for node in topology.nodes}
+
+        # set of (channel id, vc) buffers that currently hold at least one
+        # flit; keeps the per-cycle scans proportional to live traffic rather
+        # than to network size.
+        self._occupied: set = set()
+
+        # statistics
+        self._cycle = 0
+        self._next_packet_id = 0
+        self._packets_generated = 0
+        self._measured_generated = 0
+        self._packets_delivered = 0
+        self._flits_delivered = 0
+        self._total_latency = 0.0
+        self._per_flow_latency: Dict[str, float] = {}
+        self._per_flow_delivered: Dict[str, int] = {}
+        self._dropped = 0
+        self._in_flight_flits = 0
+        self._idle_cycles = 0
+        self.deadlock_suspected = False
+
+    # ------------------------------------------------------------------
+    # route compilation
+    # ------------------------------------------------------------------
+    def _compile_routes(self) -> None:
+        for route in self.route_set:
+            channel_ids: List[int] = []
+            static_vcs: List[Optional[int]] = []
+            for resource in route.resources:
+                channel = physical(resource)
+                if channel not in self._channel_index:
+                    raise SimulationError(
+                        f"route of flow {route.flow.name} uses channel "
+                        f"{channel} which is not in the topology"
+                    )
+                channel_ids.append(self._channel_index[channel])
+                vc = virtual_index(resource)
+                if vc is not None and vc >= self._num_vcs:
+                    raise SimulationError(
+                        f"route of flow {route.flow.name} statically allocates "
+                        f"VC {vc} but the simulator only has {self._num_vcs} VCs"
+                    )
+                static_vcs.append(vc)
+            self._flow_routes[route.flow.name] = (
+                tuple(channel_ids), tuple(static_vcs)
+            )
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _allowed_vcs(self, flow_name: str, hop: int) -> Sequence[int]:
+        boundary = self.phase_boundaries.get(flow_name)
+        if boundary is None or self._num_vcs < 2:
+            return range(self._num_vcs)
+        half = self._num_vcs // 2
+        if hop < boundary:
+            return range(half)
+        return range(half, self._num_vcs)
+
+    def _generate_packets(self) -> None:
+        """Draw new packets from the injection process into the backlog."""
+        for flow in self.route_set.flow_set:
+            count = self.injection.packets_to_inject(flow, self._cycle)
+            for _ in range(count):
+                self._backlog[flow.name].append(self._cycle)
+                self._packets_generated += 1
+                if self._cycle >= self.config.warmup_cycles:
+                    self._measured_generated += 1
+
+    def _fill_injection_queues(self) -> None:
+        """Move backlog packets into the bounded per-(node, flow) queues."""
+        for flow in self.route_set.flow_set:
+            backlog = self._backlog[flow.name]
+            if not backlog:
+                continue
+            key = (flow.source, flow.name)
+            queue = self._injection_queues.setdefault(key, deque())
+            capacity = self.config.injection_buffer_depth
+            while backlog and \
+                    len(queue) + self.config.packet_size_flits <= capacity:
+                generated_cycle = backlog.popleft()
+                channel_ids, static_vcs = self._flow_routes[flow.name]
+                packet = Packet(
+                    packet_id=self._next_packet_id,
+                    flow_name=flow.name,
+                    source=flow.source,
+                    destination=flow.destination,
+                    route_channels=channel_ids,
+                    static_vcs=static_vcs,
+                    size_flits=self.config.packet_size_flits,
+                    injected_cycle=generated_cycle,
+                )
+                self._next_packet_id += 1
+                for flit in packet.make_flits():
+                    queue.append(flit)
+                    self._in_flight_flits += 1
+            if self.config.drop_when_source_full and backlog:
+                self._dropped += len(backlog)
+                backlog.clear()
+
+    # ------------------------------------------------------------------
+    # per-cycle phases
+    # ------------------------------------------------------------------
+    def _eject(self, departed_buffers: set) -> int:
+        """Consume flits that reached their destination; returns flits moved."""
+        moved = 0
+        measuring = self._cycle >= self.config.warmup_cycles
+        # Group ejection candidates (head flits at their last hop) by node so
+        # the per-node local-port bandwidth can be enforced.
+        per_node: Dict[int, List[Tuple[int, int]]] = {}
+        for cid, vc in self._occupied:
+            buffer = self._buffers[cid][vc]
+            flit = buffer.fifo[0]
+            if flit.at_last_hop:
+                node = self._channels[cid].dst
+                per_node.setdefault(node, []).append((cid, vc))
+        for node, slots in per_node.items():
+            slots.sort()
+            for cid, vc in slots[: self.config.local_bandwidth]:
+                buffer = self._buffers[cid][vc]
+                flit = buffer.fifo.popleft()
+                if not buffer.fifo:
+                    self._occupied.discard((cid, vc))
+                departed_buffers.add((cid, vc))
+                self._in_flight_flits -= 1
+                moved += 1
+                if flit.is_tail:
+                    buffer.owner = None
+                    packet = flit.packet
+                    packet.delivered_cycle = self._cycle
+                    if measuring:
+                        self._flits_delivered += packet.size_flits
+                        self._packets_delivered += 1
+                        if packet.injected_cycle >= self.config.warmup_cycles:
+                            latency = packet.latency or 0
+                            self._total_latency += latency
+                            self._per_flow_latency[packet.flow_name] = \
+                                self._per_flow_latency.get(packet.flow_name, 0.0) \
+                                + latency
+                            self._per_flow_delivered[packet.flow_name] = \
+                                self._per_flow_delivered.get(packet.flow_name, 0) + 1
+        return moved
+
+    def _collect_candidates(self, departed_buffers: set):
+        """Group head flits by the output channel they want to enter.
+
+        Returns ``{output channel id: [(source kind, source key, flit), ...]}``
+        where source kind is ``"buffer"`` or ``"injection"``.
+        """
+        candidates: Dict[int, List[Tuple[str, object, Flit]]] = {}
+
+        # network input buffers (only those holding flits)
+        for cid, vc in sorted(self._occupied):
+            if (cid, vc) in departed_buffers:
+                continue  # already sent its head flit (ejection) this cycle
+            buffer = self._buffers[cid][vc]
+            flit = buffer.fifo[0]
+            next_channel = flit.next_hop_channel()
+            if next_channel is None:
+                continue  # waits for ejection bandwidth
+            candidates.setdefault(next_channel, []).append(
+                ("buffer", (cid, vc), flit)
+            )
+
+        # injection queues (up to local_bandwidth flow queues per node per cycle)
+        per_node: Dict[int, List[Tuple[Tuple[int, str], deque]]] = {}
+        for key, queue in self._injection_queues.items():
+            if queue:
+                per_node.setdefault(key[0], []).append((key, queue))
+        for node, queues in per_node.items():
+            queues.sort(key=lambda item: item[0][1])
+            start = self._node_rr[node] % len(queues)
+            self._node_rr[node] += 1
+            chosen = [queues[(start + offset) % len(queues)]
+                      for offset in range(len(queues))]
+            for key, queue in chosen[: self.config.local_bandwidth]:
+                flit = queue[0]
+                first_channel = flit.packet.route_channels[0]
+                candidates.setdefault(first_channel, []).append(
+                    ("injection", key, flit)
+                )
+        return candidates
+
+    def _try_allocate_vc(self, flit: Flit, target_channel: int,
+                         scheduled_in: Dict[Tuple[int, int], int]) -> Optional[int]:
+        """Pick the VC the flit would occupy at *target_channel*, or None."""
+        packet = flit.packet
+        hop = flit.hop + 1
+        depth = self.config.buffer_depth
+
+        def has_space(vc: int) -> bool:
+            buffer = self._buffers[target_channel][vc]
+            incoming = scheduled_in.get((target_channel, vc), 0)
+            return len(buffer.fifo) + incoming < depth
+
+        if not flit.is_head:
+            vc = packet.vc_at_hop(hop)
+            if vc is None:
+                return None  # head has not allocated this hop yet
+            return vc if has_space(vc) else None
+
+        static = packet.static_vcs[hop]
+        if static is not None:
+            buffer = self._buffers[target_channel][static]
+            if buffer.owner is None and has_space(static):
+                return static
+            return None
+
+        best: Optional[int] = None
+        best_occupancy: Optional[int] = None
+        for vc in self._allowed_vcs(packet.flow_name, hop):
+            buffer = self._buffers[target_channel][vc]
+            if buffer.owner is not None or not has_space(vc):
+                continue
+            occupancy = len(buffer.fifo)
+            if best_occupancy is None or occupancy < best_occupancy:
+                best = vc
+                best_occupancy = occupancy
+        return best
+
+    def _transfer(self, departed_buffers: set) -> int:
+        """Move at most one flit onto every physical channel; returns moves."""
+        candidates = self._collect_candidates(departed_buffers)
+        scheduled_in: Dict[Tuple[int, int], int] = {}
+        moves: List[Tuple[str, object, Flit, int, int]] = []
+
+        for target_channel, contenders in candidates.items():
+            rr = self._output_rr[target_channel]
+            self._output_rr[target_channel] = rr + 1
+            order = [contenders[(rr + offset) % len(contenders)]
+                     for offset in range(len(contenders))]
+            for kind, key, flit in order:
+                vc = self._try_allocate_vc(flit, target_channel, scheduled_in)
+                if vc is None:
+                    continue
+                scheduled_in[(target_channel, vc)] = \
+                    scheduled_in.get((target_channel, vc), 0) + 1
+                moves.append((kind, key, flit, target_channel, vc))
+                break  # one flit per physical channel per cycle
+
+        # commit all moves simultaneously
+        for kind, key, flit, target_channel, vc in moves:
+            if kind == "buffer":
+                cid, source_vc = key
+                buffer = self._buffers[cid][source_vc]
+                buffer.fifo.popleft()
+                if not buffer.fifo:
+                    self._occupied.discard((cid, source_vc))
+                if flit.is_tail:
+                    buffer.owner = None
+            else:
+                queue = self._injection_queues[key]
+                queue.popleft()
+            flit.hop += 1
+            packet = flit.packet
+            if flit.is_head:
+                packet.allocated_vcs[flit.hop] = vc
+            target = self._buffers[target_channel][vc]
+            if flit.is_head:
+                target.owner = packet.packet_id
+            target.fifo.append(flit)
+            self._occupied.add((target_channel, vc))
+        return len(moves)
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def step(self) -> int:
+        """Advance the simulation by one cycle; returns flits moved."""
+        self._generate_packets()
+        self._fill_injection_queues()
+        departed_buffers: set = set()
+        moved = self._eject(departed_buffers)
+        moved += self._transfer(departed_buffers)
+        if moved == 0 and self._in_flight_flits > 0:
+            self._idle_cycles += 1
+            # A long stretch with flits in flight but no movement means the
+            # network is wedged (only possible for deadlock-prone route sets,
+            # e.g. ROMM/Valiant forced onto a single virtual channel).
+            if self._idle_cycles > 4 * self.config.buffer_depth * 8:
+                self.deadlock_suspected = True
+        else:
+            self._idle_cycles = 0
+        self._cycle += 1
+        return moved
+
+    def run(self, max_cycles: Optional[int] = None) -> SimulationStatistics:
+        """Run warm-up plus measurement and return the collected statistics."""
+        total = max_cycles if max_cycles is not None else self.config.total_cycles
+        for _ in range(total):
+            self.step()
+            if self.deadlock_suspected:
+                break
+        return self.statistics()
+
+    # ------------------------------------------------------------------
+    def statistics(self) -> SimulationStatistics:
+        return SimulationStatistics(
+            cycles=self._cycle,
+            warmup_cycles=min(self.config.warmup_cycles, self._cycle),
+            packets_injected=self._measured_generated,
+            packets_delivered=self._packets_delivered,
+            flits_delivered=self._flits_delivered,
+            total_latency=self._total_latency,
+            per_flow_latency=dict(self._per_flow_latency),
+            per_flow_delivered=dict(self._per_flow_delivered),
+            dropped_at_source=self._dropped,
+        )
+
+    @property
+    def cycle(self) -> int:
+        return self._cycle
+
+    @property
+    def in_flight_flits(self) -> int:
+        return self._in_flight_flits
+
+    def occupancy_snapshot(self) -> Dict[str, int]:
+        """Flits buffered per channel label (debugging / test aid)."""
+        snapshot: Dict[str, int] = {}
+        for cid, channel in enumerate(self._channels):
+            count = sum(len(self._buffers[cid][vc]) for vc in range(self._num_vcs))
+            if count:
+                snapshot[self.topology.channel_label(channel)] = count
+        return snapshot

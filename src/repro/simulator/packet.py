@@ -1,0 +1,134 @@
+"""Packets and flits for the wormhole network simulator.
+
+Wormhole flow control divides each packet into flits: the head flit carries
+the routing information (a table index or the full source route) and
+allocates virtual channels hop by hop; body flits follow the head through the
+same virtual channels; the tail flit releases them.  The simulator models
+flits individually because head-of-line blocking, the phenomenon virtual
+channels exist to mitigate (Figure 2-3), only appears at flit granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..exceptions import SimulationError
+
+
+@dataclass
+class Packet:
+    """One packet of a flow traversing the network.
+
+    Attributes
+    ----------
+    packet_id:
+        Unique identifier (monotonically increasing injection order).
+    flow_name:
+        The flow this packet belongs to.
+    source / destination:
+        Network nodes of the flow.
+    route_channels:
+        Channel ids (indices into the simulator's channel table) of every
+        hop, in order.
+    static_vcs:
+        Per-hop statically allocated virtual channel, or ``None`` per hop
+        when allocation is dynamic.
+    size_flits:
+        Packet length in flits (head + body + tail).
+    injected_cycle:
+        Cycle at which the head flit entered the source queue.
+    """
+
+    packet_id: int
+    flow_name: str
+    source: int
+    destination: int
+    route_channels: Tuple[int, ...]
+    static_vcs: Tuple[Optional[int], ...]
+    size_flits: int
+    injected_cycle: int
+    #: virtual channel dynamically allocated at each hop (filled as the head
+    #: flit advances); mirrors ``static_vcs`` when allocation is static.
+    allocated_vcs: List[Optional[int]] = field(default_factory=list)
+    #: cycle the tail flit was consumed at the destination (set on delivery).
+    delivered_cycle: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.size_flits < 1:
+            raise SimulationError(f"packet size must be >= 1 flit: {self.size_flits}")
+        if len(self.route_channels) != len(self.static_vcs):
+            raise SimulationError(
+                "route_channels and static_vcs must have the same length"
+            )
+        if not self.route_channels:
+            raise SimulationError("packet route must have at least one hop")
+        if not self.allocated_vcs:
+            self.allocated_vcs = [None] * len(self.route_channels)
+
+    @property
+    def num_hops(self) -> int:
+        return len(self.route_channels)
+
+    @property
+    def latency(self) -> Optional[int]:
+        if self.delivered_cycle is None:
+            return None
+        return self.delivered_cycle - self.injected_cycle
+
+    def vc_at_hop(self, hop: int) -> Optional[int]:
+        """The virtual channel the packet occupies (or must occupy) at a hop."""
+        static = self.static_vcs[hop]
+        if static is not None:
+            return static
+        return self.allocated_vcs[hop]
+
+    def make_flits(self) -> List["Flit"]:
+        """Create the flit train of this packet (head, bodies, tail)."""
+        flits = []
+        for index in range(self.size_flits):
+            flits.append(Flit(
+                packet=self,
+                sequence=index,
+                is_head=(index == 0),
+                is_tail=(index == self.size_flits - 1),
+            ))
+        return flits
+
+
+@dataclass
+class Flit:
+    """One flit of a packet.
+
+    ``hop`` is the index of the route hop whose downstream input buffer the
+    flit currently occupies; ``-1`` means the flit is still in the source
+    (injection) queue of the source node.
+    """
+
+    packet: Packet
+    sequence: int
+    is_head: bool
+    is_tail: bool
+    hop: int = -1
+
+    @property
+    def flow_name(self) -> str:
+        return self.packet.flow_name
+
+    @property
+    def at_last_hop(self) -> bool:
+        return self.hop == self.packet.num_hops - 1
+
+    def next_hop_channel(self) -> Optional[int]:
+        """Channel id of the next hop, or ``None`` at the last hop."""
+        nxt = self.hop + 1
+        if nxt >= self.packet.num_hops:
+            return None
+        return self.packet.route_channels[nxt]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "H" if self.is_head else ("T" if self.is_tail else "B")
+        return (
+            f"Flit({self.packet.flow_name}#{self.packet.packet_id}.{self.sequence}"
+            f"{kind}@hop{self.hop})"
+        )

@@ -1,0 +1,53 @@
+"""Network-on-chip topologies: meshes, tori and rings.
+
+The topology layer provides the directed-channel graph on which everything
+else in the library is built: channel-dependence graphs, route selection and
+the cycle-accurate simulator.
+"""
+
+from .base import Topology, pairwise_channels
+from .directions import (
+    ALL_TURNS,
+    CARDINALS,
+    CLOCKWISE_TURNS,
+    COUNTERCLOCKWISE_TURNS,
+    Direction,
+    Turn,
+    is_proper_turn,
+    is_straight,
+    is_u_turn,
+    turn_name,
+)
+from .links import (
+    Channel,
+    VirtualChannel,
+    expand_virtual_channels,
+    physical,
+    virtual_index,
+)
+from .mesh import Mesh2D
+from .ring import Ring
+from .torus import Torus2D
+
+__all__ = [
+    "ALL_TURNS",
+    "CARDINALS",
+    "CLOCKWISE_TURNS",
+    "COUNTERCLOCKWISE_TURNS",
+    "Channel",
+    "Direction",
+    "Mesh2D",
+    "Ring",
+    "Topology",
+    "Torus2D",
+    "Turn",
+    "VirtualChannel",
+    "expand_virtual_channels",
+    "is_proper_turn",
+    "is_straight",
+    "is_u_turn",
+    "pairwise_channels",
+    "physical",
+    "turn_name",
+    "virtual_index",
+]

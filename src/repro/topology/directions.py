@@ -1,0 +1,142 @@
+"""Cardinal directions used by orthogonal (mesh/torus) topologies.
+
+The 2-D mesh adopted throughout the paper uses the usual convention:
+
+* ``EAST``  is the +x direction,
+* ``WEST``  is the -x direction,
+* ``NORTH`` is the +y direction,
+* ``SOUTH`` is the -y direction,
+* ``LOCAL`` is the processing-element (resource) port of a router.
+
+Turn models (west-first, north-last, negative-first) are expressed in terms
+of these directions, so the module also provides helpers for classifying
+turns: a *turn* is an ordered pair ``(incoming direction, outgoing
+direction)`` describing a packet that arrives travelling in the first
+direction and departs travelling in the second.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Tuple
+
+
+class Direction(Enum):
+    """A direction of travel on an orthogonal topology."""
+
+    EAST = "E"
+    WEST = "W"
+    NORTH = "N"
+    SOUTH = "S"
+    LOCAL = "L"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Direction.{self.name}"
+
+    @property
+    def opposite(self) -> "Direction":
+        """Return the 180-degree opposite direction.
+
+        ``LOCAL`` is its own opposite: a packet that enters a router from the
+        local port and immediately leaves through it never uses a network
+        channel.
+        """
+        return _OPPOSITE[self]
+
+    @property
+    def axis(self) -> str:
+        """Return ``"x"``, ``"y"`` or ``"local"`` for this direction."""
+        if self in (Direction.EAST, Direction.WEST):
+            return "x"
+        if self in (Direction.NORTH, Direction.SOUTH):
+            return "y"
+        return "local"
+
+    @property
+    def is_positive(self) -> bool:
+        """True for the +x / +y directions (EAST and NORTH)."""
+        return self in (Direction.EAST, Direction.NORTH)
+
+    @property
+    def is_negative(self) -> bool:
+        """True for the -x / -y directions (WEST and SOUTH)."""
+        return self in (Direction.WEST, Direction.SOUTH)
+
+    @property
+    def delta(self) -> Tuple[int, int]:
+        """The (dx, dy) displacement of a single hop in this direction."""
+        return _DELTA[self]
+
+
+_OPPOSITE = {
+    Direction.EAST: Direction.WEST,
+    Direction.WEST: Direction.EAST,
+    Direction.NORTH: Direction.SOUTH,
+    Direction.SOUTH: Direction.NORTH,
+    Direction.LOCAL: Direction.LOCAL,
+}
+
+_DELTA = {
+    Direction.EAST: (1, 0),
+    Direction.WEST: (-1, 0),
+    Direction.NORTH: (0, 1),
+    Direction.SOUTH: (0, -1),
+    Direction.LOCAL: (0, 0),
+}
+
+#: The four network directions (excludes LOCAL), in a fixed canonical order.
+CARDINALS = (Direction.EAST, Direction.WEST, Direction.NORTH, Direction.SOUTH)
+
+Turn = Tuple[Direction, Direction]
+
+
+def is_u_turn(turn: Turn) -> bool:
+    """Return True when the turn reverses direction (a 180-degree turn).
+
+    The paper disallows 180-degree turns outright when building the channel
+    dependence graph (Definition 2), so these turns never appear as CDG
+    edges.
+    """
+    incoming, outgoing = turn
+    return incoming is not Direction.LOCAL and outgoing is incoming.opposite
+
+
+def is_straight(turn: Turn) -> bool:
+    """Return True when the packet keeps travelling in the same direction."""
+    incoming, outgoing = turn
+    return incoming is outgoing and incoming is not Direction.LOCAL
+
+
+def is_proper_turn(turn: Turn) -> bool:
+    """Return True for a genuine 90-degree turn between two network axes."""
+    incoming, outgoing = turn
+    if Direction.LOCAL in (incoming, outgoing):
+        return False
+    return incoming.axis != outgoing.axis
+
+
+def turn_name(turn: Turn) -> str:
+    """A compact human-readable name such as ``"N->W"`` for a turn."""
+    incoming, outgoing = turn
+    return f"{incoming.value}->{outgoing.value}"
+
+
+#: All eight 90-degree turns of a 2-D mesh, grouped by rotational sense.
+#: A cycle in the channel dependence graph of a mesh must use at least one
+#: turn of each sense, so prohibiting one clockwise and one counter-clockwise
+#: turn (as the turn models do) is sufficient to break every cycle.
+CLOCKWISE_TURNS = (
+    (Direction.EAST, Direction.SOUTH),
+    (Direction.SOUTH, Direction.WEST),
+    (Direction.WEST, Direction.NORTH),
+    (Direction.NORTH, Direction.EAST),
+)
+
+COUNTERCLOCKWISE_TURNS = (
+    (Direction.EAST, Direction.NORTH),
+    (Direction.NORTH, Direction.WEST),
+    (Direction.WEST, Direction.SOUTH),
+    (Direction.SOUTH, Direction.EAST),
+)
+
+ALL_TURNS = CLOCKWISE_TURNS + COUNTERCLOCKWISE_TURNS

@@ -1,0 +1,169 @@
+"""Two-dimensional mesh topology.
+
+The 2-D mesh is the topology used throughout the paper's evaluation (a 3x3
+mesh for the worked examples, an 8x8 mesh for the simulations).  Nodes are
+numbered row-major from the south-west corner: node 0 is at ``(x=0, y=0)``,
+node 1 at ``(1, 0)``, and so on.  With this numbering the paper's 3x3 mesh
+letters map as::
+
+        y=2 :  G H I          (nodes 6 7 8)
+        y=1 :  D E F          (nodes 3 4 5)
+        y=0 :  A B C          (nodes 0 1 2)
+
+so node ``A`` is node 0, ``E`` is node 4, ``I`` is node 8, matching the
+figures of Chapter 1 and Chapter 3 up to mirror symmetry.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from ..exceptions import TopologyError
+from .base import Topology
+from .directions import Direction
+from .links import Channel
+
+
+class Mesh2D(Topology):
+    """A ``width x height`` two-dimensional mesh.
+
+    Parameters
+    ----------
+    width:
+        Number of columns (extent of the x dimension).
+    height:
+        Number of rows (extent of the y dimension).  Defaults to ``width``
+        so ``Mesh2D(8)`` builds the paper's 8x8 mesh.
+    """
+
+    def __init__(self, width: int, height: int | None = None) -> None:
+        if height is None:
+            height = width
+        if width <= 0 or height <= 0:
+            raise TopologyError(f"mesh dimensions must be positive: {width}x{height}")
+        self._width = int(width)
+        self._height = int(height)
+        super().__init__(self._width * self._height)
+        self._build_channels()
+
+    def _build_channels(self) -> None:
+        for y in range(self._height):
+            for x in range(self._width):
+                node = self.node_at(x, y)
+                if x + 1 < self._width:
+                    self._add_bidirectional(node, self.node_at(x + 1, y))
+                if y + 1 < self._height:
+                    self._add_bidirectional(node, self.node_at(x, y + 1))
+
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> int:
+        return self._width
+
+    @property
+    def height(self) -> int:
+        return self._height
+
+    def coordinates(self, node: int) -> Tuple[int, int]:
+        self._check_node(node)
+        return node % self._width, node // self._width
+
+    def node_at(self, *coords: int) -> int:
+        if len(coords) != 2:
+            raise TopologyError(f"Mesh2D expects (x, y) coordinates, got {coords}")
+        x, y = coords
+        if not (0 <= x < self._width and 0 <= y < self._height):
+            raise TopologyError(
+                f"coordinates ({x}, {y}) outside {self._width}x{self._height} mesh"
+            )
+        return y * self._width + x
+
+    def direction_of(self, channel: Channel) -> Direction:
+        sx, sy = self.coordinates(channel.src)
+        dx, dy = self.coordinates(channel.dst)
+        if dy == sy and dx == sx + 1:
+            return Direction.EAST
+        if dy == sy and dx == sx - 1:
+            return Direction.WEST
+        if dx == sx and dy == sy + 1:
+            return Direction.NORTH
+        if dx == sx and dy == sy - 1:
+            return Direction.SOUTH
+        raise TopologyError(f"channel {channel} does not connect adjacent mesh nodes")
+
+    # ------------------------------------------------------------------
+    # mesh-specific helpers used by routing algorithms
+    # ------------------------------------------------------------------
+    def manhattan_distance(self, src: int, dst: int) -> int:
+        """Minimal hop count between two nodes of the mesh."""
+        sx, sy = self.coordinates(src)
+        dx, dy = self.coordinates(dst)
+        return abs(sx - dx) + abs(sy - dy)
+
+    def minimal_quadrant(self, src: int, dst: int) -> List[int]:
+        """Nodes inside the minimal rectangle spanned by *src* and *dst*.
+
+        ROMM restricts its random intermediate node to this quadrant so that
+        routes stay minimal.
+        """
+        sx, sy = self.coordinates(src)
+        dx, dy = self.coordinates(dst)
+        xs = range(min(sx, dx), max(sx, dx) + 1)
+        ys = range(min(sy, dy), max(sy, dy) + 1)
+        return [self.node_at(x, y) for y in ys for x in xs]
+
+    def dimension_ordered_path(self, src: int, dst: int, order: str = "xy") -> List[int]:
+        """The dimension-order route from *src* to *dst*.
+
+        Parameters
+        ----------
+        order:
+            ``"xy"`` routes along x first then y (XY-ordered routing);
+            ``"yx"`` routes along y first then x (YX-ordered routing).
+        """
+        if order not in ("xy", "yx"):
+            raise TopologyError(f"order must be 'xy' or 'yx', got {order!r}")
+        sx, sy = self.coordinates(src)
+        dx, dy = self.coordinates(dst)
+        path = [src]
+        x, y = sx, sy
+
+        def walk_x() -> None:
+            nonlocal x
+            step = 1 if dx > x else -1
+            while x != dx:
+                x += step
+                path.append(self.node_at(x, y))
+
+        def walk_y() -> None:
+            nonlocal y
+            step = 1 if dy > y else -1
+            while y != dy:
+                y += step
+                path.append(self.node_at(x, y))
+
+        if order == "xy":
+            walk_x()
+            walk_y()
+        else:
+            walk_y()
+            walk_x()
+        return path
+
+    def rows(self) -> Iterator[List[int]]:
+        """Yield the node indices of each row, south to north."""
+        for y in range(self._height):
+            yield [self.node_at(x, y) for x in range(self._width)]
+
+    def columns(self) -> Iterator[List[int]]:
+        """Yield the node indices of each column, west to east."""
+        for x in range(self._width):
+            yield [self.node_at(x, y) for y in range(self._height)]
+
+    def is_edge_node(self, node: int) -> bool:
+        """True for nodes on the boundary of the mesh."""
+        x, y = self.coordinates(node)
+        return x in (0, self._width - 1) or y in (0, self._height - 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Mesh2D({self._width}x{self._height})"

@@ -1,0 +1,76 @@
+"""Unidirectional and bidirectional ring topologies.
+
+Rings are the smallest topologies on which channel-dependence-graph cycles
+and deadlock can occur, which makes them valuable for unit tests of the CDG
+machinery: the CDG of a unidirectional ring is a single cycle, so any correct
+cycle-breaking strategy must delete at least one dependence and any correct
+deadlock checker must flag the full ring route set.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..exceptions import TopologyError
+from .base import Topology
+from .directions import Direction
+from .links import Channel
+
+
+class Ring(Topology):
+    """A ring of ``num_nodes`` routers.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of routers on the ring (at least 3).
+    bidirectional:
+        When True (default) each physical wire carries channels in both
+        directions; when False only the clockwise direction
+        (``i -> (i + 1) % n``) exists.
+    """
+
+    def __init__(self, num_nodes: int, bidirectional: bool = True) -> None:
+        if num_nodes < 3:
+            raise TopologyError(f"a ring needs at least 3 nodes: {num_nodes}")
+        super().__init__(num_nodes)
+        self._bidirectional = bool(bidirectional)
+        for node in range(num_nodes):
+            nxt = (node + 1) % num_nodes
+            self._add_channel(node, nxt)
+            if bidirectional:
+                self._add_channel(nxt, node)
+
+    @property
+    def bidirectional(self) -> bool:
+        return self._bidirectional
+
+    def coordinates(self, node: int) -> Tuple[int]:
+        self._check_node(node)
+        return (node,)
+
+    def node_at(self, *coords: int) -> int:
+        if len(coords) != 1:
+            raise TopologyError(f"Ring expects a single coordinate, got {coords}")
+        (position,) = coords
+        self._check_node(position)
+        return position
+
+    def direction_of(self, channel: Channel) -> Direction:
+        """Clockwise hops are labelled EAST, counter-clockwise hops WEST."""
+        if channel.dst == (channel.src + 1) % self.num_nodes:
+            return Direction.EAST
+        if channel.src == (channel.dst + 1) % self.num_nodes:
+            return Direction.WEST
+        raise TopologyError(f"channel {channel} does not connect adjacent ring nodes")
+
+    def ring_distance(self, src: int, dst: int) -> int:
+        """Minimal hop count between two nodes respecting directionality."""
+        clockwise = (dst - src) % self.num_nodes
+        if not self._bidirectional:
+            return clockwise
+        return min(clockwise, (src - dst) % self.num_nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "bidirectional" if self._bidirectional else "unidirectional"
+        return f"Ring({self.num_nodes}, {kind})"

@@ -1,0 +1,126 @@
+"""Two-dimensional torus (k-ary 2-cube) topology.
+
+The torus is a mesh with wrap-around channels in both dimensions; the paper's
+Figure 1-3(a) shows a 3-ary 2-cube, i.e. a 3x3 torus.  Although the
+evaluation uses the mesh, the BSOR framework itself is topology independent,
+so the library provides the torus both to exercise that claim in tests and to
+let users of the library target richer networks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..exceptions import TopologyError
+from .base import Topology
+from .directions import Direction
+from .links import Channel
+
+
+class Torus2D(Topology):
+    """A ``width x height`` torus: a mesh with wrap-around links."""
+
+    def __init__(self, width: int, height: int | None = None) -> None:
+        if height is None:
+            height = width
+        if width < 3 or height < 3:
+            # With fewer than 3 nodes per dimension the wrap-around channel
+            # would duplicate the direct channel (2 nodes) or be a self loop
+            # (1 node); require the smallest genuine torus instead.
+            raise TopologyError(
+                f"torus dimensions must be at least 3: {width}x{height}"
+            )
+        self._width = int(width)
+        self._height = int(height)
+        super().__init__(self._width * self._height)
+        self._build_channels()
+
+    def _build_channels(self) -> None:
+        for y in range(self._height):
+            for x in range(self._width):
+                node = self.node_at(x, y)
+                east = self.node_at((x + 1) % self._width, y)
+                north = self.node_at(x, (y + 1) % self._height)
+                self._add_bidirectional(node, east)
+                self._add_bidirectional(node, north)
+
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> int:
+        return self._width
+
+    @property
+    def height(self) -> int:
+        return self._height
+
+    def coordinates(self, node: int) -> Tuple[int, int]:
+        self._check_node(node)
+        return node % self._width, node // self._width
+
+    def node_at(self, *coords: int) -> int:
+        if len(coords) != 2:
+            raise TopologyError(f"Torus2D expects (x, y) coordinates, got {coords}")
+        x, y = coords
+        if not (0 <= x < self._width and 0 <= y < self._height):
+            raise TopologyError(
+                f"coordinates ({x}, {y}) outside {self._width}x{self._height} torus"
+            )
+        return y * self._width + x
+
+    def direction_of(self, channel: Channel) -> Direction:
+        sx, sy = self.coordinates(channel.src)
+        dx, dy = self.coordinates(channel.dst)
+        if dy == sy:
+            if dx == (sx + 1) % self._width:
+                return Direction.EAST
+            if dx == (sx - 1) % self._width:
+                return Direction.WEST
+        if dx == sx:
+            if dy == (sy + 1) % self._height:
+                return Direction.NORTH
+            if dy == (sy - 1) % self._height:
+                return Direction.SOUTH
+        raise TopologyError(f"channel {channel} does not connect adjacent torus nodes")
+
+    # ------------------------------------------------------------------
+    def ring_distance(self, a: int, b: int, extent: int) -> int:
+        """Shortest distance between coordinates *a* and *b* on a ring."""
+        diff = abs(a - b)
+        return min(diff, extent - diff)
+
+    def manhattan_distance(self, src: int, dst: int) -> int:
+        """Minimal hop count on the torus (with wrap-around)."""
+        sx, sy = self.coordinates(src)
+        dx, dy = self.coordinates(dst)
+        return self.ring_distance(sx, dx, self._width) + self.ring_distance(
+            sy, dy, self._height
+        )
+
+    def minimal_quadrant(self, src: int, dst: int) -> List[int]:
+        """Nodes on some minimal path between *src* and *dst*.
+
+        On a torus the minimal "quadrant" is defined by choosing, per
+        dimension, the shorter way around the ring (ties go to the positive
+        direction).
+        """
+        sx, sy = self.coordinates(src)
+        dx, dy = self.coordinates(dst)
+
+        def span(a: int, b: int, extent: int) -> List[int]:
+            forward = (b - a) % extent
+            backward = (a - b) % extent
+            coords = [a]
+            pos = a
+            steps = forward if forward <= backward else backward
+            step_dir = 1 if forward <= backward else -1
+            for _ in range(steps):
+                pos = (pos + step_dir) % extent
+                coords.append(pos)
+            return coords
+
+        xs = span(sx, dx, self._width)
+        ys = span(sy, dy, self._height)
+        return [self.node_at(x, y) for y in ys for x in xs]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Torus2D({self._width}x{self._height})"

@@ -1,0 +1,274 @@
+"""Application communication graphs from the paper (Chapter 5).
+
+Three concrete applications drive the evaluation:
+
+* the **H.264 decoder** (Figure 5-1): nine modules exchanging flows from
+  0.473 MB/s up to 120.4 MB/s;
+* the **processor performance model** (Figure 5-2): a three-stage pipeline
+  with instruction memory, data memory and register file modules, flows from
+  4.3 MB/s up to 62.73 MB/s;
+* the **IEEE 802.11a/g wireless LAN transmitter** (Figure 5-3 / Table 5.2):
+  fifteen processing modules plus an I/O endpoint, flows in MBit/s.
+
+The flow tables below are transcribed from the thesis figures.  The figures
+are scanned diagrams so a handful of producer/consumer assignments are
+reconstructed from the module functions described in the text (e.g. the
+reconstructed-frame write-back of 120.4 MB/s goes to the off-chip memory
+controller).  Every bandwidth value quoted in the thesis text or tables is
+preserved exactly; this is what the MCL results of Tables 6.1-6.3 depend on.
+
+The flow sets returned here use *logical module indices* (``M1`` is index 0,
+``M2`` is index 1, ...).  Use :func:`repro.traffic.mapping.map_onto_mesh` or
+:meth:`FlowSet.remapped` to place the modules onto physical network nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .flow import FlowSet
+
+
+# ----------------------------------------------------------------------
+# H.264 decoder (Figure 5-1, Table 5.1)
+# ----------------------------------------------------------------------
+#: Module inventory of the H.264 decoder data-flow graph.  Index = M<i+1>.
+H264_MODULES: Tuple[str, ...] = (
+    "entropy-decoding",            # M1: CAVLD entropy decoder
+    "inverse-transform-quant",     # M2: inverse transform / quantization
+    "interpolation-0",             # M3: interpolation (inter-prediction)
+    "reference-pixel-loading",     # M4: reference pixel loading
+    "interpolation-1",             # M5: interpolation
+    "intra-pred-deblock-recon",    # M6: intra-prediction / deblocking / reconstruction
+    "interpolation-2",             # M7: interpolation
+    "interpolation-3",             # M8: interpolation
+    "off-chip-memory-controller",  # M9: off-chip memory controller
+)
+
+#: H.264 decoder flows: (name, source module, destination module, MB/s).
+#: Bandwidths are the values printed on Figure 5-1.
+H264_FLOWS: Tuple[Tuple[str, int, int, float], ...] = (
+    ("f1", 8, 0, 39.7),    # compressed video bitstream: memory ctrl -> entropy decoder
+    ("f2", 0, 5, 3.27),    # intra-prediction side information
+    ("f3", 0, 1, 20.4),    # quantized coefficients -> inverse transform
+    ("f4", 1, 5, 20.47),   # residuals -> reconstruction
+    ("f5", 3, 2, 13.97),   # reference pixels -> interpolation 0
+    ("f6", 3, 4, 13.97),   # reference pixels -> interpolation 1
+    ("f7", 5, 8, 120.4),   # reconstructed frame write-back -> memory controller
+    ("f8", 3, 6, 30.1),    # reference pixels -> interpolation 2
+    ("f9", 8, 3, 39.7),    # reference frame fetch: memory ctrl -> reference loading
+    ("f10", 2, 5, 1.3),    # interpolated samples -> reconstruction
+    ("f11", 4, 5, 1.63),   # interpolated samples -> reconstruction
+    ("f12", 6, 5, 0.824),  # interpolated samples -> reconstruction
+    ("f13", 7, 5, 0.824),  # interpolated samples -> reconstruction
+    ("f14", 3, 7, 41.47),  # reference pixels -> interpolation 3
+    ("f15", 0, 8, 0.473),  # entropy decoder bookkeeping -> memory controller
+)
+
+
+def h264_decoder() -> FlowSet:
+    """Flow set of the H.264 decoder application (logical module indices)."""
+    flow_set = FlowSet(name="h264")
+    for name, source, destination, demand in H264_FLOWS:
+        flow_set.add_flow(source, destination, demand, name=name)
+    return flow_set
+
+
+@dataclass(frozen=True)
+class ProfileBucket:
+    """One row of an application profiling histogram (Table 5.1)."""
+
+    lower: float
+    upper: float
+    occurrence_percent: float
+
+
+#: Entropy-decoder table-lookup histogram for the 'toys and calendar' stream
+#: (Table 5.1, left half).  Upper bound of the last bucket is the maximum.
+H264_ENTROPY_LOOKUP_PROFILE: Tuple[ProfileBucket, ...] = (
+    ProfileBucket(0, 5, 43.5),
+    ProfileBucket(6, 11, 38.6),
+    ProfileBucket(12, 17, 14.4),
+    ProfileBucket(18, 23, 3.0),
+    ProfileBucket(24, 32, 0.4),
+)
+
+#: Inter-prediction bytes-read histogram (Table 5.1, right half).
+H264_INTER_PREDICTION_PROFILE: Tuple[ProfileBucket, ...] = (
+    ProfileBucket(0, 239, 0.01),
+    ProfileBucket(240, 399, 9.3),
+    ProfileBucket(400, 559, 19.6),
+    ProfileBucket(560, 719, 67.5),
+    ProfileBucket(720, 954, 0.4),
+)
+
+#: Average / maximum statistics quoted below Table 5.1.
+H264_ENTROPY_LOOKUPS_AVERAGE = 7.56
+H264_ENTROPY_LOOKUPS_MAXIMUM = 32
+H264_INTER_PREDICTION_BYTES_AVERAGE = 589.3
+H264_INTER_PREDICTION_BYTES_MAXIMUM = 954
+
+
+def profile_mean(profile: Sequence[ProfileBucket]) -> float:
+    """Occurrence-weighted mean of a profiling histogram.
+
+    Uses the midpoint of each bucket; useful for validating that the
+    transcribed histograms are consistent with the quoted averages.
+    """
+    total_weight = sum(bucket.occurrence_percent for bucket in profile)
+    if total_weight <= 0:
+        return 0.0
+    weighted = sum(
+        (bucket.lower + bucket.upper) / 2.0 * bucket.occurrence_percent
+        for bucket in profile
+    )
+    return weighted / total_weight
+
+
+# ----------------------------------------------------------------------
+# Processor performance modeling (Figure 5-2)
+# ----------------------------------------------------------------------
+#: Modules of the three-stage pipeline performance model.  Index = M<i+1>.
+PERFORMANCE_MODEL_MODULES: Tuple[str, ...] = (
+    "fetch",          # M1
+    "imem",           # M2
+    "decode",         # M3
+    "register-file",  # M4
+    "execute",        # M5
+    "dmem",           # M6
+)
+
+#: Performance-model flows: (name, source, destination, MB/s).
+PERFORMANCE_MODEL_FLOWS: Tuple[Tuple[str, int, int, float], ...] = (
+    ("f1", 0, 1, 41.82),   # fetch -> instruction memory (instruction request)
+    ("f2", 1, 0, 41.82),   # instruction memory -> fetch (instruction data)
+    ("f3", 0, 2, 41.82),   # fetch -> decode
+    ("f4", 2, 4, 62.73),   # decode -> execute (decoded micro-ops + operands)
+    ("f5", 2, 3, 41.82),   # decode -> register file (operand read)
+    ("f6", 3, 4, 41.82),   # register file -> execute (operand values)
+    ("f7", 4, 3, 7.1),     # execute -> register file (write-back)
+    ("f8", 2, 5, 7.1),     # decode -> data memory (early address calculation)
+    ("f9", 3, 2, 4.3),     # register file -> decode (hazard / scoreboard info)
+    ("f10", 5, 4, 41.82),  # data memory -> execute (load data)
+    ("f11", 4, 5, 41.82),  # execute -> data memory (store data / address)
+)
+
+
+def performance_modeling() -> FlowSet:
+    """Flow set of the processor performance-modeling application."""
+    flow_set = FlowSet(name="perf-modeling")
+    for name, source, destination, demand in PERFORMANCE_MODEL_FLOWS:
+        flow_set.add_flow(source, destination, demand, name=name)
+    return flow_set
+
+
+# ----------------------------------------------------------------------
+# IEEE 802.11a/g wireless LAN transmitter (Figure 5-3, Table 5.2)
+# ----------------------------------------------------------------------
+#: Modules of the OFDM transmitter.  M1..M15 from the paper plus an I/O
+#: endpoint module (index 15) standing in for the data-bit source and the
+#: digital-to-analog converter that Table 5.2 leaves blank.
+WLAN_MODULES: Tuple[str, ...] = (
+    "scrambler",         # M1
+    "fec-encoder",       # M2
+    "pilot-generator",   # M3
+    "rate-controller",   # M4
+    "interleaver",       # M5
+    "symbol-mapper",     # M6
+    "ifft-load",         # M7
+    "ifft-0",            # M8
+    "ifft-1",            # M9
+    "ifft-2",            # M10
+    "ifft-3",            # M11
+    "ifft-merger",       # M12
+    "gi-insertion",      # M13
+    "window",            # M14
+    "upsampler",         # M15
+    "io-endpoint",       # M16: data-bit source and DAC sink
+)
+
+#: Transmitter flows: (name, source, destination, MBit/s), Table 5.2 verbatim.
+#: The two rows whose source or destination is "-" in the table use the I/O
+#: endpoint module (index 15).
+WLAN_FLOWS: Tuple[Tuple[str, int, int, float], ...] = (
+    ("f1", 3, 0, 0.7),
+    ("f2", 0, 1, 36.2),
+    ("f3", 1, 4, 36.2),
+    ("f4", 2, 4, 48.0),
+    ("f5", 12, 5, 36.8),
+    ("f6", 4, 5, 38.9),
+    ("f7", 5, 6, 37.0),
+    ("f8", 11, 12, 36.7),
+    ("f9", 12, 13, 58.72),
+    ("f10", 13, 14, 36.8),
+    ("f11", 14, 15, 36.0),
+    ("f12", 6, 10, 18.0),
+    ("f13", 6, 9, 18.0),
+    ("f14", 6, 8, 18.0),
+    ("f15", 6, 7, 18.0),
+    ("f16", 7, 11, 9.0),
+    ("f17", 8, 11, 9.0),
+    ("f18", 9, 11, 9.0),
+    ("f19", 10, 11, 9.0),
+    ("f20", 15, 0, 18.1),  # "Data bits -> M1" row of Table 5.2
+)
+
+
+def wlan_transmitter() -> FlowSet:
+    """Flow set of the IEEE 802.11a/g OFDM transmitter application."""
+    flow_set = FlowSet(name="802.11ag-transmitter")
+    for name, source, destination, demand in WLAN_FLOWS:
+        flow_set.add_flow(source, destination, demand, name=name)
+    return flow_set
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+#: Application registry: name -> (flow-set factory, number of logical modules).
+APPLICATIONS: Dict[str, Tuple] = {
+    "h264": (h264_decoder, len(H264_MODULES)),
+    "perf-modeling": (performance_modeling, len(PERFORMANCE_MODEL_MODULES)),
+    "transmitter": (wlan_transmitter, len(WLAN_MODULES)),
+}
+
+
+def application_by_name(name: str) -> FlowSet:
+    """Look up an application flow set by its canonical name."""
+    key = name.lower().replace("_", "-")
+    aliases = {
+        "h.264": "h264",
+        "h264-decoder": "h264",
+        "performance-modeling": "perf-modeling",
+        "perf": "perf-modeling",
+        "802.11": "transmitter",
+        "802.11ag": "transmitter",
+        "wlan": "transmitter",
+        "wlan-transmitter": "transmitter",
+    }
+    key = aliases.get(key, key)
+    if key not in APPLICATIONS:
+        raise KeyError(
+            f"unknown application {name!r}; known: {sorted(APPLICATIONS)}"
+        )
+    factory, _ = APPLICATIONS[key]
+    return factory()
+
+
+def application_module_count(name: str) -> int:
+    """Number of logical modules of a named application."""
+    flow_set = application_by_name(name)
+    return max(flow_set.max_node() + 1, 0)
+
+
+def module_names(application: str) -> List[str]:
+    """Human-readable module names of an application, by logical index."""
+    key = application.lower().replace("_", "-")
+    if key in ("h264", "h.264", "h264-decoder"):
+        return list(H264_MODULES)
+    if key in ("perf-modeling", "performance-modeling", "perf"):
+        return list(PERFORMANCE_MODEL_MODULES)
+    if key in ("transmitter", "wlan", "wlan-transmitter", "802.11", "802.11ag"):
+        return list(WLAN_MODULES)
+    raise KeyError(f"unknown application {application!r}")

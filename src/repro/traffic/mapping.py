@@ -1,0 +1,179 @@
+"""Placement of application modules onto physical network nodes.
+
+Application flow sets (:mod:`repro.traffic.applications`) are expressed over
+*logical module indices*.  Before routes can be computed the modules must be
+mapped onto physical routers of the target topology.  The paper does not
+prescribe a mapping algorithm (mapping is an orthogonal problem it cites
+related work for), so the library provides simple, deterministic placements:
+
+* **row-major**: module ``i`` on node ``i`` (optionally offset), matching the
+  natural reading order of the figures;
+* **block**: modules packed into a compact ``w x h`` sub-mesh placed anywhere
+  inside a larger mesh — this is how a 9-module decoder occupies a corner of
+  the 8x8 simulation mesh;
+* **spread**: modules spaced out across the mesh to stress longer routes;
+* **random**: a seeded random permutation, for robustness experiments.
+
+All functions return a ``{logical module -> physical node}`` dict suitable
+for :meth:`repro.traffic.flow.FlowSet.remapped`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Sequence
+
+from ..exceptions import TrafficError
+from ..topology.mesh import Mesh2D
+from ..topology.base import Topology
+from .flow import FlowSet
+
+
+def row_major_mapping(num_modules: int, topology: Topology,
+                      offset: int = 0) -> Dict[int, int]:
+    """Place module ``i`` on node ``offset + i``."""
+    if num_modules <= 0:
+        raise TrafficError(f"need at least one module: {num_modules}")
+    if offset < 0:
+        raise TrafficError(f"offset must be non-negative: {offset}")
+    if offset + num_modules > topology.num_nodes:
+        raise TrafficError(
+            f"cannot place {num_modules} modules at offset {offset} on a "
+            f"{topology.num_nodes}-node topology"
+        )
+    return {module: offset + module for module in range(num_modules)}
+
+
+def block_mapping(num_modules: int, mesh: Mesh2D,
+                  origin: tuple[int, int] = (0, 0),
+                  block_width: Optional[int] = None) -> Dict[int, int]:
+    """Pack modules into a compact rectangular block of the mesh.
+
+    Parameters
+    ----------
+    origin:
+        (x, y) of the south-west corner of the block.
+    block_width:
+        Width of the block; defaults to the smallest square that holds all
+        modules (e.g. 3 for 9 modules, 4 for 16).
+    """
+    if num_modules <= 0:
+        raise TrafficError(f"need at least one module: {num_modules}")
+    if block_width is None:
+        block_width = 1
+        while block_width * block_width < num_modules:
+            block_width += 1
+    if block_width <= 0:
+        raise TrafficError(f"block width must be positive: {block_width}")
+    ox, oy = origin
+    mapping: Dict[int, int] = {}
+    for module in range(num_modules):
+        x = ox + module % block_width
+        y = oy + module // block_width
+        if x >= mesh.width or y >= mesh.height:
+            raise TrafficError(
+                f"module {module} falls outside the mesh at ({x}, {y}); "
+                f"mesh is {mesh.width}x{mesh.height}"
+            )
+        mapping[module] = mesh.node_at(x, y)
+    return mapping
+
+
+def spread_mapping(num_modules: int, topology: Topology) -> Dict[int, int]:
+    """Spread modules evenly across the node index space."""
+    if num_modules <= 0:
+        raise TrafficError(f"need at least one module: {num_modules}")
+    if num_modules > topology.num_nodes:
+        raise TrafficError(
+            f"cannot place {num_modules} modules on {topology.num_nodes} nodes"
+        )
+    stride = topology.num_nodes / num_modules
+    mapping: Dict[int, int] = {}
+    used: set[int] = set()
+    for module in range(num_modules):
+        node = int(module * stride)
+        while node in used:
+            node = (node + 1) % topology.num_nodes
+        mapping[module] = node
+        used.add(node)
+    return mapping
+
+
+def random_mapping(num_modules: int, topology: Topology,
+                   seed: Optional[int] = None) -> Dict[int, int]:
+    """A seeded random one-to-one placement."""
+    if num_modules > topology.num_nodes:
+        raise TrafficError(
+            f"cannot place {num_modules} modules on {topology.num_nodes} nodes"
+        )
+    rng = random.Random(seed)
+    nodes = rng.sample(range(topology.num_nodes), num_modules)
+    return {module: node for module, node in enumerate(nodes)}
+
+
+def identity_mapping(num_modules: int) -> Dict[int, int]:
+    """Module ``i`` on node ``i`` (no topology bounds checking)."""
+    return {module: module for module in range(num_modules)}
+
+
+def validate_mapping(mapping: Dict[int, int], topology: Topology) -> None:
+    """Raise :class:`TrafficError` unless *mapping* is injective and in-range."""
+    seen: Dict[int, int] = {}
+    for module, node in mapping.items():
+        if not 0 <= node < topology.num_nodes:
+            raise TrafficError(
+                f"module {module} mapped to node {node}, outside the "
+                f"{topology.num_nodes}-node topology"
+            )
+        if node in seen:
+            raise TrafficError(
+                f"modules {seen[node]} and {module} both mapped to node {node}"
+            )
+        seen[node] = module
+
+
+def map_onto_mesh(flow_set: FlowSet, mesh: Mesh2D,
+                  strategy: str = "block",
+                  origin: tuple[int, int] = (0, 0),
+                  seed: Optional[int] = None) -> FlowSet:
+    """Map an application flow set onto a mesh using a named strategy.
+
+    Parameters
+    ----------
+    strategy:
+        ``"block"`` (default), ``"row-major"``, ``"spread"`` or ``"random"``.
+    origin:
+        Block origin for the ``"block"`` strategy.
+    seed:
+        RNG seed for the ``"random"`` strategy.
+    """
+    num_modules = flow_set.max_node() + 1
+    if strategy == "block":
+        mapping = block_mapping(num_modules, mesh, origin=origin)
+    elif strategy == "row-major":
+        mapping = row_major_mapping(num_modules, mesh)
+    elif strategy == "spread":
+        mapping = spread_mapping(num_modules, mesh)
+    elif strategy == "random":
+        mapping = random_mapping(num_modules, mesh, seed=seed)
+    else:
+        raise TrafficError(
+            f"unknown mapping strategy {strategy!r}; expected one of "
+            f"'block', 'row-major', 'spread', 'random'"
+        )
+    validate_mapping(mapping, mesh)
+    return flow_set.remapped(mapping)
+
+
+def mapping_span(mapping: Dict[int, int], mesh: Mesh2D) -> int:
+    """Largest Manhattan distance between any two mapped modules.
+
+    A compactness metric for placements: block mappings have small span,
+    spread mappings large span.
+    """
+    nodes: Sequence[int] = list(mapping.values())
+    span = 0
+    for i, a in enumerate(nodes):
+        for b in nodes[i + 1:]:
+            span = max(span, mesh.manhattan_distance(a, b))
+    return span

@@ -1,0 +1,180 @@
+"""Run-time bandwidth variation (Section 5.3).
+
+Applications rarely sustain their profiled data rates: the paper models
+run-time variation by perturbing each flow's demand within ±10 %, ±25 % or
+±50 % of its estimate while keeping the routes computed from the original
+estimates.  A two-state Markov-modulated process (MMP) decides when a flow's
+rate moves up or down, and each rate is held for a random number of cycles,
+producing the bursty injection trace of Figure 5-4.
+
+Two views of the same mechanism are provided:
+
+* :func:`perturbed_demands` / :func:`perturbed_flow_set` — a static snapshot
+  of varied demands, used when only aggregate channel loads are needed
+  (e.g. recomputing MCL under mis-estimated bandwidths);
+* :class:`MarkovModulatedRate` — a cycle-by-cycle rate process driving the
+  simulator's injectors, reproducing the bursty behaviour of Figure 5-4.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from ..exceptions import TrafficError
+from .flow import Flow, FlowSet
+
+
+def _check_fraction(variation_fraction: float) -> None:
+    if not 0.0 <= variation_fraction <= 1.0:
+        raise TrafficError(
+            f"variation fraction must be within [0, 1]: {variation_fraction}"
+        )
+
+
+def perturbed_demands(flow_set: FlowSet, variation_fraction: float,
+                      seed: Optional[int] = None) -> Dict[str, float]:
+    """Randomly perturbed demands, one per flow, within ±variation_fraction.
+
+    Each flow's demand is multiplied by a factor drawn uniformly from
+    ``[1 - variation_fraction, 1 + variation_fraction]``.
+    """
+    _check_fraction(variation_fraction)
+    rng = random.Random(seed)
+    demands: Dict[str, float] = {}
+    for flow in flow_set:
+        factor = 1.0 + rng.uniform(-variation_fraction, variation_fraction)
+        demands[flow.name] = flow.demand * factor
+    return demands
+
+
+def perturbed_flow_set(flow_set: FlowSet, variation_fraction: float,
+                       seed: Optional[int] = None) -> FlowSet:
+    """A copy of *flow_set* with every demand perturbed within the band."""
+    return flow_set.with_demands(
+        perturbed_demands(flow_set, variation_fraction, seed=seed)
+    )
+
+
+@dataclass
+class MarkovModulatedRate:
+    """A two-state Markov-modulated rate process for one flow.
+
+    The process alternates between a **high** state (rate above the nominal
+    estimate) and a **low** state (rate below it).  On entering a state the
+    process draws a rate uniformly within the allowed band on that side of
+    the nominal rate and a dwell time (in cycles) for which the rate is held
+    constant, reproducing the paper's "each rate is kept constant for a
+    random number of cycles".
+
+    Parameters
+    ----------
+    nominal_rate:
+        The profiled (estimated) rate of the flow.
+    variation_fraction:
+        The maximum relative deviation from the nominal rate (0.10, 0.25 or
+        0.50 in the paper's experiments).
+    mean_dwell_cycles:
+        Average number of cycles a rate is held before the state machine
+        reconsiders.
+    seed:
+        Seed of the per-flow random number generator (processes of different
+        flows should use different seeds to avoid synchronised bursts).
+    """
+
+    nominal_rate: float
+    variation_fraction: float
+    mean_dwell_cycles: int = 200
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _check_fraction(self.variation_fraction)
+        if self.nominal_rate < 0:
+            raise TrafficError(f"nominal rate must be non-negative: {self.nominal_rate}")
+        if self.mean_dwell_cycles <= 0:
+            raise TrafficError(
+                f"mean dwell must be positive: {self.mean_dwell_cycles}"
+            )
+        self._rng = random.Random(self.seed)
+        self._state_high = bool(self._rng.getrandbits(1))
+        self._cycles_left = 0
+        self._current_rate = self.nominal_rate
+        self._advance_state()
+
+    def _advance_state(self) -> None:
+        """Flip the state, draw a new rate and a new dwell time."""
+        self._state_high = not self._state_high
+        if self.variation_fraction == 0 or self.nominal_rate == 0:
+            self._current_rate = self.nominal_rate
+        else:
+            magnitude = self._rng.uniform(0.0, self.variation_fraction)
+            sign = 1.0 if self._state_high else -1.0
+            self._current_rate = self.nominal_rate * (1.0 + sign * magnitude)
+        # Geometric-like dwell: uniform in [1, 2 * mean] keeps the mean right
+        # while bounding the worst case, which keeps tests deterministic-ish.
+        self._cycles_left = self._rng.randint(1, 2 * self.mean_dwell_cycles)
+
+    @property
+    def state(self) -> str:
+        """``"high"`` or ``"low"`` — the current side of the nominal rate."""
+        return "high" if self._state_high else "low"
+
+    @property
+    def current_rate(self) -> float:
+        return self._current_rate
+
+    def rate_at(self, cycle: int) -> float:  # noqa: ARG002 - cycle kept for API symmetry
+        """Rate for the next cycle; advances the internal dwell counter."""
+        if self._cycles_left <= 0:
+            self._advance_state()
+        self._cycles_left -= 1
+        return self._current_rate
+
+    def trace(self, num_cycles: int) -> List[float]:
+        """The rate over *num_cycles* consecutive cycles (Figure 5-4 style)."""
+        if num_cycles < 0:
+            raise TrafficError(f"number of cycles must be non-negative: {num_cycles}")
+        return [self.rate_at(cycle) for cycle in range(num_cycles)]
+
+
+class BandwidthVariationModel:
+    """Per-flow Markov-modulated rates for a whole flow set.
+
+    This is the object the simulator's injection processes consult every
+    cycle when a bandwidth-variation experiment is running.
+    """
+
+    def __init__(self, flow_set: FlowSet, variation_fraction: float,
+                 mean_dwell_cycles: int = 200, seed: Optional[int] = None) -> None:
+        _check_fraction(variation_fraction)
+        self.flow_set = flow_set
+        self.variation_fraction = variation_fraction
+        base_seed = seed if seed is not None else 0
+        self._processes: Dict[str, MarkovModulatedRate] = {}
+        for index, flow in enumerate(flow_set):
+            self._processes[flow.name] = MarkovModulatedRate(
+                nominal_rate=flow.demand,
+                variation_fraction=variation_fraction,
+                mean_dwell_cycles=mean_dwell_cycles,
+                seed=base_seed + index,
+            )
+
+    def rate_of(self, flow: Flow, cycle: int) -> float:
+        """Current (possibly varied) rate of *flow* at *cycle*."""
+        process = self._processes.get(flow.name)
+        if process is None:
+            raise TrafficError(f"flow {flow.name!r} is not part of this model")
+        return process.rate_at(cycle)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Current rate of every flow, without advancing the processes."""
+        return {name: process.current_rate
+                for name, process in self._processes.items()}
+
+    def flows(self) -> Iterable[Flow]:
+        return iter(self.flow_set)
+
+
+#: The three variation levels evaluated in the paper (Figures 6-8 to 6-10).
+PAPER_VARIATION_LEVELS = (0.10, 0.25, 0.50)

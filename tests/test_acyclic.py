@@ -1,0 +1,125 @@
+"""Tests for ad hoc / random cycle breaking."""
+
+import pytest
+
+from repro.cdg import (
+    ChannelDependenceGraph,
+    TurnModel,
+    ad_hoc_cdg,
+    break_cycles_dfs,
+    break_cycles_randomly,
+    break_cycles_up_down,
+    minimum_removal_lower_bound,
+    turn_model_cdg,
+)
+from repro.exceptions import CDGError
+from repro.flowgraph import FlowGraph
+from repro.topology import Mesh2D, Ring
+
+
+class TestRandomBreaking:
+    def test_result_is_acyclic(self, mesh3):
+        base = ChannelDependenceGraph.from_topology(mesh3)
+        acyclic = break_cycles_randomly(base, seed=1)
+        assert acyclic.is_acyclic()
+
+    def test_original_untouched_without_in_place(self, mesh3):
+        base = ChannelDependenceGraph.from_topology(mesh3)
+        edges = base.num_edges
+        break_cycles_randomly(base, seed=1)
+        assert base.num_edges == edges
+
+    def test_reproducible_for_a_seed(self, mesh3):
+        base = ChannelDependenceGraph.from_topology(mesh3)
+        a = break_cycles_randomly(base, seed=5)
+        b = break_cycles_randomly(base, seed=5)
+        assert set(a.removed_edges) == set(b.removed_edges)
+
+    def test_different_seeds_usually_differ(self, mesh3):
+        base = ChannelDependenceGraph.from_topology(mesh3)
+        a = break_cycles_randomly(base, seed=1)
+        b = break_cycles_randomly(base, seed=2)
+        assert set(a.removed_edges) != set(b.removed_edges)
+
+    def test_already_acyclic_graph_unchanged(self, west_first_cdg):
+        result = break_cycles_randomly(west_first_cdg, seed=1)
+        assert result.num_edges == west_first_cdg.num_edges
+
+
+class TestDFSBreaking:
+    def test_result_is_acyclic(self, mesh4):
+        base = ChannelDependenceGraph.from_topology(mesh4)
+        acyclic = break_cycles_dfs(base, seed=1)
+        assert acyclic.is_acyclic()
+
+    def test_reproducible(self, mesh3):
+        base = ChannelDependenceGraph.from_topology(mesh3)
+        a = break_cycles_dfs(base, seed=3)
+        b = break_cycles_dfs(base, seed=3)
+        assert set(a.removed_edges) == set(b.removed_edges)
+
+    def test_works_on_multi_vc_cdg(self, mesh3):
+        base = ChannelDependenceGraph.from_topology(mesh3, num_vcs=2)
+        acyclic = break_cycles_dfs(base, seed=1)
+        assert acyclic.is_acyclic()
+
+
+class TestUpDownBreaking:
+    def test_result_is_acyclic(self, mesh4):
+        base = ChannelDependenceGraph.from_topology(mesh4)
+        acyclic = break_cycles_up_down(base, seed=1)
+        assert acyclic.is_acyclic()
+
+    def test_all_pairs_remain_routable(self, mesh4):
+        """The up*/down* construction must never disconnect a node pair."""
+        for seed in (1, 2, 3):
+            acyclic = ad_hoc_cdg(mesh4, seed=seed)
+            flow_graph = FlowGraph(acyclic)
+            for src in mesh4.nodes:
+                for dst in mesh4.nodes:
+                    if src != dst:
+                        assert flow_graph.path_exists(src, dst), \
+                            f"seed {seed}: {src} cannot reach {dst}"
+
+    def test_removes_more_edges_than_turn_model(self, mesh3):
+        """Matches the paper's observation: ad hoc CDGs typically sacrifice
+        more dependence edges than the turn model (12 vs 8 on the 3x3)."""
+        adhoc = ad_hoc_cdg(mesh3, seed=1)
+        turn = turn_model_cdg(mesh3, TurnModel.WEST_FIRST)
+        assert adhoc.num_removed_edges >= turn.num_removed_edges
+
+    def test_reproducible(self, mesh4):
+        a = ad_hoc_cdg(mesh4, seed=7)
+        b = ad_hoc_cdg(mesh4, seed=7)
+        assert set(a.removed_edges) == set(b.removed_edges)
+
+    def test_different_seeds_differ(self, mesh8):
+        a = ad_hoc_cdg(mesh8, seed=1)
+        b = ad_hoc_cdg(mesh8, seed=2)
+        assert set(a.removed_edges) != set(b.removed_edges)
+
+
+class TestAdHocFactory:
+    def test_strategy_dispatch(self, mesh3):
+        for strategy in ("up-down", "dfs", "random"):
+            cdg = ad_hoc_cdg(mesh3, seed=1, strategy=strategy)
+            assert cdg.is_acyclic()
+
+    def test_unknown_strategy(self, mesh3):
+        with pytest.raises(CDGError):
+            ad_hoc_cdg(mesh3, seed=1, strategy="magic")
+
+    def test_naming(self, mesh3):
+        assert ad_hoc_cdg(mesh3, seed=4).name == "adhoc-4"
+
+    def test_lower_bound_is_respected(self, mesh3):
+        base = ChannelDependenceGraph.from_topology(mesh3)
+        bound = minimum_removal_lower_bound(base)
+        for seed in (1, 2):
+            assert ad_hoc_cdg(mesh3, seed=seed).num_removed_edges >= bound
+
+    def test_ring_cycle_breaking(self, unidirectional_ring):
+        base = ChannelDependenceGraph.from_topology(unidirectional_ring)
+        acyclic = break_cycles_randomly(base, seed=0)
+        assert acyclic.is_acyclic()
+        assert acyclic.num_removed_edges >= 1

@@ -1,0 +1,132 @@
+"""Tests for the residual-capacity weight function of BSOR-Dijkstra."""
+
+import pytest
+
+from repro.exceptions import RoutingError
+from repro.routing import ResidualCapacityWeight
+from repro.routing.bsor import minimal_hop_weight
+from repro.topology import Channel, VirtualChannel
+from repro.traffic import FlowSet
+
+
+@pytest.fixture
+def flows() -> FlowSet:
+    return FlowSet.from_tuples([(0, 1, 10.0), (1, 2, 30.0)])
+
+
+class TestConstruction:
+    def test_auto_capacity_and_m(self, flows):
+        weight = ResidualCapacityWeight(flows)
+        assert weight.default_capacity == pytest.approx(40.0)
+        assert weight.m_constant >= weight.default_capacity
+
+    def test_explicit_parameters(self, flows):
+        weight = ResidualCapacityWeight(flows, default_capacity=100.0,
+                                        m_constant=500.0)
+        assert weight.default_capacity == 100.0
+        assert weight.m_constant == 500.0
+
+    def test_invalid_parameters(self, flows):
+        with pytest.raises(RoutingError):
+            ResidualCapacityWeight(flows, default_capacity=-1.0)
+        with pytest.raises(RoutingError):
+            ResidualCapacityWeight(flows, vc_flow_penalty=-0.1)
+
+
+class TestResidualBookkeeping:
+    def test_commit_decrements_residual(self, flows):
+        weight = ResidualCapacityWeight(flows, default_capacity=100.0)
+        channel = Channel(0, 1)
+        weight.commit(channel, 30.0)
+        assert weight.residual(channel) == 70.0
+        assert weight.flow_count(channel) == 1
+
+    def test_commit_route_and_release(self, flows):
+        weight = ResidualCapacityWeight(flows, default_capacity=100.0)
+        route = [Channel(0, 1), Channel(1, 2)]
+        weight.commit_route(route, 10.0)
+        assert weight.max_channel_load() == 10.0
+        weight.release_route(route, 10.0)
+        assert weight.max_channel_load() == pytest.approx(0.0)
+        assert weight.flow_count(Channel(0, 1)) == 0
+
+    def test_release_uncommitted_raises(self, flows):
+        weight = ResidualCapacityWeight(flows, default_capacity=100.0)
+        weight.commit(Channel(0, 1), 5.0)
+        with pytest.raises(RoutingError):
+            weight.release_route([Channel(1, 2)], 5.0)
+
+    def test_virtual_channels_share_physical_residual(self, flows):
+        weight = ResidualCapacityWeight(flows, default_capacity=100.0)
+        vc0 = VirtualChannel(Channel(0, 1), 0)
+        vc1 = VirtualChannel(Channel(0, 1), 1)
+        weight.commit(vc0, 40.0)
+        assert weight.residual(vc1) == 60.0
+        # but flow counts are tracked per virtual channel
+        assert weight.flow_count(vc0) == 1
+        assert weight.flow_count(vc1) == 0
+
+    def test_reset(self, flows):
+        weight = ResidualCapacityWeight(flows, default_capacity=100.0)
+        weight.commit(Channel(0, 1), 40.0)
+        weight.reset()
+        assert weight.residual(Channel(0, 1)) == 100.0
+
+
+class TestWeightValues:
+    def test_loaded_channels_cost_more(self, flows):
+        weight = ResidualCapacityWeight(flows, default_capacity=100.0,
+                                        m_constant=100.0)
+        fresh = Channel(0, 1)
+        loaded = Channel(1, 2)
+        weight.commit(loaded, 80.0)
+        assert weight.weight(loaded, 10.0) > weight.weight(fresh, 10.0)
+
+    def test_weights_are_always_positive(self, flows):
+        weight = ResidualCapacityWeight(flows, default_capacity=10.0,
+                                        m_constant=10.0)
+        channel = Channel(0, 1)
+        # drive the residual deeply negative
+        for _ in range(10):
+            weight.commit(channel, 50.0)
+        assert weight.weight(channel, 50.0) > 0
+
+    def test_larger_m_flattens_weights(self, flows):
+        """Increasing M biases the selector towards hop-count minimisation:
+        the relative difference between a loaded and an unloaded link
+        shrinks."""
+        def spread(m_constant: float) -> float:
+            weight = ResidualCapacityWeight(flows, default_capacity=100.0,
+                                            m_constant=m_constant)
+            loaded = Channel(1, 2)
+            weight.commit(loaded, 90.0)
+            fresh_cost = weight.weight(Channel(0, 1), 10.0)
+            loaded_cost = weight.weight(loaded, 10.0)
+            return loaded_cost / fresh_cost
+
+        assert spread(1000.0) < spread(50.0)
+
+    def test_vc_flow_penalty_spreads_flows(self, flows):
+        weight = ResidualCapacityWeight(flows, default_capacity=100.0,
+                                        vc_flow_penalty=1.0)
+        vc0 = VirtualChannel(Channel(0, 1), 0)
+        vc1 = VirtualChannel(Channel(0, 1), 1)
+        weight.commit(vc0, 10.0)
+        assert weight.weight(vc0, 10.0) > weight.weight(vc1, 10.0)
+
+    def test_hop_bias_adds_constant(self, flows):
+        plain = ResidualCapacityWeight(flows, default_capacity=100.0,
+                                       m_constant=100.0)
+        biased = ResidualCapacityWeight(flows, default_capacity=100.0,
+                                        m_constant=100.0, hop_bias=1.0)
+        channel = Channel(0, 1)
+        assert biased.weight(channel, 1.0) == pytest.approx(
+            plain.weight(channel, 1.0) + 1.0
+        )
+
+    def test_minimal_hop_weight_is_nearly_uniform(self):
+        weight = minimal_hop_weight()
+        a = weight.weight(Channel(0, 1), 1.0)
+        weight.commit(Channel(1, 2), 1e6)
+        b = weight.weight(Channel(1, 2), 1.0)
+        assert a == pytest.approx(b, rel=1e-3)

@@ -1,0 +1,99 @@
+"""Tests for channel-load metrics (MCL, load reports, path quality)."""
+
+import pytest
+
+from repro.metrics import (
+    average_path_length,
+    average_turns,
+    channel_loads,
+    load_matrix,
+    load_report,
+    locality,
+    maximum_channel_load,
+    non_minimal_fraction,
+    path_stretch,
+    recompute_mcl_with_demands,
+)
+from repro.routing import RouteSet, XYRouting, ValiantRouting
+from repro.topology import Channel, Mesh2D
+from repro.traffic import FlowSet, transpose
+
+
+@pytest.fixture
+def simple_routes(mesh3):
+    flows = FlowSet.from_tuples([(0, 2, 10.0), (0, 8, 2.0), (6, 8, 5.0)])
+    routes = RouteSet(mesh3, flows, algorithm="manual")
+    routes.add_node_path(flows[0], [0, 1, 2])
+    routes.add_node_path(flows[1], [0, 1, 2, 5, 8])
+    routes.add_node_path(flows[2], [6, 7, 8])
+    return routes
+
+
+class TestLoads:
+    def test_channel_loads_and_mcl(self, simple_routes):
+        loads = channel_loads(simple_routes)
+        assert loads[Channel(0, 1)] == 12.0
+        assert maximum_channel_load(simple_routes) == 12.0
+
+    def test_load_report_fields(self, simple_routes):
+        report = load_report(simple_routes)
+        assert report.mcl == 12.0
+        assert report.loaded_channels == 6
+        assert report.total_channels == 24
+        assert Channel(0, 1) in report.bottlenecks
+        assert 0.0 <= report.gini <= 1.0
+        assert "MCL" in report.describe(simple_routes.topology)
+
+    def test_near_critical_channels(self, simple_routes):
+        report = load_report(simple_routes, near_critical_fraction=0.5)
+        # channels carrying >= 6.0 load: the two at 12.0
+        assert len(report.near_critical) == 2
+
+    def test_load_matrix_sorted(self, simple_routes):
+        matrix = load_matrix(simple_routes)
+        loads = [load for _, load in matrix]
+        assert loads == sorted(loads, reverse=True)
+        assert matrix[0][1] == 12.0
+
+    def test_recompute_mcl_with_demands(self, simple_routes):
+        new_mcl = recompute_mcl_with_demands(simple_routes, {"f1": 1.0})
+        assert new_mcl == pytest.approx(5.0)
+
+    def test_recompute_with_missing_flow_keeps_original_demand(self, simple_routes):
+        assert recompute_mcl_with_demands(simple_routes, {}) == 12.0
+
+    def test_empty_route_set(self, mesh3):
+        empty = RouteSet(mesh3, FlowSet())
+        report = load_report(empty)
+        assert report.mcl == 0.0
+        assert report.bottlenecks == []
+        assert report.gini == 0.0
+
+
+class TestPathQuality:
+    def test_average_path_length(self, simple_routes):
+        assert average_path_length(simple_routes) == pytest.approx(8 / 3)
+
+    def test_path_stretch_of_minimal_routes_is_one(self, mesh4, transpose4):
+        routes = XYRouting().compute_routes(mesh4, transpose4)
+        assert path_stretch(routes) == pytest.approx(1.0)
+        assert non_minimal_fraction(routes) == 0.0
+
+    def test_valiant_has_stretch_above_one(self, mesh8):
+        flows = transpose(64, demand=1.0)
+        routes = ValiantRouting(seed=1).compute_routes(mesh8, flows)
+        assert path_stretch(routes) > 1.0
+        assert non_minimal_fraction(routes) > 0.0
+
+    def test_locality_of_minimal_routes_is_one(self, mesh4, transpose4):
+        routes = XYRouting().compute_routes(mesh4, transpose4)
+        assert locality(routes) == pytest.approx(1.0)
+
+    def test_valiant_loses_locality(self, mesh8):
+        flows = transpose(64, demand=1.0)
+        routes = ValiantRouting(seed=1).compute_routes(mesh8, flows)
+        assert locality(routes) < 1.0
+
+    def test_average_turns(self, mesh4, transpose4):
+        xy = XYRouting().compute_routes(mesh4, transpose4)
+        assert 0.0 <= average_turns(xy) <= 1.0

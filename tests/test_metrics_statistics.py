@@ -1,0 +1,157 @@
+"""Tests for simulation statistics containers and helpers."""
+
+import pytest
+
+from repro.metrics import (
+    LatencySample,
+    RunningStatistics,
+    SimulationStatistics,
+    SweepCurve,
+    SweepPoint,
+    percentile,
+    relative_improvement,
+)
+
+
+class TestRunningStatistics:
+    def test_mean_min_max(self):
+        stats = RunningStatistics()
+        for value in [1.0, 2.0, 3.0, 4.0]:
+            stats.add(value)
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+        assert stats.count == 4
+
+    def test_variance_and_std(self):
+        stats = RunningStatistics()
+        for value in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]:
+            stats.add(value)
+        assert stats.variance == pytest.approx(4.571, rel=1e-3)
+        assert stats.standard_deviation == pytest.approx(2.138, rel=1e-3)
+
+    def test_empty_statistics(self):
+        stats = RunningStatistics()
+        assert stats.mean == 0.0
+        assert stats.variance == 0.0
+
+    def test_merge(self):
+        a = RunningStatistics()
+        b = RunningStatistics()
+        for value in [1.0, 2.0, 3.0]:
+            a.add(value)
+        for value in [4.0, 5.0]:
+            b.add(value)
+        a.merge(b)
+        assert a.count == 5
+        assert a.mean == pytest.approx(3.0)
+        assert a.maximum == 5.0
+
+    def test_merge_into_empty(self):
+        a = RunningStatistics()
+        b = RunningStatistics()
+        b.add(2.0)
+        a.merge(b)
+        assert a.count == 1
+        assert a.mean == 2.0
+
+
+class TestSimulationStatistics:
+    @pytest.fixture
+    def stats(self) -> SimulationStatistics:
+        return SimulationStatistics(
+            cycles=1200, warmup_cycles=200,
+            packets_injected=500, packets_delivered=400,
+            flits_delivered=1600, total_latency=8000.0,
+            per_flow_latency={"f1": 5000.0, "f2": 3000.0},
+            per_flow_delivered={"f1": 250, "f2": 150},
+        )
+
+    def test_throughput(self, stats):
+        assert stats.measurement_cycles == 1000
+        assert stats.throughput == pytest.approx(0.4)
+        assert stats.flit_throughput == pytest.approx(1.6)
+
+    def test_latency(self, stats):
+        assert stats.average_latency == pytest.approx(20.0)
+        assert stats.flow_average_latency("f1") == pytest.approx(20.0)
+        assert stats.flow_average_latency("missing") == 0.0
+
+    def test_delivery_ratio(self, stats):
+        assert stats.delivery_ratio == pytest.approx(0.8)
+
+    def test_zero_delivery_edge_cases(self):
+        stats = SimulationStatistics(
+            cycles=100, warmup_cycles=0, packets_injected=0,
+            packets_delivered=0, flits_delivered=0, total_latency=0.0,
+        )
+        assert stats.average_latency == 0.0
+        assert stats.delivery_ratio == 1.0
+
+    def test_describe(self, stats):
+        assert "throughput" in stats.describe()
+
+    def test_latency_sample(self):
+        sample = LatencySample("f1", injected_cycle=10, delivered_cycle=35)
+        assert sample.latency == 25
+
+
+class TestSweepCurve:
+    @pytest.fixture
+    def curve(self) -> SweepCurve:
+        curve = SweepCurve(algorithm="XY", workload="transpose")
+        data = [
+            (0.5, 0.5, 10.0, 1.0),
+            (1.0, 1.0, 15.0, 1.0),
+            (2.0, 1.5, 80.0, 0.75),
+            (4.0, 1.6, 200.0, 0.4),
+        ]
+        for rate, throughput, latency, ratio in data:
+            curve.add_point(SweepPoint(rate, throughput, latency, ratio))
+        return curve
+
+    def test_accessors(self, curve):
+        assert curve.offered_rates == [0.5, 1.0, 2.0, 4.0]
+        assert curve.throughputs[-1] == 1.6
+        assert curve.latencies[0] == 10.0
+
+    def test_saturation_throughput(self, curve):
+        assert curve.saturation_throughput() == 1.6
+
+    def test_saturation_point_by_delivery(self, curve):
+        assert curve.saturation_point() == 2.0
+
+    def test_saturation_point_by_latency(self, curve):
+        assert curve.saturation_point(latency_threshold=12.0,
+                                      delivery_threshold=0.0) == 1.0
+
+    def test_no_saturation(self):
+        curve = SweepCurve(algorithm="XY", workload="x")
+        curve.add_point(SweepPoint(0.5, 0.5, 5.0, 1.0))
+        assert curve.saturation_point() is None
+
+    def test_stability(self, curve):
+        assert curve.is_stable()
+        unstable = SweepCurve(algorithm="ROMM", workload="bc")
+        unstable.add_point(SweepPoint(1.0, 1.0, 10.0, 1.0))
+        unstable.add_point(SweepPoint(2.0, 0.4, 300.0, 0.2))
+        assert not unstable.is_stable()
+
+
+class TestHelpers:
+    def test_relative_improvement(self):
+        assert relative_improvement(1.5, 1.0) == pytest.approx(0.5)
+        assert relative_improvement(1.0, 0.0) == 0.0
+
+    def test_percentile(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 5.0
+        assert percentile(values, 0.5) == 3.0
+        assert percentile(values, 0.25) == 2.0
+
+    def test_percentile_edge_cases(self):
+        assert percentile([], 0.5) == 0.0
+        assert percentile([7.0], 0.9) == 7.0
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)

@@ -1,0 +1,149 @@
+"""Tests for Route / RouteSet and the routing-algorithm interface."""
+
+import pytest
+
+from repro.exceptions import RoutingError
+from repro.routing import Route, RouteSet
+from repro.topology import Channel, Mesh2D, VirtualChannel
+from repro.traffic import Flow, FlowSet
+
+
+@pytest.fixture
+def flow() -> Flow:
+    return Flow(0, 2, 10.0, name="f1")
+
+
+class TestRoute:
+    def test_valid_route(self, mesh3, flow):
+        route = Route(flow, (mesh3.channel(0, 1), mesh3.channel(1, 2)))
+        assert route.hop_count == 2
+        assert route.node_path == [0, 1, 2]
+        assert route.channels == [Channel(0, 1), Channel(1, 2)]
+
+    def test_empty_route_rejected(self, flow):
+        with pytest.raises(RoutingError):
+            Route(flow, ())
+
+    def test_wrong_source_rejected(self, mesh3, flow):
+        with pytest.raises(RoutingError):
+            Route(flow, (mesh3.channel(1, 2),))
+
+    def test_wrong_destination_rejected(self, mesh3, flow):
+        with pytest.raises(RoutingError):
+            Route(flow, (mesh3.channel(0, 1), mesh3.channel(1, 4)))
+
+    def test_non_consecutive_rejected(self, mesh3, flow):
+        with pytest.raises(RoutingError):
+            Route(flow, (mesh3.channel(0, 1), mesh3.channel(4, 5), mesh3.channel(5, 2)))
+
+    def test_mixed_resource_kinds_rejected(self, mesh3, flow):
+        with pytest.raises(RoutingError):
+            Route(flow, (mesh3.channel(0, 1),
+                         VirtualChannel(mesh3.channel(1, 2), 0)))
+
+    def test_static_vc_route(self, mesh3, flow):
+        route = Route(flow, (VirtualChannel(mesh3.channel(0, 1), 0),
+                             VirtualChannel(mesh3.channel(1, 2), 1)))
+        assert route.is_statically_vc_allocated
+        assert route.vc_indices == [0, 1]
+
+    def test_dynamic_route_has_no_vcs(self, mesh3, flow):
+        route = Route(flow, (mesh3.channel(0, 1), mesh3.channel(1, 2)))
+        assert not route.is_statically_vc_allocated
+        assert route.vc_indices == [None, None]
+
+    def test_is_minimal(self, mesh3, flow):
+        minimal = Route(flow, (mesh3.channel(0, 1), mesh3.channel(1, 2)))
+        detour = Route(flow, (mesh3.channel(0, 3), mesh3.channel(3, 4),
+                              mesh3.channel(4, 1), mesh3.channel(1, 2)))
+        assert minimal.is_minimal(mesh3)
+        assert not detour.is_minimal(mesh3)
+
+    def test_turn_count(self, mesh3, flow):
+        straight = Route(flow, (mesh3.channel(0, 1), mesh3.channel(1, 2)))
+        bent = Route(flow, (mesh3.channel(0, 3), mesh3.channel(3, 4),
+                            mesh3.channel(4, 1), mesh3.channel(1, 2)))
+        assert straight.turn_count(mesh3) == 0
+        assert bent.turn_count(mesh3) == 3
+
+    def test_uses_channel(self, mesh3, flow):
+        route = Route(flow, (mesh3.channel(0, 1), mesh3.channel(1, 2)))
+        assert route.uses_channel(Channel(0, 1))
+        assert not route.uses_channel(Channel(1, 4))
+
+    def test_describe(self, mesh3, flow):
+        route = Route(flow, (mesh3.channel(0, 1), mesh3.channel(1, 2)))
+        assert "A -> B -> C" in route.describe(mesh3)
+
+
+class TestRouteSet:
+    @pytest.fixture
+    def flows(self) -> FlowSet:
+        return FlowSet.from_tuples([(0, 2, 10.0), (6, 8, 5.0), (0, 8, 2.0)])
+
+    @pytest.fixture
+    def route_set(self, mesh3, flows) -> RouteSet:
+        routes = RouteSet(mesh3, flows, algorithm="test")
+        routes.add_node_path(flows[0], [0, 1, 2])
+        routes.add_node_path(flows[1], [6, 7, 8])
+        routes.add_node_path(flows[2], [0, 1, 2, 5, 8])
+        return routes
+
+    def test_completeness(self, route_set, flows):
+        assert route_set.is_complete()
+        assert route_set.missing_flows() == []
+        assert len(route_set) == 3
+
+    def test_incomplete_detection(self, mesh3, flows):
+        routes = RouteSet(mesh3, flows)
+        routes.add_node_path(flows[0], [0, 1, 2])
+        assert not routes.is_complete()
+        assert len(routes.missing_flows()) == 2
+
+    def test_duplicate_route_rejected(self, route_set, flows):
+        with pytest.raises(RoutingError):
+            route_set.add_node_path(flows[0], [0, 3, 4, 5, 2])
+
+    def test_foreign_flow_rejected(self, mesh3, flows):
+        routes = RouteSet(mesh3, flows)
+        stranger = Flow(3, 4, 1.0, name="stranger")
+        with pytest.raises(RoutingError):
+            routes.add(Route(stranger, (mesh3.channel(3, 4),)))
+
+    def test_route_lookup(self, route_set, flows):
+        assert route_set.route_of(flows[0]).node_path == [0, 1, 2]
+        assert route_set.route_by_name("f2").node_path == [6, 7, 8]
+        with pytest.raises(RoutingError):
+            route_set.route_by_name("missing")
+
+    def test_channel_loads_accumulate_demand(self, route_set):
+        loads = route_set.channel_loads()
+        # f1 (10) and f3 (2) share A->B and B->C
+        assert loads[Channel(0, 1)] == 12.0
+        assert loads[Channel(6, 7)] == 5.0
+
+    def test_max_channel_load_and_bottlenecks(self, route_set):
+        assert route_set.max_channel_load() == 12.0
+        assert set(route_set.bottleneck_channels()) == {Channel(0, 1), Channel(1, 2)}
+
+    def test_hop_counts(self, route_set):
+        assert route_set.total_hop_count() == 8
+        assert route_set.average_hop_count() == pytest.approx(8 / 3)
+
+    def test_flows_through(self, route_set):
+        assert len(route_set.flows_through(Channel(0, 1))) == 2
+        assert route_set.max_flows_per_channel() == 2
+
+    def test_static_vc_detection(self, route_set):
+        assert not route_set.is_statically_vc_allocated()
+
+    def test_describe_lists_routes(self, route_set):
+        text = route_set.describe()
+        assert "MCL=12" in text
+        assert "f1" in text and "f3" in text
+
+    def test_empty_route_set_metrics(self, mesh3):
+        empty = RouteSet(mesh3, FlowSet())
+        assert empty.max_channel_load() == 0.0
+        assert empty.average_hop_count() == 0.0
+        assert empty.bottleneck_channels() == []

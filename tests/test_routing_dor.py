@@ -1,0 +1,79 @@
+"""Tests for dimension-order routing (XY / YX)."""
+
+import pytest
+
+from repro.exceptions import RoutingError
+from repro.routing import DimensionOrderRouting, XYRouting, YXRouting, check_deadlock_freedom
+from repro.topology import Direction, Mesh2D, Ring
+from repro.traffic import FlowSet, bit_complement, transpose
+
+
+class TestDimensionOrderRouting:
+    def test_names(self):
+        assert XYRouting().name == "XY"
+        assert YXRouting().name == "YX"
+
+    def test_invalid_order(self):
+        with pytest.raises(RoutingError):
+            DimensionOrderRouting(order="xz")
+
+    def test_requires_mesh(self, ring5):
+        flows = FlowSet.from_tuples([(0, 2, 1.0)])
+        with pytest.raises(RoutingError):
+            XYRouting().compute_routes(ring5, flows)
+
+    def test_all_flows_routed(self, mesh4, transpose4):
+        routes = XYRouting().compute_routes(mesh4, transpose4)
+        assert routes.is_complete()
+
+    def test_routes_are_minimal(self, mesh4, transpose4):
+        for algorithm in (XYRouting(), YXRouting()):
+            routes = algorithm.compute_routes(mesh4, transpose4)
+            assert all(route.is_minimal(mesh4) for route in routes)
+
+    def test_xy_turns_only_from_x_to_y(self, mesh4, transpose4):
+        routes = XYRouting().compute_routes(mesh4, transpose4)
+        for route in routes:
+            directions = [mesh4.direction_of(ch) for ch in route.channels]
+            for a, b in zip(directions, directions[1:]):
+                if a is not b:
+                    assert a.axis == "x" and b.axis == "y"
+
+    def test_yx_turns_only_from_y_to_x(self, mesh4, transpose4):
+        routes = YXRouting().compute_routes(mesh4, transpose4)
+        for route in routes:
+            directions = [mesh4.direction_of(ch) for ch in route.channels]
+            for a, b in zip(directions, directions[1:]):
+                if a is not b:
+                    assert a.axis == "y" and b.axis == "x"
+
+    def test_at_most_one_turn(self, mesh4, transpose4):
+        routes = XYRouting().compute_routes(mesh4, transpose4)
+        assert all(route.turn_count(mesh4) <= 1 for route in routes)
+
+    def test_deadlock_freedom(self, mesh4, transpose4):
+        for algorithm in (XYRouting(), YXRouting()):
+            routes = algorithm.compute_routes(mesh4, transpose4)
+            assert check_deadlock_freedom(routes).deadlock_free
+
+    def test_paper_mcl_on_8x8_transpose(self, mesh8):
+        """Table 6.3: XY and YX both give MCL = 175 MB/s on transpose with
+        25 MB/s flows (seven flows share the worst link)."""
+        flows = transpose(64, demand=25.0)
+        assert XYRouting().compute_routes(mesh8, flows).max_channel_load() == 175.0
+        assert YXRouting().compute_routes(mesh8, flows).max_channel_load() == 175.0
+
+    def test_paper_mcl_on_8x8_bit_complement(self, mesh8):
+        """Table 6.3: bit-complement MCL = 100 MB/s for XY and YX."""
+        flows = bit_complement(64, demand=25.0)
+        assert XYRouting().compute_routes(mesh8, flows).max_channel_load() == 100.0
+        assert YXRouting().compute_routes(mesh8, flows).max_channel_load() == 100.0
+
+    def test_xy_yx_symmetric_on_transpose(self, mesh8):
+        """Transpose is symmetric under x/y exchange, so XY and YX produce
+        identical MCLs and identical average hop counts."""
+        flows = transpose(64, demand=25.0)
+        xy = XYRouting().compute_routes(mesh8, flows)
+        yx = YXRouting().compute_routes(mesh8, flows)
+        assert xy.max_channel_load() == yx.max_channel_load()
+        assert xy.average_hop_count() == yx.average_hop_count()

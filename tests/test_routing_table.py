@@ -1,0 +1,124 @@
+"""Tests for source-routing and node-table routing (Section 4.2.1)."""
+
+import pytest
+
+from repro.exceptions import TableError
+from repro.routing import (
+    NodeRoutingTable,
+    SourceRoutingTable,
+    XYRouting,
+)
+from repro.routing.bsor import BSORRouting
+from repro.topology import Direction, Mesh2D
+from repro.traffic import FlowSet, transpose
+
+
+@pytest.fixture
+def xy_routes(mesh4, transpose4):
+    return XYRouting().compute_routes(mesh4, transpose4)
+
+
+class TestSourceRouting:
+    def test_tables_cover_every_flow(self, xy_routes, transpose4):
+        table = SourceRoutingTable.from_route_set(xy_routes)
+        for flow in transpose4:
+            source_route = table.route_for(flow.source, flow.name)
+            assert source_route.length == xy_routes.route_of(flow).hop_count
+
+    def test_port_sequence_matches_route_directions(self, mesh4, xy_routes, transpose4):
+        table = SourceRoutingTable.from_route_set(xy_routes)
+        flow = transpose4[0]
+        route = xy_routes.route_of(flow)
+        expected = [mesh4.direction_of(channel) for channel in route.channels]
+        actual = [sel.direction
+                  for sel in table.route_for(flow.source, flow.name).selections]
+        assert actual == expected
+
+    def test_missing_route_lookup(self, xy_routes):
+        table = SourceRoutingTable.from_route_set(xy_routes)
+        with pytest.raises(TableError):
+            table.route_for(0, "not-a-flow")
+
+    def test_capacity_limit(self, mesh8):
+        flows = FlowSet(name="many")
+        for destination in range(1, 5):
+            flows.add_flow(0, destination, 1.0)
+        routes = XYRouting().compute_routes(mesh8, flows)
+        with pytest.raises(TableError):
+            SourceRoutingTable.from_route_set(routes, max_routes_per_node=2)
+
+    def test_occupancy_and_overhead(self, xy_routes):
+        table = SourceRoutingTable.from_route_set(xy_routes)
+        assert table.total_routing_flits() == xy_routes.total_hop_count()
+        assert sum(table.occupancy(node) for node in range(16)) == len(xy_routes)
+
+    def test_static_vc_preserved(self, mesh4, transpose4):
+        bsor = BSORRouting(selector="dijkstra", num_vcs=2)
+        routes = bsor.compute_routes(mesh4, transpose4)
+        table = SourceRoutingTable.from_route_set(routes)
+        flow = transpose4[0]
+        selections = table.route_for(flow.source, flow.name).selections
+        assert all(selection.vc is not None for selection in selections)
+
+
+class TestNodeTableRouting:
+    def test_walk_reconstructs_route(self, mesh4, xy_routes, transpose4):
+        table = NodeRoutingTable.from_route_set(xy_routes)
+        for flow in transpose4:
+            steps = table.walk(flow.source, flow.name)
+            route = xy_routes.route_of(flow)
+            assert len(steps) == route.hop_count
+            visited_nodes = [node for node, _ in steps]
+            assert visited_nodes == route.node_path[:-1]
+            assert steps[-1][1].next_index == NodeRoutingTable.EJECT_INDEX
+
+    def test_initial_index_lookup(self, xy_routes, transpose4):
+        table = NodeRoutingTable.from_route_set(xy_routes)
+        flow = transpose4[0]
+        assert table.initial_index(flow.source, flow.name) >= 0
+        with pytest.raises(TableError):
+            table.initial_index(flow.source, "missing")
+
+    def test_lookup_bounds(self, xy_routes):
+        table = NodeRoutingTable.from_route_set(xy_routes)
+        with pytest.raises(TableError):
+            table.lookup(0, 999)
+
+    def test_duplicate_programming_rejected(self, mesh4, xy_routes, transpose4):
+        table = NodeRoutingTable.from_route_set(xy_routes)
+        with pytest.raises(TableError):
+            table.add_route(xy_routes.route_of(transpose4[0]))
+
+    def test_capacity_limit(self, mesh8):
+        flows = FlowSet(name="many")
+        for destination in range(8, 16):
+            flows.add_flow(0, destination, 1.0)
+        routes = XYRouting().compute_routes(mesh8, flows)
+        with pytest.raises(TableError):
+            NodeRoutingTable.from_route_set(routes, max_entries_per_node=3)
+
+    def test_occupancy_counts_transit_flows(self, mesh4, xy_routes):
+        table = NodeRoutingTable.from_route_set(xy_routes)
+        total_entries = sum(table.occupancy(node) for node in mesh4.nodes)
+        assert total_entries == xy_routes.total_hop_count()
+        assert table.max_occupancy() >= 1
+
+    def test_storage_estimate_matches_paper_scale(self, xy_routes):
+        """The paper estimates an entry at 2 port bits + 8 index bits; with
+        the default 256-entry tables our estimate lands in the same range
+        (plus 2 VC bits)."""
+        table = NodeRoutingTable.from_route_set(xy_routes)
+        assert 10 <= table.bits_per_entry() <= 14
+        assert table.total_storage_bits() == \
+            table.bits_per_entry() * xy_routes.total_hop_count()
+
+    def test_bsor_routes_programmable(self, mesh4, transpose4):
+        """BSOR needs nothing beyond table-based routing: any route set it
+        produces must compile into node tables and walk back correctly."""
+        bsor = BSORRouting(selector="dijkstra")
+        routes = bsor.compute_routes(mesh4, transpose4)
+        table = NodeRoutingTable.from_route_set(routes)
+        for flow in transpose4:
+            steps = table.walk(flow.source, flow.name)
+            assert [node for node, _ in steps] == \
+                routes.route_of(flow).node_path[:-1]

@@ -1,0 +1,91 @@
+"""Tests for the traffic injection processes."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulator import (
+    BernoulliInjection,
+    ModulatedInjection,
+    injection_trace,
+    make_injection_process,
+)
+from repro.traffic import FlowSet, h264_decoder
+
+
+@pytest.fixture
+def flows() -> FlowSet:
+    return FlowSet.from_tuples([(0, 1, 10.0), (1, 2, 30.0)])
+
+
+class TestBernoulliInjection:
+    def test_rates_proportional_to_demand(self, flows):
+        process = BernoulliInjection(flows, offered_rate=4.0)
+        assert process.flow_rates["f1"] == pytest.approx(1.0)
+        assert process.flow_rates["f2"] == pytest.approx(3.0)
+
+    def test_rates_sum_to_offered_rate(self):
+        flows = h264_decoder()
+        process = BernoulliInjection(flows, offered_rate=2.0)
+        assert sum(process.flow_rates.values()) == pytest.approx(2.0)
+
+    def test_integral_rates_inject_deterministically(self, flows):
+        process = BernoulliInjection(flows, offered_rate=4.0, seed=1)
+        flow = flows.by_name("f2")  # rate exactly 3.0
+        assert all(process.packets_to_inject(flow, cycle) == 3
+                   for cycle in range(50))
+
+    def test_fractional_rates_average_out(self, flows):
+        process = BernoulliInjection(flows, offered_rate=1.0, seed=1)
+        flow = flows.by_name("f1")  # rate 0.25
+        total = sum(process.packets_to_inject(flow, cycle) for cycle in range(4000))
+        assert total / 4000 == pytest.approx(0.25, rel=0.15)
+
+    def test_negative_rate_rejected(self, flows):
+        with pytest.raises(SimulationError):
+            BernoulliInjection(flows, offered_rate=-1.0)
+
+    def test_zero_total_demand_rejected(self):
+        with pytest.raises(SimulationError):
+            BernoulliInjection(FlowSet.from_tuples([(0, 1, 0.0)]), 1.0)
+
+
+class TestModulatedInjection:
+    def test_long_run_rate_near_nominal(self, flows):
+        process = ModulatedInjection(flows, offered_rate=4.0,
+                                     variation_fraction=0.5,
+                                     mean_dwell_cycles=20, seed=2)
+        flow = flows.by_name("f2")
+        total = sum(process.packets_to_inject(flow, cycle)
+                    for cycle in range(20_000))
+        assert total / 20_000 == pytest.approx(3.0, rel=0.15)
+
+    def test_instantaneous_rate_varies(self, flows):
+        process = ModulatedInjection(flows, offered_rate=4.0,
+                                     variation_fraction=0.5,
+                                     mean_dwell_cycles=10, seed=2)
+        flow = flows.by_name("f2")
+        rates = {round(process.rate_of(flow, cycle), 6) for cycle in range(500)}
+        assert len(rates) > 3
+
+    def test_invalid_variation(self, flows):
+        with pytest.raises(SimulationError):
+            ModulatedInjection(flows, 1.0, variation_fraction=2.0)
+
+
+class TestFactoryAndTrace:
+    def test_factory_dispatch(self, flows):
+        assert isinstance(make_injection_process(flows, 1.0), BernoulliInjection)
+        assert isinstance(make_injection_process(flows, 1.0, 0.25),
+                          ModulatedInjection)
+
+    def test_injection_trace_length(self, flows):
+        process = make_injection_process(flows, 2.0, seed=1)
+        trace = injection_trace(process, flows.by_name("f1"), 100)
+        assert len(trace) == 100
+        assert all(count >= 0 for count in trace)
+
+    def test_bursty_trace_shows_rate_changes(self, flows):
+        """Figure 5-4: the modulated process produces visible bursts."""
+        process = make_injection_process(flows, 40.0, 0.5, seed=3)
+        trace = injection_trace(process, flows.by_name("f2"), 2000)
+        assert max(trace) > min(trace)

@@ -1,0 +1,178 @@
+"""Tests for the cycle-accurate wormhole network simulator."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.routing import RouteSet, XYRouting
+from repro.simulator import (
+    BernoulliInjection,
+    NetworkSimulator,
+    SimulationConfig,
+    simulate_route_set,
+)
+from repro.topology import Mesh2D, VirtualChannel
+from repro.traffic import FlowSet, transpose
+
+
+def single_flow_setup(mesh, source, destination, demand=1.0):
+    flows = FlowSet.from_tuples([(source, destination, demand)])
+    routes = XYRouting().compute_routes(mesh, flows)
+    return flows, routes
+
+
+class TestSingleFlowDelivery:
+    def test_packets_are_delivered(self, mesh3, tiny_sim_config):
+        flows, routes = single_flow_setup(mesh3, 0, 8)
+        injection = BernoulliInjection(flows, offered_rate=0.05, seed=1)
+        simulator = NetworkSimulator(mesh3, routes, tiny_sim_config, injection)
+        stats = simulator.run()
+        assert stats.packets_delivered > 0
+        assert stats.delivery_ratio > 0.8
+
+    def test_latency_lower_bound(self, mesh3, tiny_sim_config):
+        """At very low load, latency ~= hops + serialization (packet size)."""
+        flows, routes = single_flow_setup(mesh3, 0, 8)
+        injection = BernoulliInjection(flows, offered_rate=0.02, seed=1)
+        stats = NetworkSimulator(mesh3, routes, tiny_sim_config, injection).run()
+        hops = routes.routes[0].hop_count
+        minimum = hops + tiny_sim_config.packet_size_flits - 1
+        assert stats.average_latency >= minimum
+        assert stats.average_latency <= minimum + 10
+
+    def test_flit_conservation(self, mesh3, tiny_sim_config):
+        flows, routes = single_flow_setup(mesh3, 0, 8)
+        injection = BernoulliInjection(flows, offered_rate=0.05, seed=1)
+        simulator = NetworkSimulator(mesh3, routes, tiny_sim_config, injection)
+        stats = simulator.run()
+        # every delivered packet contributed exactly packet_size flits
+        assert stats.flits_delivered == \
+            stats.packets_delivered * tiny_sim_config.packet_size_flits
+
+    def test_per_flow_statistics(self, mesh3, tiny_sim_config):
+        flows, routes = single_flow_setup(mesh3, 0, 8)
+        injection = BernoulliInjection(flows, offered_rate=0.05, seed=1)
+        stats = NetworkSimulator(mesh3, routes, tiny_sim_config, injection).run()
+        assert set(stats.per_flow_delivered) == {"f1"}
+        assert stats.flow_average_latency("f1") > 0
+
+    def test_zero_offered_rate_delivers_nothing(self, mesh3, tiny_sim_config):
+        flows, routes = single_flow_setup(mesh3, 0, 8)
+        injection = BernoulliInjection(flows, offered_rate=0.0, seed=1)
+        stats = NetworkSimulator(mesh3, routes, tiny_sim_config, injection).run()
+        assert stats.packets_delivered == 0
+        assert stats.packets_injected == 0
+
+
+class TestThroughputBehaviour:
+    def test_throughput_tracks_offered_load_below_saturation(self, mesh4,
+                                                              transpose4,
+                                                              tiny_sim_config):
+        routes = XYRouting().compute_routes(mesh4, transpose4)
+        low = simulate_route_set(mesh4, routes, tiny_sim_config, 0.3)
+        high = simulate_route_set(mesh4, routes, tiny_sim_config, 0.9)
+        assert low.throughput == pytest.approx(0.3, rel=0.3)
+        assert high.throughput > low.throughput
+
+    def test_throughput_saturates(self, mesh4, transpose4, tiny_sim_config):
+        routes = XYRouting().compute_routes(mesh4, transpose4)
+        saturated = simulate_route_set(mesh4, routes, tiny_sim_config, 20.0)
+        very_saturated = simulate_route_set(mesh4, routes, tiny_sim_config, 40.0)
+        assert very_saturated.throughput == pytest.approx(
+            saturated.throughput, rel=0.25
+        )
+        assert saturated.delivery_ratio < 1.0
+
+    def test_latency_grows_with_load(self, mesh4, transpose4, tiny_sim_config):
+        routes = XYRouting().compute_routes(mesh4, transpose4)
+        low = simulate_route_set(mesh4, routes, tiny_sim_config, 0.3)
+        high = simulate_route_set(mesh4, routes, tiny_sim_config, 8.0)
+        assert high.average_latency > low.average_latency
+
+    def test_lower_mcl_routes_saturate_higher(self, mesh4, transpose4):
+        """The core premise: the BSOR route set (lower MCL) sustains higher
+        throughput than XY on the same workload."""
+        from repro.routing import BSORRouting
+
+        config = SimulationConfig(num_vcs=2, buffer_depth=4,
+                                  packet_size_flits=4,
+                                  warmup_cycles=100, measurement_cycles=1500)
+        xy = XYRouting().compute_routes(mesh4, transpose4)
+        bsor = BSORRouting(selector="dijkstra").compute_routes(mesh4, transpose4)
+        assert bsor.max_channel_load() < xy.max_channel_load()
+        xy_stats = simulate_route_set(mesh4, xy, config, 6.0)
+        bsor_stats = simulate_route_set(mesh4, bsor, config, 6.0)
+        assert bsor_stats.throughput > xy_stats.throughput
+
+
+class TestVirtualChannelsAndStaticAllocation:
+    def test_static_vc_routes_simulate(self, mesh4, transpose4, tiny_sim_config):
+        from repro.routing import BSORRouting
+
+        routes = BSORRouting(selector="dijkstra", num_vcs=2).compute_routes(
+            mesh4, transpose4
+        )
+        assert routes.is_statically_vc_allocated()
+        stats = simulate_route_set(mesh4, routes, tiny_sim_config, 0.5)
+        assert stats.packets_delivered > 0
+
+    def test_static_vc_beyond_configured_count_rejected(self, mesh3,
+                                                        tiny_sim_config):
+        flows = FlowSet.from_tuples([(0, 2, 1.0)])
+        routes = RouteSet(mesh3, flows)
+        routes.add_path(flows[0], [VirtualChannel(mesh3.channel(0, 1), 5),
+                                   VirtualChannel(mesh3.channel(1, 2), 5)])
+        injection = BernoulliInjection(flows, offered_rate=0.1)
+        with pytest.raises(SimulationError):
+            NetworkSimulator(mesh3, routes, tiny_sim_config, injection)
+
+    def test_more_vcs_do_not_reduce_throughput(self, mesh4, transpose4):
+        routes = XYRouting().compute_routes(mesh4, transpose4)
+        base = SimulationConfig(num_vcs=1, buffer_depth=4, packet_size_flits=4,
+                                warmup_cycles=100, measurement_cycles=1000)
+        one_vc = simulate_route_set(mesh4, routes, base, 4.0)
+        four_vc = simulate_route_set(mesh4, routes, base.with_vcs(4), 4.0)
+        assert four_vc.throughput >= one_vc.throughput * 0.95
+
+    def test_single_vc_single_flow_still_works(self, mesh3):
+        config = SimulationConfig(num_vcs=1, buffer_depth=4, packet_size_flits=4,
+                                  warmup_cycles=50, measurement_cycles=300)
+        flows, routes = single_flow_setup(mesh3, 0, 8)
+        stats = simulate_route_set(mesh3, routes, config, 0.05)
+        assert stats.packets_delivered > 0
+
+
+class TestRobustness:
+    def test_route_over_foreign_channel_rejected(self, mesh3, mesh4,
+                                                 tiny_sim_config):
+        flows = FlowSet.from_tuples([(0, 5, 1.0)])
+        # routes computed on the 4x4 mesh reference channels (e.g. 4->5) that
+        # do not exist on the 3x3 mesh
+        routes = XYRouting().compute_routes(mesh4, flows)
+        injection = BernoulliInjection(flows, offered_rate=0.1)
+        with pytest.raises(SimulationError):
+            NetworkSimulator(mesh3, routes, tiny_sim_config, injection)
+
+    def test_incomplete_route_set_rejected(self, mesh3, tiny_sim_config):
+        flows = FlowSet.from_tuples([(0, 2, 1.0), (3, 5, 1.0)])
+        routes = RouteSet(mesh3, flows)
+        routes.add_node_path(flows[0], [0, 1, 2])
+        with pytest.raises(SimulationError):
+            simulate_route_set(mesh3, routes, tiny_sim_config, 0.5)
+
+    def test_occupancy_snapshot(self, mesh4, transpose4, tiny_sim_config):
+        routes = XYRouting().compute_routes(mesh4, transpose4)
+        injection = BernoulliInjection(transpose4, offered_rate=4.0, seed=1)
+        simulator = NetworkSimulator(mesh4, routes, tiny_sim_config, injection)
+        for _ in range(100):
+            simulator.step()
+        snapshot = simulator.occupancy_snapshot()
+        assert all(count > 0 for count in snapshot.values())
+        assert simulator.in_flight_flits >= sum(snapshot.values())
+
+    def test_step_returns_flits_moved(self, mesh3, tiny_sim_config):
+        flows, routes = single_flow_setup(mesh3, 0, 8)
+        injection = BernoulliInjection(flows, offered_rate=1.0, seed=1)
+        simulator = NetworkSimulator(mesh3, routes, tiny_sim_config, injection)
+        moved = sum(simulator.step() for _ in range(50))
+        assert moved > 0
+        assert simulator.cycle == 50

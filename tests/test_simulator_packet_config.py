@@ -1,0 +1,121 @@
+"""Tests for simulator packets, flits and configuration."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulator import Flit, Packet, SimulationConfig
+
+
+def make_packet(**overrides) -> Packet:
+    defaults = dict(
+        packet_id=1, flow_name="f1", source=0, destination=2,
+        route_channels=(0, 1), static_vcs=(None, None),
+        size_flits=4, injected_cycle=10,
+    )
+    defaults.update(overrides)
+    return Packet(**defaults)
+
+
+class TestPacket:
+    def test_basic_fields(self):
+        packet = make_packet()
+        assert packet.num_hops == 2
+        assert packet.latency is None
+        assert packet.allocated_vcs == [None, None]
+
+    def test_latency_after_delivery(self):
+        packet = make_packet()
+        packet.delivered_cycle = 42
+        assert packet.latency == 32
+
+    def test_invalid_size(self):
+        with pytest.raises(SimulationError):
+            make_packet(size_flits=0)
+
+    def test_route_and_vcs_must_align(self):
+        with pytest.raises(SimulationError):
+            make_packet(static_vcs=(None,))
+
+    def test_empty_route_rejected(self):
+        with pytest.raises(SimulationError):
+            make_packet(route_channels=(), static_vcs=())
+
+    def test_vc_at_hop_prefers_static(self):
+        packet = make_packet(static_vcs=(1, None))
+        packet.allocated_vcs = [0, 0]
+        assert packet.vc_at_hop(0) == 1
+        assert packet.vc_at_hop(1) == 0
+
+    def test_make_flits(self):
+        packet = make_packet(size_flits=3)
+        flits = packet.make_flits()
+        assert len(flits) == 3
+        assert flits[0].is_head and not flits[0].is_tail
+        assert flits[-1].is_tail and not flits[-1].is_head
+        assert all(flit.packet is packet for flit in flits)
+
+    def test_single_flit_packet_is_head_and_tail(self):
+        flits = make_packet(size_flits=1).make_flits()
+        assert flits[0].is_head and flits[0].is_tail
+
+
+class TestFlit:
+    def test_initially_in_source_queue(self):
+        flit = make_packet().make_flits()[0]
+        assert flit.hop == -1
+        assert not flit.at_last_hop
+        assert flit.next_hop_channel() == 0
+
+    def test_next_hop_progression(self):
+        flit = make_packet().make_flits()[0]
+        flit.hop = 0
+        assert flit.next_hop_channel() == 1
+        flit.hop = 1
+        assert flit.at_last_hop
+        assert flit.next_hop_channel() is None
+
+    def test_flow_name(self):
+        assert make_packet().make_flits()[0].flow_name == "f1"
+
+
+class TestSimulationConfig:
+    def test_defaults_are_valid(self):
+        config = SimulationConfig()
+        assert config.total_cycles == config.warmup_cycles + config.measurement_cycles
+
+    def test_paper_scale(self):
+        config = SimulationConfig.paper_scale()
+        assert config.warmup_cycles == 20_000
+        assert config.measurement_cycles == 100_000
+
+    def test_test_scale_is_small(self):
+        config = SimulationConfig.test_scale()
+        assert config.total_cycles < 5_000
+
+    def test_with_vcs(self):
+        assert SimulationConfig().with_vcs(8).num_vcs == 8
+
+    def test_with_variation(self):
+        assert SimulationConfig().with_variation(0.25).bandwidth_variation == 0.25
+
+    def test_scaled(self):
+        config = SimulationConfig(warmup_cycles=1000, measurement_cycles=2000)
+        scaled = config.scaled(0.5)
+        assert scaled.warmup_cycles == 500
+        assert scaled.measurement_cycles == 1000
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(num_vcs=0),
+        dict(buffer_depth=0),
+        dict(packet_size_flits=0),
+        dict(measurement_cycles=0),
+        dict(local_bandwidth=0),
+        dict(bandwidth_variation=1.5),
+    ])
+    def test_invalid_configurations(self, kwargs):
+        with pytest.raises(SimulationError):
+            SimulationConfig(**kwargs)
+
+    def test_scaled_rejects_non_positive_factor(self):
+        with pytest.raises(SimulationError):
+            SimulationConfig().scaled(0)

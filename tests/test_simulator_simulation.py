@@ -1,0 +1,103 @@
+"""Tests for the high-level simulation driver (sweeps, phase boundaries)."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.routing import ROMMRouting, ValiantRouting, XYRouting
+from repro.simulator import (
+    SimulationConfig,
+    compare_algorithms,
+    phase_boundaries_for,
+    phase_boundaries_from_intermediates,
+    sweep_algorithm,
+    sweep_injection_rates,
+)
+from repro.topology import Mesh2D
+from repro.traffic import transpose
+
+
+class TestPhaseBoundaries:
+    def test_boundaries_split_routes_at_intermediate(self, mesh4, transpose4):
+        algorithm = ROMMRouting(seed=1)
+        routes = algorithm.compute_routes(mesh4, transpose4)
+        boundaries = phase_boundaries_from_intermediates(
+            routes, algorithm.intermediates
+        )
+        for flow_name, boundary in boundaries.items():
+            route = routes.route_by_name(flow_name)
+            pivot = algorithm.intermediates[flow_name]
+            assert route.channels[boundary - 1].dst == pivot
+            assert 0 < boundary <= route.hop_count
+
+    def test_endpoint_intermediates_are_skipped(self, mesh4, transpose4):
+        algorithm = ROMMRouting(seed=1)
+        routes = algorithm.compute_routes(mesh4, transpose4)
+        tampered = dict(algorithm.intermediates)
+        a_flow = transpose4[0]
+        tampered[a_flow.name] = a_flow.source
+        boundaries = phase_boundaries_from_intermediates(routes, tampered)
+        assert a_flow.name not in boundaries
+
+    def test_phase_boundaries_for_dispatch(self, mesh4, transpose4):
+        romm = ROMMRouting(seed=1)
+        romm_routes = romm.compute_routes(mesh4, transpose4)
+        assert phase_boundaries_for(romm, romm_routes)
+
+        xy = XYRouting()
+        xy_routes = xy.compute_routes(mesh4, transpose4)
+        assert phase_boundaries_for(xy, xy_routes) == {}
+
+
+class TestSweeps:
+    def test_sweep_produces_one_point_per_rate(self, mesh4, transpose4,
+                                               tiny_sim_config):
+        routes = XYRouting().compute_routes(mesh4, transpose4)
+        result = sweep_injection_rates(mesh4, routes, tiny_sim_config,
+                                       [0.3, 1.0, 3.0], workload="transpose")
+        assert len(result.curve.points) == 3
+        assert len(result.statistics) == 3
+        assert result.curve.workload == "transpose"
+
+    def test_empty_rate_list_rejected(self, mesh4, transpose4, tiny_sim_config):
+        routes = XYRouting().compute_routes(mesh4, transpose4)
+        with pytest.raises(SimulationError):
+            sweep_injection_rates(mesh4, routes, tiny_sim_config, [])
+
+    def test_sweep_algorithm_end_to_end(self, mesh4, transpose4, tiny_sim_config):
+        result = sweep_algorithm(XYRouting(), mesh4, transpose4,
+                                 tiny_sim_config, [0.3, 2.0])
+        assert result.curve.algorithm == "XY"
+        assert result.saturation_throughput > 0
+        assert result.route_set.is_complete()
+
+    def test_throughput_is_monotone_ish_in_offered_rate(self, mesh4, transpose4,
+                                                        tiny_sim_config):
+        result = sweep_algorithm(XYRouting(), mesh4, transpose4,
+                                 tiny_sim_config, [0.2, 0.6, 1.2])
+        throughputs = result.curve.throughputs
+        assert throughputs[1] >= throughputs[0] * 0.9
+
+    def test_compare_algorithms(self, mesh4, transpose4, tiny_sim_config):
+        results = compare_algorithms(
+            [XYRouting(), ROMMRouting(seed=1)], mesh4, transpose4,
+            tiny_sim_config, [0.5, 1.5],
+        )
+        assert set(results) == {"XY", "ROMM"}
+        for result in results.values():
+            assert len(result.curve.points) == 2
+
+    def test_two_phase_algorithms_sweep_without_deadlock(self, mesh4, transpose4):
+        """ROMM and Valiant at 2 VCs (phase-partitioned) must keep moving
+        flits even at saturation, i.e. the deadlock detector stays quiet."""
+        config = SimulationConfig(num_vcs=2, buffer_depth=4, packet_size_flits=4,
+                                  warmup_cycles=100, measurement_cycles=800)
+        for algorithm in (ROMMRouting(seed=1), ValiantRouting(seed=1)):
+            result = sweep_algorithm(algorithm, mesh4, transpose4, config, [4.0])
+            assert result.statistics[0].packets_delivered > 0
+
+    def test_bandwidth_variation_config_flows_through(self, mesh4, transpose4):
+        config = SimulationConfig(num_vcs=2, buffer_depth=4, packet_size_flits=4,
+                                  warmup_cycles=100, measurement_cycles=600,
+                                  bandwidth_variation=0.25)
+        result = sweep_algorithm(XYRouting(), mesh4, transpose4, config, [0.5])
+        assert result.statistics[0].packets_delivered > 0

@@ -1,0 +1,99 @@
+"""Tests for repro.topology.directions."""
+
+import pytest
+
+from repro.topology.directions import (
+    ALL_TURNS,
+    CARDINALS,
+    CLOCKWISE_TURNS,
+    COUNTERCLOCKWISE_TURNS,
+    Direction,
+    is_proper_turn,
+    is_straight,
+    is_u_turn,
+    turn_name,
+)
+
+
+class TestDirectionBasics:
+    def test_opposites_are_symmetric(self):
+        for direction in Direction:
+            assert direction.opposite.opposite is direction
+
+    def test_east_west_are_opposite(self):
+        assert Direction.EAST.opposite is Direction.WEST
+        assert Direction.NORTH.opposite is Direction.SOUTH
+
+    def test_local_is_its_own_opposite(self):
+        assert Direction.LOCAL.opposite is Direction.LOCAL
+
+    def test_axes(self):
+        assert Direction.EAST.axis == "x"
+        assert Direction.WEST.axis == "x"
+        assert Direction.NORTH.axis == "y"
+        assert Direction.SOUTH.axis == "y"
+        assert Direction.LOCAL.axis == "local"
+
+    def test_positive_negative_partition(self):
+        positives = {d for d in CARDINALS if d.is_positive}
+        negatives = {d for d in CARDINALS if d.is_negative}
+        assert positives == {Direction.EAST, Direction.NORTH}
+        assert negatives == {Direction.WEST, Direction.SOUTH}
+        assert not Direction.LOCAL.is_positive
+        assert not Direction.LOCAL.is_negative
+
+    def test_deltas_sum_to_zero_over_cardinals(self):
+        dx = sum(d.delta[0] for d in CARDINALS)
+        dy = sum(d.delta[1] for d in CARDINALS)
+        assert (dx, dy) == (0, 0)
+
+    def test_delta_matches_direction(self):
+        assert Direction.EAST.delta == (1, 0)
+        assert Direction.NORTH.delta == (0, 1)
+        assert Direction.LOCAL.delta == (0, 0)
+
+
+class TestTurnClassification:
+    def test_u_turn_detection(self):
+        assert is_u_turn((Direction.EAST, Direction.WEST))
+        assert is_u_turn((Direction.NORTH, Direction.SOUTH))
+        assert not is_u_turn((Direction.EAST, Direction.NORTH))
+        assert not is_u_turn((Direction.EAST, Direction.EAST))
+
+    def test_local_is_never_a_u_turn(self):
+        assert not is_u_turn((Direction.LOCAL, Direction.LOCAL))
+
+    def test_straight_detection(self):
+        assert is_straight((Direction.EAST, Direction.EAST))
+        assert not is_straight((Direction.EAST, Direction.NORTH))
+        assert not is_straight((Direction.LOCAL, Direction.LOCAL))
+
+    def test_proper_turn_detection(self):
+        assert is_proper_turn((Direction.EAST, Direction.NORTH))
+        assert not is_proper_turn((Direction.EAST, Direction.WEST))
+        assert not is_proper_turn((Direction.EAST, Direction.EAST))
+        assert not is_proper_turn((Direction.LOCAL, Direction.NORTH))
+
+    def test_turn_name(self):
+        assert turn_name((Direction.NORTH, Direction.WEST)) == "N->W"
+
+    def test_eight_turns_partitioned_by_sense(self):
+        assert len(CLOCKWISE_TURNS) == 4
+        assert len(COUNTERCLOCKWISE_TURNS) == 4
+        assert len(ALL_TURNS) == 8
+        assert set(CLOCKWISE_TURNS).isdisjoint(COUNTERCLOCKWISE_TURNS)
+
+    def test_every_listed_turn_is_a_proper_turn(self):
+        for turn in ALL_TURNS:
+            assert is_proper_turn(turn)
+
+    def test_clockwise_turns_compose_into_a_cycle(self):
+        # Following the clockwise turns in sequence returns to the start
+        # direction, which is what makes them a rotational class.
+        directions = [CLOCKWISE_TURNS[0][0]]
+        current = directions[0]
+        mapping = dict(CLOCKWISE_TURNS)
+        for _ in range(4):
+            current = mapping[current]
+            directions.append(current)
+        assert directions[0] == directions[-1]

@@ -1,0 +1,90 @@
+"""Tests for repro.topology.links (channels and virtual channels)."""
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.topology.links import (
+    Channel,
+    VirtualChannel,
+    expand_virtual_channels,
+    physical,
+    virtual_index,
+)
+
+
+class TestChannel:
+    def test_construction_and_fields(self):
+        channel = Channel(0, 1)
+        assert channel.src == 0
+        assert channel.dst == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(TopologyError):
+            Channel(3, 3)
+
+    def test_negative_nodes_rejected(self):
+        with pytest.raises(TopologyError):
+            Channel(-1, 0)
+
+    def test_reverse(self):
+        assert Channel(2, 5).reverse == Channel(5, 2)
+
+    def test_channels_are_hashable_and_equal_by_value(self):
+        assert Channel(0, 1) == Channel(0, 1)
+        assert len({Channel(0, 1), Channel(0, 1), Channel(1, 0)}) == 2
+
+    def test_ordering_is_total(self):
+        channels = [Channel(1, 0), Channel(0, 2), Channel(0, 1)]
+        assert sorted(channels) == [Channel(0, 1), Channel(0, 2), Channel(1, 0)]
+
+    def test_label_with_and_without_namer(self):
+        channel = Channel(0, 1)
+        assert channel.label() == "0->1"
+        assert channel.label(lambda n: "AB"[n]) == "AB"
+
+
+class TestVirtualChannel:
+    def test_construction(self):
+        vc = VirtualChannel(Channel(0, 1), 2)
+        assert vc.src == 0
+        assert vc.dst == 1
+        assert vc.index == 2
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(TopologyError):
+            VirtualChannel(Channel(0, 1), -1)
+
+    def test_label(self):
+        vc = VirtualChannel(Channel(0, 1), 1)
+        assert vc.label(lambda n: "AB"[n]) == "AB_1"
+
+    def test_expand_virtual_channels(self):
+        vcs = expand_virtual_channels(Channel(0, 1), 3)
+        assert [vc.index for vc in vcs] == [0, 1, 2]
+        assert all(vc.channel == Channel(0, 1) for vc in vcs)
+
+    def test_expand_rejects_non_positive_count(self):
+        with pytest.raises(TopologyError):
+            expand_virtual_channels(Channel(0, 1), 0)
+
+
+class TestResourceHelpers:
+    def test_physical_of_channel_is_identity(self):
+        channel = Channel(0, 1)
+        assert physical(channel) is channel
+
+    def test_physical_of_virtual_channel(self):
+        channel = Channel(0, 1)
+        assert physical(VirtualChannel(channel, 1)) == channel
+
+    def test_physical_rejects_other_types(self):
+        with pytest.raises(TopologyError):
+            physical("AB")
+
+    def test_virtual_index(self):
+        assert virtual_index(Channel(0, 1)) is None
+        assert virtual_index(VirtualChannel(Channel(0, 1), 3)) == 3
+
+    def test_virtual_index_rejects_other_types(self):
+        with pytest.raises(TopologyError):
+            virtual_index(42)

@@ -1,0 +1,171 @@
+"""Tests for the 2-D mesh topology."""
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.topology import Channel, Direction, Mesh2D, pairwise_channels
+
+
+class TestMeshConstruction:
+    def test_node_and_channel_counts_3x3(self, mesh3):
+        assert mesh3.num_nodes == 9
+        # 2 * (w*(h-1) + h*(w-1)) directed channels
+        assert mesh3.num_channels == 24
+
+    def test_node_and_channel_counts_8x8(self, mesh8):
+        assert mesh8.num_nodes == 64
+        assert mesh8.num_channels == 2 * 2 * 8 * 7
+
+    def test_rectangular_mesh(self):
+        mesh = Mesh2D(4, 2)
+        assert mesh.width == 4
+        assert mesh.height == 2
+        assert mesh.num_nodes == 8
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(TopologyError):
+            Mesh2D(0)
+        with pytest.raises(TopologyError):
+            Mesh2D(3, -1)
+
+    def test_default_height_is_width(self):
+        assert Mesh2D(5).height == 5
+
+    def test_is_connected(self, mesh3):
+        assert mesh3.is_connected()
+
+
+class TestCoordinates:
+    def test_round_trip(self, mesh4):
+        for node in mesh4.nodes:
+            assert mesh4.node_at(*mesh4.coordinates(node)) == node
+
+    def test_row_major_numbering(self, mesh3):
+        assert mesh3.coordinates(0) == (0, 0)
+        assert mesh3.coordinates(1) == (1, 0)
+        assert mesh3.coordinates(3) == (0, 1)
+        assert mesh3.coordinates(8) == (2, 2)
+
+    def test_out_of_range_coordinates(self, mesh3):
+        with pytest.raises(TopologyError):
+            mesh3.node_at(3, 0)
+        with pytest.raises(TopologyError):
+            mesh3.node_at(0, -1)
+
+    def test_node_at_requires_two_coordinates(self, mesh3):
+        with pytest.raises(TopologyError):
+            mesh3.node_at(1)
+
+
+class TestAdjacencyAndDirections:
+    def test_corner_degree(self, mesh3):
+        assert len(mesh3.out_channels(0)) == 2
+        assert len(mesh3.in_channels(0)) == 2
+
+    def test_center_degree(self, mesh3):
+        assert len(mesh3.out_channels(4)) == 4
+
+    def test_direction_of_each_neighbor(self, mesh3):
+        center = 4
+        directions = {mesh3.direction_of(ch) for ch in mesh3.out_channels(center)}
+        assert directions == {Direction.EAST, Direction.WEST,
+                              Direction.NORTH, Direction.SOUTH}
+
+    def test_direction_of_specific_channels(self, mesh3):
+        assert mesh3.direction_of(mesh3.channel(0, 1)) is Direction.EAST
+        assert mesh3.direction_of(mesh3.channel(1, 0)) is Direction.WEST
+        assert mesh3.direction_of(mesh3.channel(0, 3)) is Direction.NORTH
+        assert mesh3.direction_of(mesh3.channel(3, 0)) is Direction.SOUTH
+
+    def test_direction_of_non_adjacent_channel(self, mesh3):
+        with pytest.raises(TopologyError):
+            mesh3.direction_of(Channel(0, 8))
+
+    def test_missing_channel_lookup(self, mesh3):
+        with pytest.raises(TopologyError):
+            mesh3.channel(0, 4)  # diagonal
+
+    def test_has_channel(self, mesh3):
+        assert mesh3.has_channel(0, 1)
+        assert not mesh3.has_channel(0, 2)
+
+
+class TestDistancesAndPaths:
+    def test_manhattan_distance(self, mesh4):
+        assert mesh4.manhattan_distance(0, 15) == 6
+        assert mesh4.manhattan_distance(5, 5) == 0
+
+    def test_shortest_path_length_matches_manhattan(self, mesh4):
+        for src in mesh4.nodes:
+            for dst in mesh4.nodes:
+                assert mesh4.shortest_path_length(src, dst) == \
+                    mesh4.manhattan_distance(src, dst)
+
+    def test_xy_path(self, mesh3):
+        # A (0) -> I (8): east, east, north, north under XY order.
+        path = mesh3.dimension_ordered_path(0, 8, order="xy")
+        assert path == [0, 1, 2, 5, 8]
+
+    def test_yx_path(self, mesh3):
+        path = mesh3.dimension_ordered_path(0, 8, order="yx")
+        assert path == [0, 3, 6, 7, 8]
+
+    def test_dor_path_is_minimal(self, mesh4):
+        for src in mesh4.nodes:
+            for dst in mesh4.nodes:
+                for order in ("xy", "yx"):
+                    path = mesh4.dimension_ordered_path(src, dst, order=order)
+                    assert len(path) - 1 == mesh4.manhattan_distance(src, dst)
+
+    def test_dor_invalid_order(self, mesh3):
+        with pytest.raises(TopologyError):
+            mesh3.dimension_ordered_path(0, 8, order="zigzag")
+
+    def test_pairwise_channels(self, mesh3):
+        path = [0, 1, 2, 5]
+        channels = pairwise_channels(mesh3, path)
+        assert channels == [Channel(0, 1), Channel(1, 2), Channel(2, 5)]
+
+    def test_pairwise_channels_rejects_non_adjacent(self, mesh3):
+        with pytest.raises(TopologyError):
+            pairwise_channels(mesh3, [0, 2])
+
+
+class TestQuadrantsAndLabels:
+    def test_minimal_quadrant_contains_endpoints(self, mesh4):
+        quadrant = mesh4.minimal_quadrant(0, 15)
+        assert 0 in quadrant and 15 in quadrant
+        assert len(quadrant) == 16
+
+    def test_minimal_quadrant_of_colinear_pair(self, mesh4):
+        quadrant = mesh4.minimal_quadrant(0, 3)
+        assert quadrant == [0, 1, 2, 3]
+
+    def test_node_labels_letters_for_small_meshes(self, mesh3):
+        assert mesh3.node_label(0) == "A"
+        assert mesh3.node_label(8) == "I"
+
+    def test_node_labels_numeric_for_large_meshes(self, mesh8):
+        assert mesh8.node_label(0) == "N0"
+
+    def test_channel_label(self, mesh3):
+        assert mesh3.channel_label(mesh3.channel(0, 1)) == "AB"
+
+    def test_find_channel_by_label(self, mesh3):
+        assert mesh3.find_channel_by_label("AB") == mesh3.channel(0, 1)
+        assert mesh3.find_channel_by_label("ZZ") is None
+
+    def test_is_edge_node(self, mesh3):
+        assert mesh3.is_edge_node(0)
+        assert not mesh3.is_edge_node(4)
+
+    def test_rows_and_columns(self, mesh3):
+        rows = list(mesh3.rows())
+        cols = list(mesh3.columns())
+        assert rows[0] == [0, 1, 2]
+        assert cols[0] == [0, 3, 6]
+
+    def test_describe_mentions_every_node(self, mesh3):
+        text = mesh3.describe()
+        for node in mesh3.nodes:
+            assert mesh3.node_label(node) in text

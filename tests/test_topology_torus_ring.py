@@ -1,0 +1,85 @@
+"""Tests for the torus and ring topologies."""
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.topology import Direction, Ring, Torus2D
+
+
+class TestTorus:
+    def test_counts(self, torus3):
+        assert torus3.num_nodes == 9
+        # every node has 4 outgoing channels on a torus
+        assert torus3.num_channels == 9 * 4
+
+    def test_minimum_size(self):
+        with pytest.raises(TopologyError):
+            Torus2D(2)
+
+    def test_wraparound_channels_exist(self, torus3):
+        # node 2 is at (2, 0); its east neighbour wraps to (0, 0) = node 0.
+        assert torus3.has_channel(2, 0)
+        assert torus3.direction_of(torus3.channel(2, 0)) is Direction.EAST
+
+    def test_wraparound_direction_west(self, torus3):
+        assert torus3.direction_of(torus3.channel(0, 2)) is Direction.WEST
+
+    def test_manhattan_distance_uses_wraparound(self, torus3):
+        # (0,0) to (2,2) is 2 hops on a 3x3 torus (one wrap in each dim).
+        assert torus3.manhattan_distance(0, 8) == 2
+
+    def test_shortest_path_matches_ring_distance(self, torus3):
+        for src in torus3.nodes:
+            for dst in torus3.nodes:
+                assert torus3.shortest_path_length(src, dst) == \
+                    torus3.manhattan_distance(src, dst)
+
+    def test_minimal_quadrant_contains_endpoints(self, torus3):
+        quadrant = torus3.minimal_quadrant(0, 8)
+        assert 0 in quadrant and 8 in quadrant
+
+    def test_every_node_has_degree_four(self, torus3):
+        for node in torus3.nodes:
+            assert len(torus3.out_channels(node)) == 4
+            assert len(torus3.in_channels(node)) == 4
+
+    def test_coordinates_round_trip(self, torus3):
+        for node in torus3.nodes:
+            assert torus3.node_at(*torus3.coordinates(node)) == node
+
+    def test_is_connected(self, torus3):
+        assert torus3.is_connected()
+
+
+class TestRing:
+    def test_bidirectional_counts(self, ring5):
+        assert ring5.num_nodes == 5
+        assert ring5.num_channels == 10
+
+    def test_unidirectional_counts(self, unidirectional_ring):
+        assert unidirectional_ring.num_channels == 4
+
+    def test_minimum_size(self):
+        with pytest.raises(TopologyError):
+            Ring(2)
+
+    def test_directions(self, ring5):
+        assert ring5.direction_of(ring5.channel(0, 1)) is Direction.EAST
+        assert ring5.direction_of(ring5.channel(1, 0)) is Direction.WEST
+
+    def test_ring_distance_bidirectional(self, ring5):
+        assert ring5.ring_distance(0, 4) == 1
+        assert ring5.ring_distance(0, 2) == 2
+
+    def test_ring_distance_unidirectional(self, unidirectional_ring):
+        assert unidirectional_ring.ring_distance(0, 3) == 3
+        assert unidirectional_ring.ring_distance(3, 0) == 1
+
+    def test_unidirectional_connectivity(self, unidirectional_ring):
+        assert unidirectional_ring.is_connected()
+
+    def test_coordinates(self, ring5):
+        assert ring5.coordinates(3) == (3,)
+        assert ring5.node_at(3) == 3
+        with pytest.raises(TopologyError):
+            ring5.node_at(1, 2)

@@ -1,0 +1,134 @@
+"""Tests for the application flow tables (H.264, perf-modeling, 802.11a/g)."""
+
+import pytest
+
+from repro.traffic import (
+    H264_FLOWS,
+    H264_MODULES,
+    PERFORMANCE_MODEL_FLOWS,
+    PERFORMANCE_MODEL_MODULES,
+    WLAN_FLOWS,
+    WLAN_MODULES,
+    application_by_name,
+    application_module_count,
+    h264_decoder,
+    module_names,
+    performance_modeling,
+    wlan_transmitter,
+)
+from repro.traffic.applications import (
+    H264_ENTROPY_LOOKUP_PROFILE,
+    H264_ENTROPY_LOOKUPS_AVERAGE,
+    H264_INTER_PREDICTION_BYTES_AVERAGE,
+    H264_INTER_PREDICTION_PROFILE,
+    profile_mean,
+)
+
+
+class TestH264:
+    def test_flow_count_and_modules(self):
+        flows = h264_decoder()
+        assert len(flows) == 15
+        assert flows.max_node() + 1 == len(H264_MODULES) == 9
+
+    def test_bandwidth_range_matches_paper(self):
+        flows = h264_decoder()
+        # "flow rates from 0.824 MB/s up to 120.4 MB/s" (plus the 0.473 MB/s
+        # bookkeeping flow printed on Figure 5-1).
+        assert flows.max_demand() == pytest.approx(120.4)
+        assert flows.min_demand() == pytest.approx(0.473)
+
+    def test_heaviest_flow_is_framebuffer_writeback(self):
+        flows = h264_decoder()
+        heaviest = max(flows, key=lambda flow: flow.demand)
+        assert heaviest.destination == 8  # off-chip memory controller
+
+    def test_flow_names_match_figure(self):
+        flows = h264_decoder()
+        assert {flow.name for flow in flows} == {f"f{i}" for i in range(1, 16)}
+
+    def test_no_self_flows(self):
+        assert all(src != dst for _, src, dst, _ in H264_FLOWS)
+
+    def test_profile_averages_are_roughly_consistent(self):
+        # The bucket-midpoint means should land near the quoted averages.
+        assert profile_mean(H264_ENTROPY_LOOKUP_PROFILE) == pytest.approx(
+            H264_ENTROPY_LOOKUPS_AVERAGE, rel=0.35
+        )
+        assert profile_mean(H264_INTER_PREDICTION_PROFILE) == pytest.approx(
+            H264_INTER_PREDICTION_BYTES_AVERAGE, rel=0.1
+        )
+
+    def test_profile_occurrences_sum_to_about_100_percent(self):
+        total = sum(b.occurrence_percent for b in H264_ENTROPY_LOOKUP_PROFILE)
+        assert total == pytest.approx(99.9, abs=0.5)
+
+
+class TestPerformanceModeling:
+    def test_flow_count_and_modules(self):
+        flows = performance_modeling()
+        assert len(flows) == 11
+        assert flows.max_node() + 1 == len(PERFORMANCE_MODEL_MODULES) == 6
+
+    def test_bandwidth_range_matches_paper(self):
+        flows = performance_modeling()
+        # Section 6.1: "flow demands ranging from 4.3 Mbytes/second to
+        # 41.82 Mbytes/second" (the decode->execute flow of 62.73 is the
+        # aggregate figure from the data-flow diagram).
+        assert flows.min_demand() == pytest.approx(4.3)
+        assert flows.max_demand() == pytest.approx(62.73)
+
+    def test_41_82_is_the_dominant_rate(self):
+        demands = [demand for _, _, _, demand in PERFORMANCE_MODEL_FLOWS]
+        assert demands.count(41.82) >= 6
+
+
+class TestWlanTransmitter:
+    def test_flow_count_and_modules(self):
+        flows = wlan_transmitter()
+        assert len(flows) == 20
+        assert flows.max_node() + 1 == len(WLAN_MODULES) == 16
+
+    def test_table_5_2_rates_present(self):
+        demands = {flow.name: flow.demand for flow in wlan_transmitter()}
+        assert demands["f9"] == pytest.approx(58.72)
+        assert demands["f4"] == pytest.approx(48.0)
+        assert demands["f1"] == pytest.approx(0.7)
+        assert demands["f20"] == pytest.approx(18.1)
+
+    def test_ifft_fanout_and_merge(self):
+        flows = wlan_transmitter()
+        # the IFFT-load module fans out to the four IFFT engines at 18 each
+        fanout = [flow for flow in flows if flow.source == 6]
+        assert len(fanout) == 4
+        assert all(flow.demand == 18.0 for flow in fanout)
+        # and the four engines merge into the IFFT merger at 9 each
+        merge = [flow for flow in flows if flow.destination == 11]
+        assert len(merge) == 4
+        assert all(flow.demand == 9.0 for flow in merge)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name, count", [
+        ("h264", 15), ("H.264", 15),
+        ("perf-modeling", 11), ("performance_modeling", 11),
+        ("transmitter", 20), ("wlan", 20), ("802.11ag", 20),
+    ])
+    def test_application_by_name(self, name, count):
+        assert len(application_by_name(name)) == count
+
+    def test_unknown_application(self):
+        with pytest.raises(KeyError):
+            application_by_name("mp3-encoder")
+
+    def test_module_counts(self):
+        assert application_module_count("h264") == 9
+        assert application_module_count("perf-modeling") == 6
+        assert application_module_count("transmitter") == 16
+
+    def test_module_names(self):
+        assert module_names("h264")[8] == "off-chip-memory-controller"
+        assert module_names("perf-modeling")[0] == "fetch"
+        assert len(module_names("transmitter")) == 16
+        with pytest.raises(KeyError):
+            module_names("unknown")

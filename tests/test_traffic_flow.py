@@ -1,0 +1,150 @@
+"""Tests for flows and flow sets."""
+
+import pytest
+
+from repro.exceptions import TrafficError
+from repro.traffic import Flow, FlowSet
+
+
+class TestFlow:
+    def test_basic_fields(self):
+        flow = Flow(0, 5, 12.5, name="f1")
+        assert flow.pair == (0, 5)
+        assert flow.demand == 12.5
+
+    def test_source_equals_destination_rejected(self):
+        with pytest.raises(TrafficError):
+            Flow(3, 3, 1.0)
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(TrafficError):
+            Flow(0, 1, -1.0)
+
+    def test_negative_endpoint_rejected(self):
+        with pytest.raises(TrafficError):
+            Flow(-1, 1, 1.0)
+
+    def test_with_demand_and_scaled(self):
+        flow = Flow(0, 1, 10.0, name="f1")
+        assert flow.with_demand(4.0).demand == 4.0
+        assert flow.scaled(0.5).demand == 5.0
+        assert flow.scaled(0.5).name == "f1"
+
+    def test_scaled_rejects_negative_factor(self):
+        with pytest.raises(TrafficError):
+            Flow(0, 1, 10.0).scaled(-1.0)
+
+
+class TestFlowSetConstruction:
+    def test_auto_naming(self):
+        flows = FlowSet()
+        first = flows.add_flow(0, 1, 1.0)
+        second = flows.add_flow(1, 2, 2.0)
+        assert first.name == "f1"
+        assert second.name == "f2"
+
+    def test_duplicate_names_rejected(self):
+        flows = FlowSet()
+        flows.add_flow(0, 1, 1.0, name="x")
+        with pytest.raises(TrafficError):
+            flows.add_flow(1, 2, 1.0, name="x")
+
+    def test_add_rejects_non_flow(self):
+        with pytest.raises(TrafficError):
+            FlowSet().add("not a flow")
+
+    def test_from_tuples(self):
+        flows = FlowSet.from_tuples([(0, 1, 1.0), (1, 2, 3.0)], name="pairs")
+        assert len(flows) == 2
+        assert flows.total_demand() == 4.0
+
+    def test_container_protocol(self):
+        flows = FlowSet.from_tuples([(0, 1, 1.0), (1, 2, 3.0)])
+        assert len(flows) == 2
+        assert flows[0].pair == (0, 1)
+        assert flows[0] in flows
+        assert [flow.pair for flow in flows] == [(0, 1), (1, 2)]
+
+
+class TestFlowSetQueries:
+    @pytest.fixture
+    def flows(self) -> FlowSet:
+        return FlowSet.from_tuples(
+            [(0, 1, 5.0), (0, 2, 3.0), (2, 1, 7.0), (3, 0, 1.0)], name="q"
+        )
+
+    def test_by_name(self, flows):
+        assert flows.by_name("f3").pair == (2, 1)
+        with pytest.raises(TrafficError):
+            flows.by_name("missing")
+
+    def test_demand_aggregates(self, flows):
+        assert flows.total_demand() == 16.0
+        assert flows.max_demand() == 7.0
+        assert flows.min_demand() == 1.0
+
+    def test_sources_destinations_nodes(self, flows):
+        assert flows.sources() == [0, 2, 3]
+        assert flows.destinations() == [1, 2, 0]
+        assert set(flows.nodes()) == {0, 1, 2, 3}
+
+    def test_per_node_demands(self, flows):
+        assert flows.injection_demand(0) == 8.0
+        assert flows.ejection_demand(1) == 12.0
+
+    def test_flows_from_and_to(self, flows):
+        assert len(flows.flows_from(0)) == 2
+        assert len(flows.flows_to(1)) == 2
+
+    def test_max_node(self, flows):
+        assert flows.max_node() == 3
+        assert FlowSet().max_node() == -1
+
+    def test_empty_set_aggregates(self):
+        empty = FlowSet()
+        assert empty.total_demand() == 0.0
+        assert empty.max_demand() == 0.0
+
+
+class TestFlowSetTransformations:
+    @pytest.fixture
+    def flows(self) -> FlowSet:
+        return FlowSet.from_tuples([(0, 1, 5.0), (1, 2, 10.0)], name="t")
+
+    def test_sorted_by_demand(self, flows):
+        ordered = flows.sorted_by_demand()
+        assert [flow.demand for flow in ordered] == [10.0, 5.0]
+        ascending = flows.sorted_by_demand(descending=False)
+        assert [flow.demand for flow in ascending] == [5.0, 10.0]
+
+    def test_scaled(self, flows):
+        assert flows.scaled(2.0).total_demand() == 30.0
+
+    def test_with_demands_partial_override(self, flows):
+        updated = flows.with_demands({"f1": 1.0})
+        assert updated.by_name("f1").demand == 1.0
+        assert updated.by_name("f2").demand == 10.0
+
+    def test_remapped(self, flows):
+        remapped = flows.remapped({0: 10, 1: 20, 2: 30})
+        assert remapped.by_name("f1").pair == (10, 20)
+        assert remapped.by_name("f2").pair == (20, 30)
+
+    def test_remapped_requires_all_endpoints(self, flows):
+        with pytest.raises(TrafficError):
+            flows.remapped({0: 10, 1: 20})
+
+    def test_normalized(self, flows):
+        normalized = flows.normalized()
+        assert normalized.max_demand() == pytest.approx(1.0)
+        assert normalized.by_name("f1").demand == pytest.approx(0.5)
+
+    def test_merged_with(self, flows):
+        other = FlowSet.from_tuples([(5, 6, 2.0)])
+        merged = flows.merged_with(other)
+        assert len(merged) == 3
+        assert merged.total_demand() == 17.0
+
+    def test_describe_contains_flow_names(self, flows):
+        text = flows.describe()
+        assert "f1" in text and "f2" in text

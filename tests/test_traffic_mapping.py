@@ -1,0 +1,98 @@
+"""Tests for application-to-mesh mapping strategies."""
+
+import pytest
+
+from repro.exceptions import TrafficError
+from repro.topology import Mesh2D
+from repro.traffic import (
+    block_mapping,
+    h264_decoder,
+    identity_mapping,
+    map_onto_mesh,
+    mapping_span,
+    random_mapping,
+    row_major_mapping,
+    spread_mapping,
+    validate_mapping,
+)
+
+
+class TestBasicMappings:
+    def test_row_major(self, mesh8):
+        mapping = row_major_mapping(9, mesh8)
+        assert mapping == {i: i for i in range(9)}
+
+    def test_row_major_with_offset(self, mesh8):
+        mapping = row_major_mapping(4, mesh8, offset=10)
+        assert mapping[0] == 10 and mapping[3] == 13
+
+    def test_row_major_overflow(self, mesh4):
+        with pytest.raises(TrafficError):
+            row_major_mapping(20, mesh4)
+
+    def test_block_mapping_is_compact(self, mesh8):
+        mapping = block_mapping(9, mesh8)
+        assert mapping_span(mapping, mesh8) <= 4  # 3x3 block
+
+    def test_block_mapping_with_origin(self, mesh8):
+        mapping = block_mapping(4, mesh8, origin=(6, 6), block_width=2)
+        assert mapping[0] == mesh8.node_at(6, 6)
+        assert mapping[3] == mesh8.node_at(7, 7)
+
+    def test_block_mapping_overflow(self, mesh4):
+        with pytest.raises(TrafficError):
+            block_mapping(9, mesh4, origin=(3, 3))
+
+    def test_spread_mapping_is_injective(self, mesh8):
+        mapping = spread_mapping(9, mesh8)
+        assert len(set(mapping.values())) == 9
+
+    def test_spread_mapping_spans_more_than_block(self, mesh8):
+        block = block_mapping(9, mesh8)
+        spread = spread_mapping(9, mesh8)
+        assert mapping_span(spread, mesh8) > mapping_span(block, mesh8)
+
+    def test_random_mapping_reproducible(self, mesh8):
+        assert random_mapping(9, mesh8, seed=3) == random_mapping(9, mesh8, seed=3)
+
+    def test_random_mapping_overflow(self, mesh4):
+        with pytest.raises(TrafficError):
+            random_mapping(17, mesh4)
+
+    def test_identity_mapping(self):
+        assert identity_mapping(3) == {0: 0, 1: 1, 2: 2}
+
+
+class TestValidation:
+    def test_validate_accepts_injective_in_range(self, mesh4):
+        validate_mapping({0: 1, 1: 2}, mesh4)
+
+    def test_validate_rejects_out_of_range(self, mesh4):
+        with pytest.raises(TrafficError):
+            validate_mapping({0: 99}, mesh4)
+
+    def test_validate_rejects_collision(self, mesh4):
+        with pytest.raises(TrafficError):
+            validate_mapping({0: 1, 1: 1}, mesh4)
+
+
+class TestMapOntoMesh:
+    def test_block_strategy_preserves_demands(self, mesh8):
+        logical = h264_decoder()
+        physical = map_onto_mesh(logical, mesh8, strategy="block")
+        assert len(physical) == len(logical)
+        assert physical.total_demand() == pytest.approx(logical.total_demand())
+
+    def test_flow_names_preserved(self, mesh8):
+        physical = map_onto_mesh(h264_decoder(), mesh8)
+        assert physical.by_name("f7").demand == pytest.approx(120.4)
+
+    @pytest.mark.parametrize("strategy", ["block", "row-major", "spread", "random"])
+    def test_all_strategies_produce_valid_flow_sets(self, mesh8, strategy):
+        physical = map_onto_mesh(h264_decoder(), mesh8, strategy=strategy, seed=1)
+        assert physical.max_node() < mesh8.num_nodes
+        assert all(flow.source != flow.destination for flow in physical)
+
+    def test_unknown_strategy(self, mesh8):
+        with pytest.raises(TrafficError):
+            map_onto_mesh(h264_decoder(), mesh8, strategy="diagonal")

@@ -1,0 +1,158 @@
+"""Tests for the synthetic traffic patterns."""
+
+import pytest
+
+from repro.exceptions import TrafficError
+from repro.traffic import (
+    bit_complement,
+    bit_reverse,
+    hotspot,
+    neighbor,
+    pattern_permutation,
+    shuffle,
+    synthetic_by_name,
+    transpose,
+    uniform_random,
+)
+
+
+class TestBitComplement:
+    def test_every_node_sends(self):
+        flows = bit_complement(16)
+        # bit-complement has no fixed points on a power-of-two network
+        assert len(flows) == 16
+
+    def test_mapping_rule(self):
+        flows = bit_complement(16)
+        for flow in flows:
+            assert flow.destination == (~flow.source) & 0xF
+
+    def test_is_an_involution(self):
+        flows = bit_complement(64)
+        mapping = {flow.source: flow.destination for flow in flows}
+        for source, destination in mapping.items():
+            assert mapping[destination] == source
+
+    def test_requires_power_of_two(self):
+        with pytest.raises(TrafficError):
+            bit_complement(12)
+
+    def test_demand_applied(self):
+        flows = bit_complement(16, demand=25.0)
+        assert all(flow.demand == 25.0 for flow in flows)
+
+
+class TestTranspose:
+    def test_fixed_points_excluded(self):
+        flows = transpose(16)
+        # nodes on the diagonal (x == y) map to themselves and send nothing
+        assert len(flows) == 16 - 4
+
+    def test_swaps_coordinates_on_square_mesh(self):
+        flows = transpose(64)
+        for flow in flows:
+            sx, sy = flow.source % 8, flow.source // 8
+            dx, dy = flow.destination % 8, flow.destination // 8
+            assert (dx, dy) == (sy, sx)
+
+    def test_requires_even_bit_count(self):
+        with pytest.raises(TrafficError):
+            transpose(32)  # 5 address bits
+
+    def test_requires_power_of_two(self):
+        with pytest.raises(TrafficError):
+            transpose(10)
+
+
+class TestShuffle:
+    def test_rotation_rule(self):
+        flows = shuffle(16)
+        for flow in flows:
+            rotated = ((flow.source << 1) | (flow.source >> 3)) & 0xF
+            assert flow.destination == rotated
+
+    def test_fixed_points_excluded(self):
+        flows = shuffle(16)
+        # 0 and 15 (all zeros / all ones) are fixed under rotation
+        sources = {flow.source for flow in flows}
+        assert 0 not in sources
+        assert 15 not in sources
+
+    def test_nonzero_demand_required(self):
+        with pytest.raises(TrafficError):
+            shuffle(16, demand=0.0)
+
+
+class TestBitReverse:
+    def test_is_an_involution(self):
+        flows = bit_reverse(64)
+        mapping = {flow.source: flow.destination for flow in flows}
+        for source, destination in mapping.items():
+            assert mapping.get(destination, source) == source
+
+    def test_palindromic_addresses_are_fixed(self):
+        flows = bit_reverse(16)
+        sources = {flow.source for flow in flows}
+        assert 0 not in sources          # 0000
+        assert 0b1001 not in sources     # palindrome
+        assert 0b0110 not in sources     # palindrome
+
+
+class TestOtherPatterns:
+    def test_uniform_random_counts_and_reproducibility(self):
+        a = uniform_random(9, flows_per_node=2, seed=7)
+        b = uniform_random(9, flows_per_node=2, seed=7)
+        assert len(a) == 18
+        assert [flow.pair for flow in a] == [flow.pair for flow in b]
+
+    def test_uniform_random_rejects_too_many_flows(self):
+        with pytest.raises(TrafficError):
+            uniform_random(4, flows_per_node=4)
+
+    def test_uniform_random_no_self_flows(self):
+        flows = uniform_random(9, flows_per_node=3, seed=1)
+        assert all(flow.source != flow.destination for flow in flows)
+
+    def test_hotspot(self):
+        flows = hotspot(9, hotspot_node=4)
+        assert len(flows) == 8
+        assert all(flow.destination == 4 for flow in flows)
+
+    def test_hotspot_with_background(self):
+        flows = hotspot(9, hotspot_node=4, background_demand=0.5)
+        assert len(flows) == 16
+
+    def test_hotspot_invalid_node(self):
+        with pytest.raises(TrafficError):
+            hotspot(9, hotspot_node=9)
+
+    def test_neighbor(self):
+        flows = neighbor(8, stride=1)
+        assert len(flows) == 8
+        assert flows[0].destination == 1
+
+    def test_neighbor_rejects_identity_stride(self):
+        with pytest.raises(TrafficError):
+            neighbor(8, stride=8)
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        flows = synthetic_by_name("Bit_Complement", 16, demand=2.0)
+        assert flows.name == "bit-complement"
+        assert flows.max_demand() == 2.0
+
+    def test_unknown_name(self):
+        with pytest.raises(TrafficError):
+            synthetic_by_name("tornado", 16)
+
+    def test_pattern_permutation(self):
+        flows = transpose(16)
+        mapping = pattern_permutation(flows, 16)
+        assert mapping[1] == 4
+        assert mapping[0] is None  # diagonal fixed point does not send
+
+    def test_pattern_permutation_rejects_multi_destination(self):
+        flows = hotspot(4, hotspot_node=0, background_demand=1.0)
+        with pytest.raises(TrafficError):
+            pattern_permutation(flows, 4)

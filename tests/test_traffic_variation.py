@@ -1,0 +1,118 @@
+"""Tests for the bandwidth-variation model (Section 5.3)."""
+
+import pytest
+
+from repro.exceptions import TrafficError
+from repro.traffic import (
+    BandwidthVariationModel,
+    FlowSet,
+    MarkovModulatedRate,
+    PAPER_VARIATION_LEVELS,
+    perturbed_demands,
+    perturbed_flow_set,
+    transpose,
+)
+
+
+@pytest.fixture
+def flows() -> FlowSet:
+    return FlowSet.from_tuples([(0, 1, 10.0), (1, 2, 40.0), (2, 3, 100.0)])
+
+
+class TestStaticPerturbation:
+    def test_within_band(self, flows):
+        demands = perturbed_demands(flows, 0.25, seed=1)
+        for flow in flows:
+            assert demands[flow.name] == pytest.approx(flow.demand, rel=0.2501)
+
+    def test_reproducible(self, flows):
+        assert perturbed_demands(flows, 0.5, seed=3) == \
+            perturbed_demands(flows, 0.5, seed=3)
+
+    def test_zero_variation_is_identity(self, flows):
+        demands = perturbed_demands(flows, 0.0, seed=1)
+        for flow in flows:
+            assert demands[flow.name] == pytest.approx(flow.demand)
+
+    def test_perturbed_flow_set_keeps_structure(self, flows):
+        varied = perturbed_flow_set(flows, 0.1, seed=2)
+        assert len(varied) == len(flows)
+        assert [flow.pair for flow in varied] == [flow.pair for flow in flows]
+
+    def test_invalid_fraction(self, flows):
+        with pytest.raises(TrafficError):
+            perturbed_demands(flows, 1.5)
+
+    def test_paper_levels(self):
+        assert PAPER_VARIATION_LEVELS == (0.10, 0.25, 0.50)
+
+
+class TestMarkovModulatedRate:
+    def test_rates_stay_within_band(self):
+        process = MarkovModulatedRate(100.0, 0.25, mean_dwell_cycles=10, seed=1)
+        trace = process.trace(2000)
+        assert min(trace) >= 75.0 - 1e-9
+        assert max(trace) <= 125.0 + 1e-9
+
+    def test_rates_actually_vary(self):
+        process = MarkovModulatedRate(100.0, 0.25, mean_dwell_cycles=10, seed=1)
+        assert len(set(process.trace(2000))) > 2
+
+    def test_zero_variation_is_constant(self):
+        process = MarkovModulatedRate(100.0, 0.0, seed=1)
+        assert set(process.trace(100)) == {100.0}
+
+    def test_rates_dwell_for_multiple_cycles(self):
+        process = MarkovModulatedRate(100.0, 0.5, mean_dwell_cycles=50, seed=2)
+        trace = process.trace(500)
+        changes = sum(1 for a, b in zip(trace, trace[1:]) if a != b)
+        assert changes < 50  # rate is held, not redrawn every cycle
+
+    def test_long_run_mean_near_nominal(self):
+        process = MarkovModulatedRate(100.0, 0.5, mean_dwell_cycles=20, seed=3)
+        trace = process.trace(20_000)
+        assert sum(trace) / len(trace) == pytest.approx(100.0, rel=0.1)
+
+    def test_state_reports_side(self):
+        process = MarkovModulatedRate(100.0, 0.5, seed=4)
+        assert process.state in ("high", "low")
+
+    def test_invalid_parameters(self):
+        with pytest.raises(TrafficError):
+            MarkovModulatedRate(-1.0, 0.1)
+        with pytest.raises(TrafficError):
+            MarkovModulatedRate(1.0, 2.0)
+        with pytest.raises(TrafficError):
+            MarkovModulatedRate(1.0, 0.1, mean_dwell_cycles=0)
+
+    def test_negative_trace_length_rejected(self):
+        with pytest.raises(TrafficError):
+            MarkovModulatedRate(1.0, 0.1).trace(-1)
+
+
+class TestBandwidthVariationModel:
+    def test_rates_per_flow_within_band(self, flows):
+        model = BandwidthVariationModel(flows, 0.25, mean_dwell_cycles=10, seed=1)
+        for cycle in range(500):
+            for flow in flows:
+                rate = model.rate_of(flow, cycle)
+                assert rate == pytest.approx(flow.demand, rel=0.2501)
+
+    def test_unknown_flow_rejected(self, flows):
+        from repro.traffic import Flow
+
+        model = BandwidthVariationModel(flows, 0.25)
+        stranger = Flow(5, 6, 1.0, name="stranger")
+        with pytest.raises(TrafficError):
+            model.rate_of(stranger, 0)
+
+    def test_snapshot_covers_all_flows(self, flows):
+        model = BandwidthVariationModel(flows, 0.1, seed=1)
+        assert set(model.snapshot()) == {flow.name for flow in flows}
+
+    def test_flows_are_decorrelated(self):
+        flows = transpose(16, demand=10.0)
+        model = BandwidthVariationModel(flows, 0.5, mean_dwell_cycles=5, seed=0)
+        snapshots = model.snapshot()
+        # different per-flow seeds should not all produce the same rate
+        assert len(set(round(v, 6) for v in snapshots.values())) > 1

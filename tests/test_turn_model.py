@@ -1,0 +1,150 @@
+"""Tests for the turn models and the acyclic CDGs they produce."""
+
+import pytest
+
+from repro.cdg import (
+    ChannelDependenceGraph,
+    PAPER_TURN_MODELS,
+    TurnModel,
+    allowed_turns,
+    apply_turn_model,
+    dependence_count_by_turn,
+    dor_cdg,
+    prohibited_edges,
+    prohibited_turns,
+    turn_model_by_name,
+    turn_model_cdg,
+)
+from repro.exceptions import CDGError
+from repro.topology import Direction, Mesh2D
+
+
+class TestTurnModelDefinitions:
+    def test_paper_models_prohibit_two_turns(self):
+        for model in PAPER_TURN_MODELS:
+            assert len(prohibited_turns(model)) == 2
+
+    def test_dor_models_prohibit_four_turns(self):
+        assert len(prohibited_turns(TurnModel.XY)) == 4
+        assert len(prohibited_turns(TurnModel.YX)) == 4
+
+    def test_west_first_prohibits_turns_into_west(self):
+        banned = set(prohibited_turns(TurnModel.WEST_FIRST))
+        assert banned == {(Direction.NORTH, Direction.WEST),
+                          (Direction.SOUTH, Direction.WEST)}
+
+    def test_north_last_prohibits_turns_out_of_north(self):
+        banned = set(prohibited_turns(TurnModel.NORTH_LAST))
+        assert banned == {(Direction.NORTH, Direction.EAST),
+                          (Direction.NORTH, Direction.WEST)}
+
+    def test_negative_first_prohibits_positive_to_negative(self):
+        banned = set(prohibited_turns(TurnModel.NEGATIVE_FIRST))
+        for incoming, outgoing in banned:
+            assert incoming.is_positive
+            assert outgoing.is_negative
+
+    def test_allowed_plus_prohibited_cover_all_turns(self):
+        for model in PAPER_TURN_MODELS:
+            assert len(allowed_turns(model)) + len(prohibited_turns(model)) == 8
+
+    def test_each_paper_model_breaks_both_rotational_senses(self):
+        from repro.topology import CLOCKWISE_TURNS, COUNTERCLOCKWISE_TURNS
+        for model in PAPER_TURN_MODELS:
+            banned = set(prohibited_turns(model))
+            assert banned & set(CLOCKWISE_TURNS)
+            assert banned & set(COUNTERCLOCKWISE_TURNS)
+
+    def test_lookup_by_name(self):
+        assert turn_model_by_name("West_First") is TurnModel.WEST_FIRST
+        assert turn_model_by_name("north-last") is TurnModel.NORTH_LAST
+        with pytest.raises(CDGError):
+            turn_model_by_name("east-sometimes")
+
+
+class TestApplication:
+    @pytest.mark.parametrize("model", list(TurnModel))
+    def test_resulting_cdg_is_acyclic_on_mesh(self, mesh3, model):
+        cdg = turn_model_cdg(mesh3, model)
+        assert cdg.is_acyclic()
+
+    @pytest.mark.parametrize("model", PAPER_TURN_MODELS)
+    def test_eight_edges_removed_on_3x3_mesh(self, mesh3, model):
+        """The paper: the turn model removes 8 dependence edges on the 3x3
+        mesh (versus 12 for the ad hoc graphs of Figure 3-4)."""
+        cdg = turn_model_cdg(mesh3, model)
+        assert cdg.num_removed_edges == 8
+
+    @pytest.mark.parametrize("model", PAPER_TURN_MODELS)
+    def test_no_prohibited_turn_edge_survives(self, mesh4, model):
+        cdg = turn_model_cdg(mesh4, model)
+        histogram = dependence_count_by_turn(cdg)
+        for incoming, outgoing in prohibited_turns(model):
+            assert histogram.get(f"{incoming.value}->{outgoing.value}", 0) == 0
+
+    @pytest.mark.parametrize("model", PAPER_TURN_MODELS)
+    def test_allowed_turn_edges_survive(self, mesh4, model):
+        cdg = turn_model_cdg(mesh4, model)
+        histogram = dependence_count_by_turn(cdg)
+        for incoming, outgoing in allowed_turns(model):
+            assert histogram.get(f"{incoming.value}->{outgoing.value}", 0) > 0
+
+    def test_apply_turn_model_copy_semantics(self, mesh3):
+        base = ChannelDependenceGraph.from_topology(mesh3)
+        edges_before = base.num_edges
+        acyclic = apply_turn_model(base, TurnModel.WEST_FIRST)
+        assert base.num_edges == edges_before           # original untouched
+        assert acyclic.num_edges < edges_before
+
+    def test_apply_turn_model_in_place(self, mesh3):
+        base = ChannelDependenceGraph.from_topology(mesh3)
+        result = apply_turn_model(base, TurnModel.WEST_FIRST, in_place=True)
+        assert result is base
+        assert base.is_acyclic()
+
+    def test_prohibited_edges_listing(self, mesh3):
+        base = ChannelDependenceGraph.from_topology(mesh3)
+        edges = prohibited_edges(base, prohibited_turns(TurnModel.WEST_FIRST))
+        assert len(edges) == 8
+
+    def test_multi_vc_turn_model_cdg(self, mesh3):
+        cdg = turn_model_cdg(mesh3, TurnModel.NORTH_LAST, num_vcs=2)
+        assert cdg.is_acyclic()
+        assert cdg.num_vertices == 2 * mesh3.num_channels
+
+
+class TestDorCDG:
+    def test_xy_routes_conform_to_xy_cdg(self, mesh4):
+        from repro.routing import XYRouting
+        from repro.traffic import transpose
+
+        cdg = dor_cdg(mesh4, order="xy")
+        routes = XYRouting().compute_routes(mesh4, transpose(16))
+        for route in routes:
+            assert cdg.path_conforms(list(route.resources))
+
+    def test_yx_routes_conform_to_yx_cdg(self, mesh4):
+        from repro.routing import YXRouting
+        from repro.traffic import transpose
+
+        cdg = dor_cdg(mesh4, order="yx")
+        routes = YXRouting().compute_routes(mesh4, transpose(16))
+        for route in routes:
+            assert cdg.path_conforms(list(route.resources))
+
+    def test_yx_routes_do_not_all_conform_to_xy_cdg(self, mesh4):
+        from repro.routing import YXRouting
+        from repro.traffic import transpose
+
+        cdg = dor_cdg(mesh4, order="xy")
+        routes = YXRouting().compute_routes(mesh4, transpose(16))
+        assert not all(cdg.path_conforms(list(route.resources)) for route in routes)
+
+    def test_invalid_order(self, mesh4):
+        with pytest.raises(CDGError):
+            dor_cdg(mesh4, order="diagonal")
+
+    def test_xy_cdg_removes_more_edges_than_turn_model(self, mesh3):
+        xy = dor_cdg(mesh3, order="xy")
+        west_first = turn_model_cdg(mesh3, TurnModel.WEST_FIRST)
+        assert xy.num_removed_edges > west_first.num_removed_edges

@@ -1,0 +1,125 @@
+"""Tests for virtual-channel expanded CDGs and virtual networks."""
+
+import pytest
+
+from repro.cdg import (
+    TurnModel,
+    expanded_cdg,
+    route_vc_profile,
+    switches_virtual_channel,
+    vc_escalation_cdg,
+    virtual_network_cdg,
+    virtual_networks_of,
+)
+from repro.exceptions import CDGError
+from repro.flowgraph import FlowGraph
+from repro.topology import Channel, Mesh2D, VirtualChannel
+
+
+class TestExpandedCDG:
+    def test_counts(self, mesh3):
+        cdg = expanded_cdg(mesh3, 2)
+        assert cdg.num_vertices == 2 * mesh3.num_channels
+
+    def test_invalid_vc_count(self, mesh3):
+        with pytest.raises(CDGError):
+            expanded_cdg(mesh3, 0)
+
+    def test_is_cyclic_before_breaking(self, mesh3):
+        assert not expanded_cdg(mesh3, 2).is_acyclic()
+
+
+class TestVCEscalation:
+    def test_acyclic(self, mesh3):
+        cdg = vc_escalation_cdg(mesh3, 2)
+        assert cdg.is_acyclic()
+
+    def test_needs_two_vcs(self, mesh3):
+        with pytest.raises(CDGError):
+            vc_escalation_cdg(mesh3, 1)
+
+    def test_prohibited_turns_survive_with_vc_increase(self, mesh3):
+        """Figure 3-6(c): all turns are allowed provided the route switches
+        to a strictly higher virtual channel."""
+        cdg = vc_escalation_cdg(mesh3, 2, model=TurnModel.WEST_FIRST)
+        # N->W is prohibited by west-first; it must still exist as an edge
+        # from VC 0 to VC 1 somewhere in the expanded graph.
+        upstream = VirtualChannel(mesh3.channel(3, 0), 0)   # southward... pick a N->W pair
+        upstream = VirtualChannel(mesh3.channel(1, 4), 0)   # B->E is north
+        downstream_same = VirtualChannel(mesh3.channel(4, 3), 0)  # E->D is west
+        downstream_up = VirtualChannel(mesh3.channel(4, 3), 1)
+        assert not cdg.has_edge(upstream, downstream_same)
+        assert cdg.has_edge(upstream, downstream_up)
+
+    def test_allowed_turns_keep_all_vc_pairs(self, mesh3):
+        cdg = vc_escalation_cdg(mesh3, 2, model=TurnModel.WEST_FIRST)
+        # W->N is allowed by west-first: every VC pair should survive.
+        upstream = VirtualChannel(mesh3.channel(4, 3), 0)   # E->D west
+        downstream = VirtualChannel(mesh3.channel(3, 6), 0)  # D->G north
+        assert cdg.has_edge(upstream, downstream)
+        assert cdg.has_edge(upstream, VirtualChannel(mesh3.channel(3, 6), 1))
+
+    def test_prohibited_turns_usable_unlike_uniform_model(self, mesh3):
+        """The escalation CDG keeps every turn usable somewhere, whereas the
+        uniform turn-model expansion has no prohibited-turn edges at all."""
+        from repro.cdg import prohibited_turns, turn_model_cdg
+
+        escalation = vc_escalation_cdg(mesh3, 2, model=TurnModel.WEST_FIRST)
+        uniform = turn_model_cdg(mesh3, TurnModel.WEST_FIRST, num_vcs=2)
+        banned = set(prohibited_turns(TurnModel.WEST_FIRST))
+
+        def prohibited_edge_count(cdg):
+            return sum(1 for upstream, downstream in cdg.edges
+                       if cdg.turn_of_edge(upstream, downstream) in banned)
+
+        assert prohibited_edge_count(uniform) == 0
+        assert prohibited_edge_count(escalation) > 0
+
+
+class TestVirtualNetworks:
+    def test_acyclic_and_counts(self, mesh3):
+        cdg = virtual_network_cdg(mesh3, [TurnModel.WEST_FIRST, TurnModel.NORTH_LAST])
+        assert cdg.is_acyclic()
+        assert cdg.num_vertices == 2 * mesh3.num_channels
+        assert virtual_networks_of(cdg) == [0, 1]
+
+    def test_no_edges_between_virtual_networks(self, mesh3):
+        cdg = virtual_network_cdg(mesh3, [TurnModel.WEST_FIRST, TurnModel.NORTH_LAST])
+        for upstream, downstream in cdg.edges:
+            assert upstream.index == downstream.index
+
+    def test_mixed_strategies(self, mesh3):
+        cdg = virtual_network_cdg(mesh3, [TurnModel.WEST_FIRST, 7])
+        assert cdg.is_acyclic()
+
+    def test_invalid_strategy_type(self, mesh3):
+        with pytest.raises(CDGError):
+            virtual_network_cdg(mesh3, [TurnModel.WEST_FIRST, "spanning-tree"])
+
+    def test_empty_strategy_list(self, mesh3):
+        with pytest.raises(CDGError):
+            virtual_network_cdg(mesh3, [])
+
+    def test_routes_on_virtual_networks_stay_on_one_vc(self, mesh3, small_flows):
+        from repro.routing import DijkstraSelector
+
+        cdg = virtual_network_cdg(mesh3, [TurnModel.WEST_FIRST, TurnModel.NORTH_LAST])
+        flow_graph = FlowGraph(cdg)
+        flow_graph.add_flow_terminals(small_flows)
+        routes = DijkstraSelector(flow_graph).select_routes(small_flows)
+        for route in routes:
+            assert not switches_virtual_channel(route.resources)
+            assert route.is_statically_vc_allocated
+
+
+class TestRouteVCHelpers:
+    def test_route_vc_profile(self, mesh3):
+        route = [VirtualChannel(mesh3.channel(0, 1), 0),
+                 VirtualChannel(mesh3.channel(1, 2), 1)]
+        assert route_vc_profile(route) == [0, 1]
+        assert switches_virtual_channel(route)
+
+    def test_physical_routes_never_switch(self, mesh3):
+        route = [mesh3.channel(0, 1), mesh3.channel(1, 2)]
+        assert route_vc_profile(route) == [None, None]
+        assert not switches_virtual_channel(route)

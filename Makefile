@@ -1,0 +1,26 @@
+# Developer / CI entry points for the BSOR reproduction.
+#
+#   make test   - tier-1 test suite (what must never regress)
+#   make smoke  - one fast figure benchmark through the parallel runner
+#   make links  - fail on broken relative links in README.md / docs/
+#   make check  - all of the above (what CI runs)
+
+PYTHON ?= python
+export PYTHONPATH := src:$(PYTHONPATH)
+
+.PHONY: test smoke links check clean-cache
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+smoke:
+	REPRO_BENCH_PROFILE=quick $(PYTHON) -m pytest benchmarks/bench_figure_6_1.py \
+		--benchmark-only -x -q -p no:cacheprovider
+
+links:
+	$(PYTHON) scripts/check_links.py
+
+check: test smoke links
+
+clean-cache:
+	$(PYTHON) -m repro.runner cache clear

@@ -13,6 +13,12 @@ variable:
   (the default; roughly a minute per figure benchmark);
 * ``paper``   -- the paper's full 20k + 100k cycle methodology (hours; only
   for full-fidelity reproduction runs).
+
+Sweeps go through the parallel experiment runner: ``REPRO_WORKERS`` selects
+the worker-process count (default 4) and the content-addressed result cache
+is on by default, so a re-run of an unchanged benchmark replays every sweep
+point from disk without invoking the simulator.  ``REPRO_BENCH_CACHE=0``
+forces fresh simulation; ``REPRO_CACHE_DIR`` relocates the store.
 """
 
 from __future__ import annotations
@@ -21,15 +27,44 @@ import os
 
 from repro.experiments import ExperimentConfig
 
+#: Worker processes used by the benchmark harness when $REPRO_WORKERS is
+#: not set (the acceptance target is a >= 2x figure-sweep speedup at 4).
+DEFAULT_BENCH_WORKERS = 4
+
+
+def bench_workers() -> int:
+    """Worker count for the benchmark harness ($REPRO_WORKERS or 4).
+
+    Delegates the environment parsing to the runner's own
+    :func:`repro.runner.resolve_workers` so the variable means the same
+    thing here and on the CLI; only the unset-variable default differs
+    (4 here, CPU count there).
+    """
+    from repro.runner import resolve_workers
+
+    if os.environ.get("REPRO_WORKERS"):
+        return resolve_workers(None)
+    return DEFAULT_BENCH_WORKERS
+
+
+def bench_cache_enabled() -> bool:
+    """Result caching on unless REPRO_BENCH_CACHE is 0/false/off."""
+    return os.environ.get("REPRO_BENCH_CACHE", "1").lower() not in (
+        "0", "false", "off", "no",
+    )
+
 
 def bench_config() -> ExperimentConfig:
-    """The experiment configuration selected by REPRO_BENCH_PROFILE."""
-    profile = os.environ.get("REPRO_BENCH_PROFILE", "default").lower()
-    if profile == "quick":
-        return ExperimentConfig.quick()
-    if profile == "paper":
-        return ExperimentConfig.paper_scale()
-    return ExperimentConfig.benchmark_scale()
+    """The experiment configuration selected by REPRO_BENCH_PROFILE.
+
+    The returned configuration carries the benchmark harness's runner
+    settings (parallel workers, result cache), so every figure/table
+    call site inherits them without further plumbing.
+    """
+    profile = os.environ.get("REPRO_BENCH_PROFILE", "default")
+    config = ExperimentConfig.from_profile(profile)
+    return config.with_runner(workers=bench_workers(),
+                              use_cache=bench_cache_enabled())
 
 
 def emit(title: str, text: str) -> None:

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in the project documentation.
+
+Scans the given markdown files (default: README.md and docs/*.md) for
+``[text](target)`` links and verifies that every relative target exists in
+the repository.  External (``http://``/``https://``/``mailto:``) links are
+not fetched — CI must not depend on the network — and pure ``#anchor``
+links are skipped.
+
+Usage::
+
+    python scripts/check_links.py [file.md ...]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def check_file(path: Path, repo_root: Path) -> list:
+    errors = []
+    text = path.read_text()
+    for match in LINK_PATTERN.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (path.parent / relative).resolve()
+        if not resolved.exists():
+            line = text.count("\n", 0, match.start()) + 1
+            errors.append(
+                f"{path.relative_to(repo_root)}:{line}: broken link "
+                f"-> {target}"
+            )
+    return errors
+
+
+def main(argv: list) -> int:
+    repo_root = Path(__file__).resolve().parent.parent
+    if argv:
+        files = [Path(name).resolve() for name in argv]
+    else:
+        files = [repo_root / "README.md"]
+        files.extend(sorted((repo_root / "docs").glob("*.md")))
+    missing = [str(path) for path in files if not path.exists()]
+    if missing:
+        print("documentation files not found: " + ", ".join(missing))
+        return 1
+    errors = []
+    for path in files:
+        errors.extend(check_file(path, repo_root))
+    for error in errors:
+        print(error)
+    checked = len(files)
+    if errors:
+        print(f"{len(errors)} broken link(s) across {checked} file(s)")
+        return 1
+    print(f"links OK in {checked} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,12 +1,26 @@
 """repro: Application-Aware Deadlock-Free Oblivious Routing (BSOR).
 
-A reproduction of Kinsy's bandwidth-sensitive oblivious routing (BSOR) for
-networks-on-chip: acyclic channel-dependence-graph construction (turn models
-and ad hoc cycle breaking), flow-graph derivation, MILP and Dijkstra route
-selectors, baseline oblivious routers (XY/YX DOR, ROMM, Valiant, O1TURN), a
-cycle-accurate wormhole virtual-channel NoC simulator, the paper's synthetic
-and application workloads, and the experiment harness that regenerates every
-table and figure of the evaluation chapter.
+A reproduction of Kinsy et al.'s bandwidth-sensitive oblivious routing
+(BSOR, ISCA 2009) for networks-on-chip.  The package is organised as a
+pipeline of layers, each importable on its own:
+
+* :mod:`repro.topology` — meshes, tori, rings and their directed channels;
+* :mod:`repro.traffic` — flow sets: synthetic patterns and application task
+  graphs, plus run-time bandwidth variation models;
+* :mod:`repro.cdg` / :mod:`repro.flowgraph` — acyclic channel-dependence
+  graphs (turn models, ad hoc cycle breaking, VC expansion) and the flow
+  networks derived from them;
+* :mod:`repro.routing` — the BSOR framework (MILP and Dijkstra selectors)
+  and the baseline oblivious routers (XY/YX DOR, ROMM, Valiant, O1TURN);
+* :mod:`repro.simulator` — a cycle-accurate wormhole virtual-channel NoC
+  simulator with a flat-array fast path;
+* :mod:`repro.runner` — the parallel experiment engine: multi-process
+  injection-rate sweeps with a content-addressed on-disk result cache
+  (:class:`ExperimentRunner`, :class:`ResultCache`), also usable as a CLI
+  via ``python -m repro.runner``;
+* :mod:`repro.experiments` / :mod:`repro.metrics` — the harness that
+  regenerates every table and figure of the evaluation chapter, and the
+  statistics containers it reports.
 
 Quick start::
 
@@ -18,6 +32,16 @@ Quick start::
     routes = bsor.compute_routes(mesh, flows)
     print("BSOR MCL:", routes.max_channel_load())
     print("XY   MCL:", XYRouting().compute_routes(mesh, flows).max_channel_load())
+
+Sweeping with the parallel runner::
+
+    from repro import ExperimentRunner, SimulationConfig
+
+    runner = ExperimentRunner(workers=4, cache=True)
+    result = runner.sweep_algorithm(
+        bsor, mesh, flows, SimulationConfig(), offered_rates=[0.5, 1.0, 2.0],
+    )
+    print(result.curve.throughputs)
 """
 
 from .cdg import (
@@ -66,6 +90,8 @@ from .routing import (
     check_deadlock_freedom,
     paper_strategies,
 )
+from .runner import ExperimentRunner, ResultCache, simulation_cache_key
+from .simulator import NetworkSimulator, SimulationConfig
 from .topology import Channel, Direction, Mesh2D, Ring, Topology, Torus2D, VirtualChannel
 from .traffic import (
     Flow,
@@ -94,19 +120,23 @@ __all__ = [
     "DijkstraSelector",
     "Direction",
     "ExperimentError",
+    "ExperimentRunner",
     "Flow",
     "FlowGraph",
     "FlowSet",
     "MILPSelector",
     "Mesh2D",
+    "NetworkSimulator",
     "O1TurnRouting",
     "ROMMRouting",
     "ReproError",
+    "ResultCache",
     "Ring",
     "Route",
     "RouteSet",
     "RoutingAlgorithm",
     "RoutingError",
+    "SimulationConfig",
     "SimulationError",
     "SimulationStatistics",
     "SolverError",
@@ -137,6 +167,7 @@ __all__ = [
     "paper_strategies",
     "performance_modeling",
     "shuffle",
+    "simulation_cache_key",
     "synthetic_by_name",
     "transpose",
     "turn_model_cdg",

@@ -1,4 +1,10 @@
-"""Experiment harness: regenerate every table and figure of the evaluation."""
+"""Experiment harness: regenerate every table and figure of the evaluation.
+
+The figure and table functions accept an optional ``runner`` argument (an
+:class:`repro.runner.ExperimentRunner`); without one they build a runner
+from the configuration's ``workers`` / ``use_cache`` / ``cache_dir`` fields,
+which default to the serial, uncached seed behaviour.
+"""
 
 from .config import SYNTHETIC_FLOW_DEMAND, ExperimentConfig
 from .figures import (
@@ -18,6 +24,7 @@ from .report import (
     render_comparison,
     render_series,
     render_table,
+    runner_summary,
 )
 from .tables import (
     CDG_COLUMNS,
@@ -67,6 +74,7 @@ __all__ = [
     "render_comparison",
     "render_series",
     "render_table",
+    "runner_summary",
     "table_6_1",
     "table_6_2",
     "table_6_3",

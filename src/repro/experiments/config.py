@@ -51,10 +51,19 @@ class ExperimentConfig:
     seed: int = 0
     #: mapping strategy for application task graphs onto the mesh.
     mapping_strategy: str = "block"
+    #: worker processes for the experiment runner (1 = serial, the seed
+    #: behaviour; 0 = auto via $REPRO_WORKERS or the CPU count).
+    workers: int = 1
+    #: consult / populate the content-addressed result cache.
+    use_cache: bool = False
+    #: cache directory (None = $REPRO_CACHE_DIR or ~/.cache/repro-bsor).
+    cache_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.mesh_size < 2:
             raise ExperimentError(f"mesh size must be >= 2: {self.mesh_size}")
+        if self.workers < 0:
+            raise ExperimentError(f"workers must be >= 0: {self.workers}")
         if self.synthetic_demand <= 0:
             raise ExperimentError(
                 f"synthetic demand must be positive: {self.synthetic_demand}"
@@ -75,6 +84,39 @@ class ExperimentConfig:
 
     def with_rates(self, rates: Sequence[float]) -> "ExperimentConfig":
         return replace(self, offered_rates=tuple(rates))
+
+    def with_runner(self, workers: Optional[int] = None,
+                    use_cache: Optional[bool] = None,
+                    cache_dir: Optional[str] = None) -> "ExperimentConfig":
+        """A copy with different experiment-runner settings."""
+        updates = {}
+        if workers is not None:
+            updates["workers"] = workers
+        if use_cache is not None:
+            updates["use_cache"] = use_cache
+        if cache_dir is not None:
+            updates["cache_dir"] = cache_dir
+        return replace(self, **updates)
+
+    @classmethod
+    def from_profile(cls, profile: str, **overrides) -> "ExperimentConfig":
+        """Build a configuration from a named profile.
+
+        ``quick`` = :meth:`quick`, ``paper`` = :meth:`paper_scale`,
+        ``default`` (or ``benchmark``) = :meth:`benchmark_scale`.  The CLI
+        and the benchmark harness both resolve their ``--profile`` /
+        ``REPRO_BENCH_PROFILE`` inputs here.
+        """
+        key = profile.lower()
+        if key == "quick":
+            return cls.quick(**overrides)
+        if key == "paper":
+            return cls.paper_scale(**overrides)
+        if key in ("default", "benchmark"):
+            return cls.benchmark_scale(**overrides)
+        raise ExperimentError(
+            f"unknown profile {profile!r}; known: quick, default, paper"
+        )
 
     @classmethod
     def quick(cls, **overrides) -> "ExperimentConfig":

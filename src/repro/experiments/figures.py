@@ -27,8 +27,9 @@ from ..routing.bsor.framework import BSORRouting, full_strategy_set, paper_strat
 from ..routing.dor import XYRouting, YXRouting
 from ..routing.romm import ROMMRouting
 from ..routing.valiant import ValiantRouting
+from ..runner.engine import ExperimentRunner, SweepSpec, runner_for
 from ..simulator.config import SimulationConfig
-from ..simulator.simulation import SweepResult, sweep_algorithm
+from ..simulator.simulation import SweepResult, phase_boundaries_for
 from .config import ExperimentConfig
 from .report import improvement_summary, render_series
 from .workloads import build_mesh, workload_flow_set
@@ -136,32 +137,35 @@ def default_algorithms(config: ExperimentConfig, mesh,
 def _run_sweeps(algorithms: Sequence[RoutingAlgorithm], mesh, flow_set,
                 simulation: SimulationConfig,
                 offered_rates: Sequence[float],
-                workload: str) -> Tuple[Dict[str, SweepResult], Dict[str, float]]:
-    sweeps: Dict[str, SweepResult] = {}
-    mcls: Dict[str, float] = {}
-    for algorithm in algorithms:
-        result = sweep_algorithm(
-            algorithm, mesh, flow_set, simulation, offered_rates,
-            workload=workload,
-        )
-        sweeps[algorithm.name] = result
-        mcls[algorithm.name] = result.route_set.max_channel_load()
+                workload: str,
+                runner: ExperimentRunner,
+                ) -> Tuple[Dict[str, SweepResult], Dict[str, float]]:
+    """Sweep every algorithm through the runner as one flat point batch."""
+    sweeps = runner.compare_algorithms(
+        algorithms, mesh, flow_set, simulation, offered_rates,
+        workload=workload,
+    )
+    mcls = {name: result.route_set.max_channel_load()
+            for name, result in sweeps.items()}
     return sweeps, mcls
 
 
 def figure_throughput_latency(workload: str,
                               config: Optional[ExperimentConfig] = None,
                               algorithms: Optional[Sequence[RoutingAlgorithm]] = None,
-                              figure_name: Optional[str] = None) -> FigureResult:
+                              figure_name: Optional[str] = None,
+                              runner: Optional[ExperimentRunner] = None,
+                              ) -> FigureResult:
     """Figures 6-1 .. 6-6: throughput & latency versus offered rate."""
     config = config or ExperimentConfig()
+    runner = runner or runner_for(config)
     mesh = build_mesh(config)
     flow_set = workload_flow_set(workload, mesh, config)
     if algorithms is None:
         algorithms = default_algorithms(config, mesh)
     sweeps, mcls = _run_sweeps(
         algorithms, mesh, flow_set, config.simulation,
-        config.offered_rates, workload,
+        config.offered_rates, workload, runner,
     )
     if figure_name is None:
         matching = [fig for fig, wl in FIGURE_WORKLOADS.items() if wl == workload]
@@ -179,17 +183,24 @@ def figure_throughput_latency(workload: str,
     )
 
 
-def figure_by_number(figure: str,
-                     config: Optional[ExperimentConfig] = None) -> FigureResult:
-    """Regenerate one of Figures 6-1 .. 6-6 by its number."""
+def normalize_figure_key(figure: str) -> str:
+    """Normalise a figure reference ("Figure 6-1", "6-1", "1") to "6-1"."""
     key = figure.replace("Figure", "").strip().strip("-")
-    key = key if "-" in key else f"6-{key}"
+    return key if "-" in key else f"6-{key}"
+
+
+def figure_by_number(figure: str,
+                     config: Optional[ExperimentConfig] = None,
+                     runner: Optional[ExperimentRunner] = None) -> FigureResult:
+    """Regenerate one of Figures 6-1 .. 6-6 by its number."""
+    key = normalize_figure_key(figure)
     if key not in FIGURE_WORKLOADS:
         raise ExperimentError(
             f"unknown figure {figure!r}; known: {sorted(FIGURE_WORKLOADS)}"
         )
     return figure_throughput_latency(
-        FIGURE_WORKLOADS[key], config, figure_name=f"Figure {key}"
+        FIGURE_WORKLOADS[key], config, figure_name=f"Figure {key}",
+        runner=runner,
     )
 
 
@@ -234,36 +245,56 @@ class VCSweepResult:
 def figure_vc_sweep(workload: str,
                     config: Optional[ExperimentConfig] = None,
                     vc_counts: Sequence[int] = (1, 2, 4, 8),
-                    algorithms: Optional[Sequence[str]] = None) -> VCSweepResult:
+                    algorithms: Optional[Sequence[str]] = None,
+                    runner: Optional[ExperimentRunner] = None) -> VCSweepResult:
     """Figure 6-7: the effect of the number of virtual channels.
 
     Only the DOR baselines and the BSOR variants are simulated at one
     virtual channel (ROMM and Valiant need two for deadlock freedom), which
-    mirrors the paper's methodology.
+    mirrors the paper's methodology.  Every (VC count, algorithm, offered
+    rate) point is independent, so the whole figure is submitted to the
+    runner as one batch and fills the worker pool.
     """
     config = config or ExperimentConfig()
+    runner = runner or runner_for(config)
     mesh = build_mesh(config)
     flow_set = workload_flow_set(workload, mesh, config)
     wanted = list(algorithms) if algorithms is not None else \
         ["XY", "BSOR-MILP", "BSOR-Dijkstra"]
 
-    saturation: Dict[str, Dict[int, float]] = {name: {} for name in wanted}
-    curves: Dict[str, Dict[int, List[float]]] = {name: {} for name in wanted}
+    # Routes are oblivious and independent of the simulated VC count (the
+    # default algorithms allocate VCs dynamically), so each algorithm's
+    # route set is computed once and reused across every VC count.
+    candidates = default_algorithms(config, mesh,
+                                    include_milp="BSOR-MILP" in wanted)
+    route_sets = {}
+    for algorithm in candidates:
+        if algorithm.name not in wanted:
+            continue
+        route_set = algorithm.compute_routes(mesh, flow_set)
+        route_sets[algorithm.name] = (
+            route_set, phase_boundaries_for(algorithm, route_set)
+        )
+    specs: Dict[str, SweepSpec] = {}
     for vcs in vc_counts:
         simulation = config.simulation.with_vcs(vcs)
-        candidates = default_algorithms(config, mesh,
-                                        include_milp="BSOR-MILP" in wanted)
-        for algorithm in candidates:
-            if algorithm.name not in wanted:
+        for name, (route_set, boundaries) in route_sets.items():
+            if vcs == 1 and name in ("ROMM", "Valiant"):
                 continue
-            if vcs == 1 and algorithm.name in ("ROMM", "Valiant"):
-                continue
-            result = sweep_algorithm(
-                algorithm, mesh, flow_set, simulation, config.offered_rates,
+            specs[f"{name}@{vcs}"] = SweepSpec(
+                mesh, route_set, simulation, config.offered_rates,
                 workload=workload,
+                phase_boundaries=boundaries,
             )
-            saturation[algorithm.name][vcs] = result.curve.saturation_throughput()
-            curves[algorithm.name][vcs] = result.curve.throughputs
+    results = runner.sweep_many(specs)
+
+    saturation: Dict[str, Dict[int, float]] = {name: {} for name in wanted}
+    curves: Dict[str, Dict[int, List[float]]] = {name: {} for name in wanted}
+    for key, result in results.items():
+        name, _, vcs_text = key.rpartition("@")
+        vcs = int(vcs_text)
+        saturation[name][vcs] = result.curve.saturation_throughput()
+        curves[name][vcs] = result.curve.throughputs
     return VCSweepResult(
         workload=workload,
         vc_counts=list(vc_counts),
@@ -279,6 +310,7 @@ def figure_vc_sweep(workload: str,
 def figure_variation_sweep(workload: str, variation_fraction: float,
                            config: Optional[ExperimentConfig] = None,
                            algorithms: Optional[Sequence[RoutingAlgorithm]] = None,
+                           runner: Optional[ExperimentRunner] = None,
                            ) -> FigureResult:
     """Figures 6-8/6-9/6-10: sweeps with run-time bandwidth variation.
 
@@ -293,7 +325,8 @@ def figure_variation_sweep(workload: str, variation_fraction: float,
         f"Variation sweep ({variation_fraction:.0%})",
     )
     result = figure_throughput_latency(
-        workload, varied, algorithms=algorithms, figure_name=figure
+        workload, varied, algorithms=algorithms, figure_name=figure,
+        runner=runner,
     )
     claim_key = figure.replace("Figure ", "")
     result.claim = PAPER_FIGURE_CLAIMS.get(claim_key, result.claim)

@@ -83,6 +83,25 @@ def render_series(x_label: str, x_values: Sequence[float],
     return render_table(headers, rows, title=title, precision=precision)
 
 
+def runner_summary(runner) -> str:
+    """One-line account of what the experiment runner actually did.
+
+    Shows how many sweep points were simulated versus served from the
+    result cache, so benchmark output makes cache hits visible (a fully
+    warm figure reports ``0 simulated``).
+    """
+    report = runner.total_report
+    parts = [
+        f"{report.points_total} task(s)",
+        f"{report.points_simulated} executed",
+        f"{report.cache_hits} from cache",
+        f"{runner.workers} worker(s)",
+    ]
+    if runner.cache is not None:
+        parts.append(f"cache at {runner.cache.directory}")
+    return ", ".join(parts)
+
+
 def improvement_summary(values: Dict[str, float], subject: str,
                         higher_is_better: bool = True) -> str:
     """One-line summary: how the subject compares to the best of the rest."""

@@ -27,9 +27,10 @@ from ..routing.bsor.framework import (
 from ..routing.dor import XYRouting, YXRouting
 from ..routing.romm import ROMMRouting
 from ..routing.valiant import ValiantRouting
+from ..runner.engine import ExperimentRunner, runner_for
 from .config import ExperimentConfig
 from .report import render_table
-from .workloads import WORKLOAD_NAMES, all_workloads, build_mesh
+from .workloads import WORKLOAD_NAMES, build_mesh, workload_flow_set
 
 #: Column labels of Tables 6.1 / 6.2 in the paper.
 CDG_COLUMNS = ("north-last", "west-first", "negative-first", "ad-hoc-1", "ad-hoc-2")
@@ -134,57 +135,76 @@ class TableResult:
 # ----------------------------------------------------------------------
 # Tables 6.1 and 6.2: per-CDG MCL exploration
 # ----------------------------------------------------------------------
+def _exploration_row(task) -> Dict[str, Optional[float]]:
+    """One table row: explore every paper CDG for one workload.
+
+    Module-level and driven by a picklable (selector, config, workload)
+    task so the runner can fan workloads out across worker processes —
+    the algorithms themselves hold lambdas and are rebuilt inside the
+    worker rather than shipped.
+    """
+    selector, config, workload = task
+    mesh = build_mesh(config)
+    flow_set = workload_flow_set(workload, mesh, config)
+    strategies: List[CDGStrategy] = paper_strategies()
+    # The harness reports the paper's column labels; map the first three
+    # strategies (turn models) and the two ad hoc seeds onto them.
+    label_map = dict(zip([strategy.name for strategy in strategies],
+                         CDG_COLUMNS))
+    router = BSORRouting(
+        selector=selector,
+        strategies=strategies,
+        hop_slack=config.hop_slack,
+        milp_time_limit=config.milp_time_limit,
+    )
+    router.explore(mesh, flow_set)
+    row: Dict[str, Optional[float]] = {}
+    for entry in router.exploration:
+        row[label_map.get(entry.strategy_name, entry.strategy_name)] = entry.mcl
+    return row
+
+
 def _exploration_table(selector: str, config: ExperimentConfig,
                        workloads: Sequence[str],
                        table_name: str,
-                       paper_reference: Dict[str, Dict[str, float]]
+                       paper_reference: Dict[str, Dict[str, float]],
+                       runner: Optional[ExperimentRunner] = None,
                        ) -> TableResult:
-    strategies: List[CDGStrategy] = paper_strategies()
-    column_names = [strategy.name for strategy in strategies]
-    # The harness reports the paper's column labels; map the first three
-    # strategies (turn models) and the two ad hoc seeds onto them.
-    label_map = dict(zip(column_names, CDG_COLUMNS))
-
-    values: Dict[str, Dict[str, Optional[float]]] = {}
-    for name, mesh, flow_set in all_workloads(config, tuple(workloads)):
-        router = BSORRouting(
-            selector=selector,
-            strategies=strategies,
-            hop_slack=config.hop_slack,
-            milp_time_limit=config.milp_time_limit,
-        )
-        router.explore(mesh, flow_set)
-        row: Dict[str, Optional[float]] = {}
-        for entry in router.exploration:
-            row[label_map.get(entry.strategy_name, entry.strategy_name)] = entry.mcl
-        values[name] = row
+    runner = runner or runner_for(config)
+    names = list(workloads)
+    rows = runner.map(_exploration_row,
+                      [(selector, config, name) for name in names])
     return TableResult(
         name=table_name,
         columns=list(CDG_COLUMNS),
-        values=values,
+        values=dict(zip(names, rows)),
         paper_reference=paper_reference,
     )
 
 
 def table_6_1(config: Optional[ExperimentConfig] = None,
-              workloads: Sequence[str] = WORKLOAD_NAMES) -> TableResult:
+              workloads: Sequence[str] = WORKLOAD_NAMES,
+              runner: Optional[ExperimentRunner] = None) -> TableResult:
     """Table 6.1: minimum MCL per acyclic CDG under BSOR-MILP."""
     config = config or ExperimentConfig()
     return _exploration_table(
         "milp", config, workloads,
         "Table 6.1 - BSOR-MILP minimum MCL by acyclic CDG (MB/s)",
         PAPER_TABLE_6_1,
+        runner=runner,
     )
 
 
 def table_6_2(config: Optional[ExperimentConfig] = None,
-              workloads: Sequence[str] = WORKLOAD_NAMES) -> TableResult:
+              workloads: Sequence[str] = WORKLOAD_NAMES,
+              runner: Optional[ExperimentRunner] = None) -> TableResult:
     """Table 6.2: minimum MCL per acyclic CDG under BSOR-Dijkstra."""
     config = config or ExperimentConfig()
     return _exploration_table(
         "dijkstra", config, workloads,
         "Table 6.2 - BSOR-Dijkstra minimum MCL by acyclic CDG (MB/s)",
         PAPER_TABLE_6_2,
+        runner=runner,
     )
 
 
@@ -205,28 +225,38 @@ def _bsor_for(selector: str, config: ExperimentConfig, mesh) -> BSORRouting:
     )
 
 
+def _algorithm_mcl_row(task) -> Dict[str, Optional[float]]:
+    """One Table 6.3 row: MCL of every algorithm on one workload."""
+    config, workload = task
+    mesh = build_mesh(config)
+    flow_set = workload_flow_set(workload, mesh, config)
+    algorithms: List[RoutingAlgorithm] = [
+        XYRouting(),
+        YXRouting(),
+        ROMMRouting(seed=config.seed),
+        ValiantRouting(seed=config.seed),
+        _bsor_for("milp", config, mesh),
+        _bsor_for("dijkstra", config, mesh),
+    ]
+    row: Dict[str, Optional[float]] = {}
+    for algorithm in algorithms:
+        route_set = algorithm.compute_routes(mesh, flow_set)
+        row[algorithm.name] = route_set.max_channel_load()
+    return row
+
+
 def table_6_3(config: Optional[ExperimentConfig] = None,
-              workloads: Sequence[str] = WORKLOAD_NAMES) -> TableResult:
+              workloads: Sequence[str] = WORKLOAD_NAMES,
+              runner: Optional[ExperimentRunner] = None) -> TableResult:
     """Table 6.3: MCL of every routing algorithm on every workload."""
     config = config or ExperimentConfig()
-    values: Dict[str, Dict[str, Optional[float]]] = {}
-    for name, mesh, flow_set in all_workloads(config, tuple(workloads)):
-        algorithms: List[RoutingAlgorithm] = [
-            XYRouting(),
-            YXRouting(),
-            ROMMRouting(seed=config.seed),
-            ValiantRouting(seed=config.seed),
-            _bsor_for("milp", config, mesh),
-            _bsor_for("dijkstra", config, mesh),
-        ]
-        row: Dict[str, Optional[float]] = {}
-        for algorithm in algorithms:
-            route_set = algorithm.compute_routes(mesh, flow_set)
-            row[algorithm.name] = route_set.max_channel_load()
-        values[name] = row
+    runner = runner or runner_for(config)
+    names = list(workloads)
+    rows = runner.map(_algorithm_mcl_row,
+                      [(config, name) for name in names])
     return TableResult(
         name="Table 6.3 - Maximum channel load by routing algorithm (MB/s)",
         columns=list(TABLE_6_3_COLUMNS),
-        values=values,
+        values=dict(zip(names, rows)),
         paper_reference=PAPER_TABLE_6_3,
     )

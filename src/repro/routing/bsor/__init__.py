@@ -1,4 +1,24 @@
-"""Bandwidth-Sensitive Oblivious Routing: the paper's core contribution."""
+"""Bandwidth-Sensitive Oblivious Routing: the paper's core contribution.
+
+BSOR selects one static route per flow so that the maximum channel load
+(MCL) is minimised while deadlock freedom is guaranteed by construction.
+Public entry points:
+
+* :class:`BSORRouting` — the Section 3.2 framework: build acyclic CDGs
+  from a set of :class:`CDGStrategy` recipes, select routes on each with a
+  selector, keep the best (lowest MCL, ties by average hops); per-CDG
+  results are recorded as :class:`ExplorationEntry` rows (Tables 6.1/6.2);
+* :class:`MILPSelector` / :func:`milp_route_set` — the exact mixed-integer
+  formulation over demand-indexed flow variables;
+* :class:`DijkstraSelector` / :func:`dijkstra_route_set` — the greedy
+  incremental selector with :class:`ResidualCapacityWeight` edge weights;
+* :func:`bsor_milp` / :func:`bsor_dijkstra` — one-call constructors;
+* strategy factories — :func:`paper_strategies` (the five CDGs of Tables
+  6.1/6.2), :func:`full_strategy_set` (the 12 + 3 exploration set),
+  :func:`turn_model_strategy`, :func:`ad_hoc_strategy`,
+  :func:`two_turn_strategy`, :func:`vc_escalation_strategy`,
+  :func:`virtual_network_strategy`.
+"""
 
 from .dijkstra import DijkstraSelector, dijkstra_route_set
 from .framework import (

@@ -1,0 +1,72 @@
+"""Parallel experiment engine with a content-addressed result cache.
+
+This package is the evaluation plane of the reproduction.  The figure and
+table harnesses in :mod:`repro.experiments` and the benchmark suite all send
+their injection-rate sweeps through an :class:`ExperimentRunner`, which
+
+* distributes independent simulation points across worker processes
+  (``workers=N``, ``$REPRO_WORKERS``, or the CPU count);
+* skips any point whose inputs hash to an already-cached result
+  (:class:`ResultCache`, keyed by :func:`simulation_cache_key` over the
+  topology, flow set, routes, simulation configuration and offered rate);
+* returns the exact same ``SweepResult`` objects the serial driver in
+  :mod:`repro.simulator.simulation` produces, bit-identical for any worker
+  count because every point is an independent, seeded, cold-start run.
+
+Typical use::
+
+    from repro.runner import ExperimentRunner
+
+    runner = ExperimentRunner(workers=4, cache=True)
+    result = runner.sweep_algorithm(
+        algorithm, mesh, flows, sim_config, offered_rates=[0.5, 1.0, 2.0],
+    )
+    print(result.curve.throughputs, runner.last_report.describe())
+
+The command line mirrors the API: ``python -m repro.runner figure 6-1
+--workers 4`` regenerates a figure, ``... cache info`` inspects the store.
+"""
+
+from .cache import (
+    CACHE_DIR_ENV,
+    ResultCache,
+    default_cache_dir,
+    statistics_from_dict,
+    statistics_to_dict,
+)
+from .engine import (
+    WORKERS_ENV,
+    ExperimentRunner,
+    RunnerReport,
+    SweepSpec,
+    resolve_workers,
+    runner_for,
+)
+from .fingerprint import (
+    CACHE_SCHEMA_VERSION,
+    config_fingerprint,
+    flow_set_fingerprint,
+    route_set_fingerprint,
+    simulation_cache_key,
+    topology_fingerprint,
+)
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_SCHEMA_VERSION",
+    "ExperimentRunner",
+    "ResultCache",
+    "RunnerReport",
+    "SweepSpec",
+    "WORKERS_ENV",
+    "config_fingerprint",
+    "default_cache_dir",
+    "flow_set_fingerprint",
+    "resolve_workers",
+    "route_set_fingerprint",
+    "runner_for",
+    "simulation_cache_key",
+    "statistics_from_dict",
+    "statistics_to_dict",
+    "topology_fingerprint",
+]

@@ -1,0 +1,136 @@
+"""Content-addressed on-disk cache of simulation statistics.
+
+One cache entry is one simulated sweep point: the key is the
+:func:`~repro.runner.fingerprint.simulation_cache_key` of the inputs, the
+value is the JSON-serialised :class:`~repro.metrics.statistics.SimulationStatistics`.
+Entries are immutable — a key fully determines its statistics because the
+simulator is deterministic in its seed — so the cache never needs
+invalidation logic beyond the key itself.
+
+Writes are atomic (temp file + ``os.replace``), which makes the cache safe
+to share between the worker processes of one run and between concurrent
+runs pointed at the same directory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from ..metrics.statistics import SimulationStatistics
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Directory used when neither an explicit path nor the environment variable
+#: names one.
+DEFAULT_CACHE_DIR = "~/.cache/repro-bsor"
+
+
+def default_cache_dir() -> Path:
+    """The cache directory: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-bsor``."""
+    return Path(os.environ.get(CACHE_DIR_ENV) or
+                os.path.expanduser(DEFAULT_CACHE_DIR))
+
+
+class ResultCache:
+    """A directory of ``<key>.json`` files, one per simulated sweep point."""
+
+    def __init__(self, directory: Union[str, os.PathLike, None] = None) -> None:
+        self.directory = Path(directory) if directory else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> Optional[SimulationStatistics]:
+        """The cached statistics for *key*, or ``None`` on a miss."""
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        try:
+            stats = statistics_from_dict(payload["statistics"])
+        except (KeyError, TypeError):
+            # unreadable / stale schema: treat as a miss, entry will be
+            # overwritten by the fresh result
+            self.misses += 1
+            return None
+        self.hits += 1
+        return stats
+
+    def put(self, key: str, statistics: SimulationStatistics) -> None:
+        """Store *statistics* under *key* (atomic, last writer wins)."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = {"key": key, "statistics": statistics_to_dict(statistics)}
+        # the ".tmp" suffix keeps in-flight writes out of the "*.json" glob
+        # that keys()/len()/clear() enumerate
+        handle, temp_path = tempfile.mkstemp(
+            dir=self.directory, prefix=".write-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "w") as stream:
+                json.dump(payload, stream)
+            os.replace(temp_path, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def keys(self) -> Iterator[str]:
+        if not self.directory.is_dir():
+            return
+        for path in self.directory.glob("*.json"):
+            # pathlib's glob matches dotfiles; never surface in-flight or
+            # foreign temp files as cache entries
+            if not path.name.startswith("."):
+                yield path.stem
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for key in list(self.keys()):
+            try:
+                self._path(key).unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def describe(self) -> str:
+        return (f"ResultCache({self.directory}, entries={len(self)}, "
+                f"hits={self.hits}, misses={self.misses})")
+
+
+# ----------------------------------------------------------------------
+# (de)serialisation of statistics
+# ----------------------------------------------------------------------
+def statistics_to_dict(statistics: SimulationStatistics) -> dict:
+    """Plain-JSON rendering of one simulation's statistics."""
+    return dataclasses.asdict(statistics)
+
+
+def statistics_from_dict(payload: dict) -> SimulationStatistics:
+    """Rebuild :class:`SimulationStatistics` from :func:`statistics_to_dict`."""
+    fields = {field.name for field in
+              dataclasses.fields(SimulationStatistics)}
+    unknown = set(payload) - fields
+    if unknown:
+        raise TypeError(f"unknown statistics fields: {sorted(unknown)}")
+    return SimulationStatistics(**payload)

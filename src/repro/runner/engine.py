@@ -1,0 +1,361 @@
+"""The parallel experiment engine.
+
+:class:`ExperimentRunner` is the evaluation plane of the reproduction: it
+takes the same (topology, route set, configuration, offered rates) inputs as
+:func:`repro.simulator.simulation.sweep_injection_rates` but
+
+* fans independent simulation points out across a pool of worker processes
+  (``concurrent.futures.ProcessPoolExecutor``, configurable worker count);
+* consults a content-addressed :class:`~repro.runner.cache.ResultCache`
+  before simulating, so repeated benchmark runs and re-plotted figures skip
+  the simulator entirely;
+* assembles the results into the same :class:`SweepResult` /
+  :class:`SweepCurve` objects the figures and tables already consume.
+
+Every sweep point is an independent cold-start simulation (the paper's
+methodology), which is what makes the fan-out embarrassingly parallel and
+the results bit-identical regardless of worker count: a seeded point
+simulated in a worker process equals the same point simulated inline.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    TypeVar,
+    Union,
+)
+
+from ..exceptions import SimulationError
+from ..metrics.statistics import SimulationStatistics, SweepCurve, SweepPoint
+from ..routing.base import RouteSet, RoutingAlgorithm
+from ..simulator.config import SimulationConfig
+from ..simulator.simulation import (
+    SweepResult,
+    phase_boundaries_for,
+    simulate_route_set,
+)
+from ..topology.base import Topology
+from ..traffic.flow import FlowSet
+from .cache import ResultCache
+from .fingerprint import simulation_cache_key
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment variable selecting the default worker count.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Normalise a worker count: ``None``/``0`` means auto.
+
+    Auto resolves to ``$REPRO_WORKERS`` when set, otherwise to the machine's
+    CPU count.  Explicit counts are clamped to at least 1.
+    """
+    if workers:
+        return max(1, int(workers))
+    env = os.environ.get(WORKERS_ENV)
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise SimulationError(
+                f"${WORKERS_ENV} must be an integer, got {env!r}"
+            )
+    return max(1, os.cpu_count() or 1)
+
+
+# ----------------------------------------------------------------------
+# worker entry points (module level so they pickle by reference)
+# ----------------------------------------------------------------------
+def _simulate_payload(payload) -> SimulationStatistics:
+    topology, route_set, config, offered_rate, boundaries = payload
+    return simulate_route_set(
+        topology, route_set, config, offered_rate,
+        phase_boundaries=boundaries,
+    )
+
+
+def _apply_function(task):
+    function, item = task
+    return function(item)
+
+
+def _double_for_test(value):
+    """Picklable helper for exercising :meth:`ExperimentRunner.map` in tests."""
+    return value * 2
+
+
+@dataclass
+class SweepSpec:
+    """One sweep the runner should perform (one curve of one figure)."""
+
+    topology: Topology
+    route_set: RouteSet
+    config: SimulationConfig
+    offered_rates: Sequence[float]
+    workload: str = ""
+    phase_boundaries: Optional[Dict[str, int]] = None
+
+
+@dataclass
+class RunnerReport:
+    """Bookkeeping of one runner call, for logs and benchmark output."""
+
+    points_total: int = 0
+    points_simulated: int = 0
+    cache_hits: int = 0
+    workers: int = 1
+
+    def merge(self, other: "RunnerReport") -> None:
+        self.points_total += other.points_total
+        self.points_simulated += other.points_simulated
+        self.cache_hits += other.cache_hits
+
+    def describe(self) -> str:
+        return (f"{self.points_total} points, {self.points_simulated} "
+                f"simulated, {self.cache_hits} cached, "
+                f"{self.workers} worker(s)")
+
+
+class ExperimentRunner:
+    """Parallel, cached driver for injection-rate sweeps.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count.  ``1`` runs every point inline (no pool);
+        ``None`` or ``0`` resolves via ``$REPRO_WORKERS`` / CPU count.
+    cache:
+        ``None`` disables caching.  A :class:`ResultCache` is used as is; a
+        string / path creates one at that directory; ``True`` creates one at
+        the default location (``$REPRO_CACHE_DIR`` or ``~/.cache/repro-bsor``).
+    """
+
+    def __init__(self, workers: Optional[int] = 1,
+                 cache: Union[ResultCache, str, os.PathLike, bool, None] = None,
+                 ) -> None:
+        self.workers = resolve_workers(workers)
+        if cache is True:
+            self.cache: Optional[ResultCache] = ResultCache()
+        elif cache in (None, False):
+            self.cache = None
+        elif isinstance(cache, ResultCache):
+            self.cache = cache
+        else:
+            self.cache = ResultCache(cache)
+        self.last_report = RunnerReport(workers=self.workers)
+        self.total_report = RunnerReport(workers=self.workers)
+
+    # ------------------------------------------------------------------
+    # generic parallel map (used by the table harness)
+    # ------------------------------------------------------------------
+    def map(self, function: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        """Apply a picklable *function* to every item, in order.
+
+        Runs inline with one worker or a single item; otherwise fans out to
+        the process pool.  The function and items must be picklable (define
+        the function at module level).  Results are not cached — the result
+        cache is keyed on simulation inputs, which arbitrary tasks do not
+        have — but the run is accounted in the runner's reports.
+        """
+        items = list(items)
+        report = RunnerReport(workers=self.workers)
+        report.points_total = report.points_simulated = len(items)
+        self.last_report = report
+        self.total_report.merge(report)
+        if self.workers == 1 or len(items) <= 1:
+            return [function(item) for item in items]
+        tasks = [(function, item) for item in items]
+        with ProcessPoolExecutor(max_workers=min(self.workers, len(items))) \
+                as pool:
+            return list(pool.map(_apply_function, tasks))
+
+    # ------------------------------------------------------------------
+    # sweeps
+    # ------------------------------------------------------------------
+    def simulate(self, topology: Topology, route_set: RouteSet,
+                 config: SimulationConfig, offered_rate: float,
+                 phase_boundaries: Optional[Dict[str, int]] = None,
+                 ) -> SimulationStatistics:
+        """One cache-aware simulation point, run inline."""
+        spec = SweepSpec(topology, route_set, config, [offered_rate],
+                         phase_boundaries=phase_boundaries)
+        return self.sweep_many({"point": spec})["point"].statistics[0]
+
+    def sweep(self, topology: Topology, route_set: RouteSet,
+              config: SimulationConfig, offered_rates: Sequence[float],
+              workload: str = "",
+              phase_boundaries: Optional[Dict[str, int]] = None,
+              ) -> SweepResult:
+        """Drop-in parallel/cached replacement for ``sweep_injection_rates``."""
+        spec = SweepSpec(topology, route_set, config, offered_rates,
+                         workload=workload, phase_boundaries=phase_boundaries)
+        return self.sweep_many({"sweep": spec})["sweep"]
+
+    def sweep_algorithm(self, algorithm: RoutingAlgorithm, topology: Topology,
+                        flow_set: FlowSet, config: SimulationConfig,
+                        offered_rates: Sequence[float],
+                        workload: str = "") -> SweepResult:
+        """Compute routes with *algorithm*, then sweep in parallel."""
+        return self.compare_algorithms(
+            [algorithm], topology, flow_set, config, offered_rates,
+            workload=workload,
+        )[algorithm.name]
+
+    def compare_algorithms(self, algorithms: Iterable[RoutingAlgorithm],
+                           topology: Topology, flow_set: FlowSet,
+                           config: SimulationConfig,
+                           offered_rates: Sequence[float],
+                           workload: str = "") -> Dict[str, SweepResult]:
+        """Sweep several algorithms; all points share one worker pool."""
+        specs: Dict[str, SweepSpec] = {}
+        for algorithm in algorithms:
+            route_set = algorithm.compute_routes(topology, flow_set)
+            specs[algorithm.name] = SweepSpec(
+                topology, route_set, config, offered_rates,
+                workload=workload,
+                phase_boundaries=phase_boundaries_for(algorithm, route_set),
+            )
+        return self.sweep_many(specs)
+
+    def sweep_many(self, specs: Mapping[str, SweepSpec]
+                   ) -> Dict[str, SweepResult]:
+        """Run several sweeps as one flat batch of simulation points.
+
+        This is the core of the engine: every (sweep, offered rate) pair is
+        an independent task, so a figure's six algorithm curves and a VC
+        sweep's per-VC-count runs all fill the same worker pool instead of
+        executing curve by curve.
+        """
+        for key, spec in specs.items():
+            if not spec.offered_rates:
+                raise SimulationError(
+                    f"sweep {key!r}: offered_rates must contain at least one rate"
+                )
+            if not spec.route_set.is_complete():
+                missing = [flow.name for flow in spec.route_set.missing_flows()]
+                raise SimulationError(
+                    f"sweep {key!r}: route set is missing routes for flows: "
+                    f"{missing}"
+                )
+
+        report = RunnerReport(workers=self.workers)
+        collected: Dict[str, List[Optional[SimulationStatistics]]] = {
+            key: [None] * len(spec.offered_rates) for key, spec in specs.items()
+        }
+        pending = []  # (key, rate index, cache key, payload)
+        for key, spec in specs.items():
+            for index, rate in enumerate(spec.offered_rates):
+                report.points_total += 1
+                cache_key = None
+                if self.cache is not None:
+                    cache_key = simulation_cache_key(
+                        spec.topology, spec.route_set, spec.config, rate,
+                        spec.phase_boundaries,
+                    )
+                    cached = self.cache.get(cache_key)
+                    if cached is not None:
+                        collected[key][index] = cached
+                        report.cache_hits += 1
+                        continue
+                payload = (spec.topology, spec.route_set, spec.config,
+                           rate, spec.phase_boundaries)
+                pending.append((key, index, cache_key, payload))
+
+        report.points_simulated = len(pending)
+        if pending:
+            self._run_pending(pending, collected)
+        self.last_report = report
+        self.total_report.merge(report)
+
+        results: Dict[str, SweepResult] = {}
+        for key, spec in specs.items():
+            curve = SweepCurve(
+                algorithm=spec.route_set.algorithm or "routes",
+                workload=spec.workload or spec.route_set.flow_set.name,
+            )
+            statistics: List[SimulationStatistics] = []
+            for rate, stats in zip(spec.offered_rates, collected[key]):
+                assert stats is not None
+                statistics.append(stats)
+                curve.add_point(SweepPoint(
+                    offered_rate=rate,
+                    throughput=stats.throughput,
+                    average_latency=stats.average_latency,
+                    delivery_ratio=stats.delivery_ratio,
+                ))
+            results[key] = SweepResult(curve=curve, statistics=statistics,
+                                       route_set=spec.route_set)
+        return results
+
+    # ------------------------------------------------------------------
+    def _run_pending(self, pending, collected) -> None:
+        if self.workers == 1 or len(pending) == 1:
+            for key, index, cache_key, payload in pending:
+                stats = _simulate_payload(payload)
+                collected[key][index] = stats
+                if self.cache is not None and cache_key is not None:
+                    self.cache.put(cache_key, stats)
+            return
+        with ProcessPoolExecutor(
+                max_workers=min(self.workers, len(pending))) as pool:
+            futures = {
+                pool.submit(_simulate_payload, payload):
+                    (key, index, cache_key)
+                for key, index, cache_key, payload in pending
+            }
+            # cache every result the moment it lands so a late worker
+            # failure cannot discard hours of completed simulation; the
+            # first error is re-raised after the surviving points are safe
+            first_error: Optional[BaseException] = None
+            for future in as_completed(futures):
+                key, index, cache_key = futures[future]
+                try:
+                    stats = future.result()
+                except BaseException as error:
+                    if first_error is None:
+                        first_error = error
+                    continue
+                collected[key][index] = stats
+                if self.cache is not None and cache_key is not None:
+                    self.cache.put(cache_key, stats)
+            if first_error is not None:
+                raise first_error
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        cache_text = (self.cache.describe() if self.cache is not None
+                      else "cache disabled")
+        return (f"ExperimentRunner(workers={self.workers}, {cache_text}, "
+                f"last run: {self.last_report.describe()})")
+
+
+def runner_for(config) -> ExperimentRunner:
+    """Build the runner an :class:`ExperimentConfig` asks for.
+
+    Reads the config's ``workers`` / ``use_cache`` / ``cache_dir`` fields
+    (absent fields default to serial and uncached, the seed behaviour), so
+    existing call sites that pass a plain configuration keep working.
+    """
+    workers = getattr(config, "workers", 1)
+    use_cache = getattr(config, "use_cache", False)
+    cache_dir = getattr(config, "cache_dir", None)
+    cache: Union[ResultCache, str, bool, None]
+    if not use_cache:
+        cache = None
+    elif cache_dir:
+        cache = cache_dir
+    else:
+        cache = True
+    return ExperimentRunner(workers=workers, cache=cache)

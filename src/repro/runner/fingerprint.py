@@ -1,0 +1,111 @@
+"""Stable content fingerprints for simulation inputs.
+
+The result cache is content addressed: a simulation point is identified by a
+SHA-256 digest of everything that determines its outcome — the topology's
+channel inventory, the flow set (names, endpoints, demands), the route of
+every flow (including static VC allocation), every field of the
+:class:`~repro.simulator.config.SimulationConfig`, the phase boundaries and
+the offered injection rate.  Two processes that build the same experiment
+from the same configuration therefore compute the same key, which is what
+lets worker processes share one cache directory and lets a re-plotted figure
+skip simulation entirely.
+
+The fingerprint is computed over a canonical JSON rendering (sorted keys,
+no whitespace) of plain lists / dicts / scalars, never over ``hash()`` or
+``repr()`` of live objects, so it is independent of ``PYTHONHASHSEED``,
+process identity and dict insertion order.  Flow and channel *order* is
+preserved, not sorted away: both are genuine simulation inputs (flows share
+one injection RNG stream drawn in flow-set order; channel ids and
+arbitration order follow the topology's channel enumeration), so two
+experiments that differ only in ordering must not collide on one key.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Dict, Optional
+
+from ..routing.base import RouteSet
+from ..simulator.config import SimulationConfig
+from ..topology.base import Topology
+from ..topology.links import physical, virtual_index
+
+#: Bump when the simulator's semantics change in a way that invalidates
+#: previously cached statistics.
+CACHE_SCHEMA_VERSION = 1
+
+
+def _digest(payload: object) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def topology_fingerprint(topology: Topology) -> Dict[str, object]:
+    """Canonical description of a topology: type, nodes and channels.
+
+    Channels keep the topology's enumeration order — it determines the
+    simulator's channel ids and arbitration scan order.
+    """
+    return {
+        "type": type(topology).__name__,
+        "nodes": sorted(topology.nodes),
+        "channels": [(channel.src, channel.dst)
+                     for channel in topology.channels],
+    }
+
+
+def flow_set_fingerprint(route_set: RouteSet) -> list:
+    """Canonical description of the flows a route set carries.
+
+    Flow order is preserved — flows draw from one shared injection RNG
+    stream in flow-set order, so reordered flow sets are different
+    simulations.
+    """
+    return [
+        (flow.name, flow.source, flow.destination, float(flow.demand))
+        for flow in route_set.flow_set
+    ]
+
+
+def route_set_fingerprint(route_set: RouteSet) -> Dict[str, object]:
+    """Canonical description of every route (channels + static VCs)."""
+    routes = {}
+    for route in route_set:
+        hops = []
+        for resource in route.resources:
+            channel = physical(resource)
+            vc = virtual_index(resource)
+            hops.append([channel.src, channel.dst,
+                         -1 if vc is None else vc])
+        routes[route.flow.name] = hops
+    return {"algorithm": route_set.algorithm, "routes": routes}
+
+
+def config_fingerprint(config: SimulationConfig) -> Dict[str, object]:
+    """Every field of the simulation configuration, by name."""
+    return dataclasses.asdict(config)
+
+
+def simulation_cache_key(topology: Topology, route_set: RouteSet,
+                         config: SimulationConfig, offered_rate: float,
+                         phase_boundaries: Optional[Dict[str, int]] = None,
+                         ) -> str:
+    """The content-addressed key of one simulation point.
+
+    Any change to any input — a different channel, demand, route hop, VC
+    count, warm-up length, seed, variation fraction or offered rate —
+    produces a different key, so stale cache entries can never be returned
+    for a modified experiment.
+    """
+    payload = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "topology": topology_fingerprint(topology),
+        "flows": flow_set_fingerprint(route_set),
+        "routes": route_set_fingerprint(route_set),
+        "config": config_fingerprint(config),
+        "offered_rate": float(offered_rate),
+        "phase_boundaries": sorted((phase_boundaries or {}).items()),
+    }
+    return _digest(payload)

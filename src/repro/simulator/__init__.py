@@ -1,4 +1,22 @@
-"""Cycle-accurate wormhole virtual-channel NoC simulator."""
+"""Cycle-accurate wormhole virtual-channel NoC simulator.
+
+Public entry points, lowest to highest level:
+
+* :class:`Packet` / :class:`Flit` — the wormhole data units;
+* :class:`SimulationConfig` — every knob of a run (VCs, buffer depths,
+  cycle counts, seeds, bandwidth variation);
+* :class:`BernoulliInjection` / :class:`ModulatedInjection` /
+  :func:`make_injection_process` — offered-load processes, drawn once per
+  cycle in a single batched call;
+* :class:`NetworkSimulator` — one routing configuration under one injection
+  process, simulated cycle by cycle over flat per-(channel, VC) arrays;
+* :func:`simulate_route_set` / :func:`sweep_injection_rates` /
+  :func:`sweep_algorithm` / :func:`compare_algorithms` — the serial driver
+  functions (one point, one sweep, one figure's worth of sweeps).
+
+For parallel, cached sweeps use :class:`repro.runner.ExperimentRunner`,
+which wraps these same entry points and returns identical results.
+"""
 
 from .config import SimulationConfig
 from .injection import (

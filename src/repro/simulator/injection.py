@@ -60,6 +60,17 @@ class InjectionProcess:
             whole += 1
         return whole
 
+    def counts_for_cycle(self, cycle: int) -> List[int]:
+        """Packets injected this cycle for every flow, in flow-set order.
+
+        The simulator calls this once per cycle instead of
+        :meth:`packets_to_inject` once per flow; subclasses with static
+        rates override it to skip the per-flow rate lookups.  The random
+        draws happen in flow-set order either way, so batched and per-flow
+        injection produce identical streams for the same seed.
+        """
+        return [self.packets_to_inject(flow, cycle) for flow in self.flow_set]
+
     def expected_rate(self, flow: Flow) -> float:
         """Long-run average packet rate of a flow."""
         return self.flow_rates[flow.name]
@@ -67,6 +78,28 @@ class InjectionProcess:
 
 class BernoulliInjection(InjectionProcess):
     """Memoryless injection at a constant per-flow rate."""
+
+    def __init__(self, flow_set: FlowSet, offered_rate: float,
+                 seed: int = 0) -> None:
+        super().__init__(flow_set, offered_rate, seed=seed)
+        # rates are constant, so the whole/fractional split per flow can be
+        # precomputed once and the per-cycle batch reduced to one Bernoulli
+        # draw per fractional-rate flow
+        self._schedule = []
+        for flow in flow_set:
+            rate = self.flow_rates[flow.name]
+            whole = int(rate)
+            self._schedule.append((whole, rate - whole))
+
+    def counts_for_cycle(self, cycle: int) -> List[int]:
+        random = self._rng.random
+        counts = []
+        for whole, fraction in self._schedule:
+            if fraction > 0 and random() < fraction:
+                counts.append(whole + 1)
+            else:
+                counts.append(whole)
+        return counts
 
 
 class ModulatedInjection(InjectionProcess):

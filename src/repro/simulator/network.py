@@ -25,8 +25,16 @@ that determines relative routing-algorithm performance:
   one virtual network per phase).
 
 The simulator is deliberately network-centric rather than router-object
-centric: state lives in per-(channel, VC) FIFOs, which keeps the Python
-inner loop small enough to sweep injection rates on an 8x8 mesh.
+centric, and the per-(channel, VC) state lives in **preallocated flat
+arrays** indexed by ``channel_id * num_vcs + vc``: one list of FIFOs, one
+list of wormhole owners, one list of ejection nodes.  Buffer identity is a
+single small integer, so the per-cycle scans sort machine ints instead of
+tuples, the arbitration loops are plain indexed loads, and packet injection
+is drawn in one batched call per cycle
+(:meth:`~repro.simulator.injection.InjectionProcess.counts_for_cycle`)
+instead of one call per flow.  This is what lets a pure-Python inner loop
+sweep injection rates on an 8x8 mesh — and what the parallel runner
+(:mod:`repro.runner`) multiplies across worker processes.
 """
 
 from __future__ import annotations
@@ -42,19 +50,6 @@ from ..topology.links import physical, virtual_index
 from .config import SimulationConfig
 from .injection import InjectionProcess
 from .packet import Flit, Packet
-
-
-class _VCBuffer:
-    """One virtual-channel input buffer (FIFO plus wormhole ownership)."""
-
-    __slots__ = ("fifo", "owner")
-
-    def __init__(self) -> None:
-        self.fifo: deque = deque()
-        self.owner: Optional[int] = None  # packet_id currently holding the VC
-
-    def __len__(self) -> int:
-        return len(self.fifo)
 
 
 class NetworkSimulator:
@@ -99,23 +94,64 @@ class NetworkSimulator:
         self._flow_routes: Dict[str, Tuple[Tuple[int, ...], Tuple[Optional[int], ...]]] = {}
         self._compile_routes()
 
-        # per-(channel, vc) buffers
-        self._buffers: List[List[_VCBuffer]] = [
-            [_VCBuffer() for _ in range(self._num_vcs)]
-            for _ in range(self._num_channels)
+        # flat per-(channel, vc) buffer state, indexed channel_id * V + vc
+        num_buffers = self._num_channels * self._num_vcs
+        self._fifos: List[deque] = [deque() for _ in range(num_buffers)]
+        self._owners: List[Optional[int]] = [None] * num_buffers
+        # ejection node of each buffer (the channel's downstream router)
+        self._buffer_dst: List[int] = [
+            self._channels[index // self._num_vcs].dst
+            for index in range(num_buffers)
         ]
-        # per-(node, flow) injection queues and per-flow generation backlog
-        self._injection_queues: Dict[Tuple[int, str], deque] = {}
-        self._backlog: Dict[str, deque] = {flow.name: deque()
-                                           for flow in route_set.flow_set}
+        # flat indices of buffers that currently hold at least one flit;
+        # keeps the per-cycle scans proportional to live traffic rather
+        # than to network size
+        self._occupied: set = set()
+
+        # per-flow injection state, index-aligned with the flow set:
+        # (name, compiled route, compiled static VCs, injection FIFO)
+        self._flow_names: List[str] = []
+        self._flows: List = []
+        self._flow_compiled: List[Optional[Tuple]] = []
+        self._flow_queues: List[deque] = []
+        self._backlogs: List[deque] = []
+        for flow in route_set.flow_set:
+            self._flow_names.append(flow.name)
+            self._flows.append(flow)
+            self._flow_compiled.append(self._flow_routes.get(flow.name))
+            self._flow_queues.append(deque())
+            self._backlogs.append(deque())
+        # the batched injection call is only aligned when the injection
+        # process covers exactly the route set's flows, in order
+        self._batched_injection = (
+            [flow.name for flow in injection.flow_set] == self._flow_names
+        )
+        # injection arbitration: per source node, the flow queues ordered by
+        # flow name (the per-cycle round robin rotates over the non-empty ones)
+        grouped: Dict[int, List[Tuple[str, int]]] = {}
+        for index, flow in enumerate(route_set.flow_set):
+            grouped.setdefault(flow.source, []).append((flow.name, index))
+        self._node_injection: List[Tuple[int, List[Tuple[int, deque]]]] = []
+        for node in sorted(grouped):
+            entries = [(index, self._flow_queues[index])
+                       for _, index in sorted(grouped[node])]
+            self._node_injection.append((node, entries))
+
+        # per-flow dynamic-VC partitions: (phase boundary, VCs allowed
+        # before it, VCs allowed at or after it); boundary None = any VC
+        full = tuple(range(self._num_vcs))
+        half = self._num_vcs // 2
+        self._allowed: Dict[str, Tuple[Optional[int], Tuple[int, ...], Tuple[int, ...]]] = {}
+        for name in self._flow_names:
+            boundary = self.phase_boundaries.get(name)
+            if boundary is None or self._num_vcs < 2:
+                self._allowed[name] = (None, full, full)
+            else:
+                self._allowed[name] = (boundary, full[:half], full[half:])
+
         # round-robin pointers
         self._output_rr: List[int] = [0] * self._num_channels
         self._node_rr: Dict[int, int] = {node: 0 for node in topology.nodes}
-
-        # set of (channel id, vc) buffers that currently hold at least one
-        # flit; keeps the per-cycle scans proportional to live traffic rather
-        # than to network size.
-        self._occupied: set = set()
 
         # statistics
         self._cycle = 0
@@ -162,37 +198,51 @@ class NetworkSimulator:
     # helpers
     # ------------------------------------------------------------------
     def _allowed_vcs(self, flow_name: str, hop: int) -> Sequence[int]:
-        boundary = self.phase_boundaries.get(flow_name)
-        if boundary is None or self._num_vcs < 2:
-            return range(self._num_vcs)
-        half = self._num_vcs // 2
-        if hop < boundary:
-            return range(half)
-        return range(half, self._num_vcs)
+        boundary, pre, post = self._allowed[flow_name]
+        if boundary is None or hop < boundary:
+            return pre
+        return post
 
     def _generate_packets(self) -> None:
         """Draw new packets from the injection process into the backlog."""
-        for flow in self.route_set.flow_set:
-            count = self.injection.packets_to_inject(flow, self._cycle)
+        cycle = self._cycle
+        if self._batched_injection:
+            counts = self.injection.counts_for_cycle(cycle)
+        else:
+            counts = [self.injection.packets_to_inject(flow, cycle)
+                      for flow in self.route_set.flow_set]
+        measured = cycle >= self.config.warmup_cycles
+        backlogs = self._backlogs
+        for index, count in enumerate(counts):
+            if not count:
+                continue
+            backlog = backlogs[index]
             for _ in range(count):
-                self._backlog[flow.name].append(self._cycle)
-                self._packets_generated += 1
-                if self._cycle >= self.config.warmup_cycles:
-                    self._measured_generated += 1
+                backlog.append(cycle)
+            self._packets_generated += count
+            if measured:
+                self._measured_generated += count
 
     def _fill_injection_queues(self) -> None:
         """Move backlog packets into the bounded per-(node, flow) queues."""
-        for flow in self.route_set.flow_set:
-            backlog = self._backlog[flow.name]
+        capacity = self.config.injection_buffer_depth
+        size_flits = self.config.packet_size_flits
+        drop = self.config.drop_when_source_full
+        flows = self._flows
+        for index, backlog in enumerate(self._backlogs):
             if not backlog:
                 continue
-            key = (flow.source, flow.name)
-            queue = self._injection_queues.setdefault(key, deque())
-            capacity = self.config.injection_buffer_depth
-            while backlog and \
-                    len(queue) + self.config.packet_size_flits <= capacity:
+            compiled = self._flow_compiled[index]
+            if compiled is None:
+                raise SimulationError(
+                    f"flow {self._flow_names[index]} has traffic to inject "
+                    f"but no route"
+                )
+            channel_ids, static_vcs = compiled
+            flow = flows[index]
+            queue = self._flow_queues[index]
+            while backlog and len(queue) + size_flits <= capacity:
                 generated_cycle = backlog.popleft()
-                channel_ids, static_vcs = self._flow_routes[flow.name]
                 packet = Packet(
                     packet_id=self._next_packet_id,
                     flow_name=flow.name,
@@ -200,14 +250,13 @@ class NetworkSimulator:
                     destination=flow.destination,
                     route_channels=channel_ids,
                     static_vcs=static_vcs,
-                    size_flits=self.config.packet_size_flits,
+                    size_flits=size_flits,
                     injected_cycle=generated_cycle,
                 )
                 self._next_packet_id += 1
-                for flit in packet.make_flits():
-                    queue.append(flit)
-                    self._in_flight_flits += 1
-            if self.config.drop_when_source_full and backlog:
+                queue.extend(packet.make_flits())
+                self._in_flight_flits += size_flits
+            if drop and backlog:
                 self._dropped += len(backlog)
                 backlog.clear()
 
@@ -218,27 +267,33 @@ class NetworkSimulator:
         """Consume flits that reached their destination; returns flits moved."""
         moved = 0
         measuring = self._cycle >= self.config.warmup_cycles
+        fifos = self._fifos
+        buffer_dst = self._buffer_dst
         # Group ejection candidates (head flits at their last hop) by node so
         # the per-node local-port bandwidth can be enforced.
-        per_node: Dict[int, List[Tuple[int, int]]] = {}
-        for cid, vc in self._occupied:
-            buffer = self._buffers[cid][vc]
-            flit = buffer.fifo[0]
-            if flit.at_last_hop:
-                node = self._channels[cid].dst
-                per_node.setdefault(node, []).append((cid, vc))
+        per_node: Dict[int, List[int]] = {}
+        for index in self._occupied:
+            flit = fifos[index][0]
+            if flit.hop == flit.last_hop:
+                node = buffer_dst[index]
+                slots = per_node.get(node)
+                if slots is None:
+                    per_node[node] = [index]
+                else:
+                    slots.append(index)
+        local_bandwidth = self.config.local_bandwidth
         for node, slots in per_node.items():
             slots.sort()
-            for cid, vc in slots[: self.config.local_bandwidth]:
-                buffer = self._buffers[cid][vc]
-                flit = buffer.fifo.popleft()
-                if not buffer.fifo:
-                    self._occupied.discard((cid, vc))
-                departed_buffers.add((cid, vc))
+            for index in slots[:local_bandwidth]:
+                fifo = fifos[index]
+                flit = fifo.popleft()
+                if not fifo:
+                    self._occupied.discard(index)
+                departed_buffers.add(index)
                 self._in_flight_flits -= 1
                 moved += 1
                 if flit.is_tail:
-                    buffer.owner = None
+                    self._owners[index] = None
                     packet = flit.packet
                     packet.delivered_cycle = self._cycle
                     if measuring:
@@ -257,122 +312,137 @@ class NetworkSimulator:
     def _collect_candidates(self, departed_buffers: set):
         """Group head flits by the output channel they want to enter.
 
-        Returns ``{output channel id: [(source kind, source key, flit), ...]}``
-        where source kind is ``"buffer"`` or ``"injection"``.
+        Returns ``{output channel id: [(from buffer?, source key, flit), ...]}``
+        where the source key is a flat buffer index for network buffers and a
+        flow index for injection queues.
         """
-        candidates: Dict[int, List[Tuple[str, object, Flit]]] = {}
+        candidates: Dict[int, List[Tuple[bool, int, Flit]]] = {}
 
-        # network input buffers (only those holding flits)
-        for cid, vc in sorted(self._occupied):
-            if (cid, vc) in departed_buffers:
+        # network input buffers (only those holding flits), in buffer order
+        fifos = self._fifos
+        for index in sorted(self._occupied):
+            if index in departed_buffers:
                 continue  # already sent its head flit (ejection) this cycle
-            buffer = self._buffers[cid][vc]
-            flit = buffer.fifo[0]
-            next_channel = flit.next_hop_channel()
-            if next_channel is None:
+            flit = fifos[index][0]
+            nxt = flit.hop + 1
+            if nxt > flit.last_hop:
                 continue  # waits for ejection bandwidth
-            candidates.setdefault(next_channel, []).append(
-                ("buffer", (cid, vc), flit)
-            )
+            target = flit.route[nxt]
+            entry = candidates.get(target)
+            if entry is None:
+                candidates[target] = [(True, index, flit)]
+            else:
+                entry.append((True, index, flit))
 
         # injection queues (up to local_bandwidth flow queues per node per cycle)
-        per_node: Dict[int, List[Tuple[Tuple[int, str], deque]]] = {}
-        for key, queue in self._injection_queues.items():
-            if queue:
-                per_node.setdefault(key[0], []).append((key, queue))
-        for node, queues in per_node.items():
-            queues.sort(key=lambda item: item[0][1])
-            start = self._node_rr[node] % len(queues)
-            self._node_rr[node] += 1
-            chosen = [queues[(start + offset) % len(queues)]
-                      for offset in range(len(queues))]
-            for key, queue in chosen[: self.config.local_bandwidth]:
-                flit = queue[0]
-                first_channel = flit.packet.route_channels[0]
-                candidates.setdefault(first_channel, []).append(
-                    ("injection", key, flit)
-                )
-        return candidates
-
-    def _try_allocate_vc(self, flit: Flit, target_channel: int,
-                         scheduled_in: Dict[Tuple[int, int], int]) -> Optional[int]:
-        """Pick the VC the flit would occupy at *target_channel*, or None."""
-        packet = flit.packet
-        hop = flit.hop + 1
-        depth = self.config.buffer_depth
-
-        def has_space(vc: int) -> bool:
-            buffer = self._buffers[target_channel][vc]
-            incoming = scheduled_in.get((target_channel, vc), 0)
-            return len(buffer.fifo) + incoming < depth
-
-        if not flit.is_head:
-            vc = packet.vc_at_hop(hop)
-            if vc is None:
-                return None  # head has not allocated this hop yet
-            return vc if has_space(vc) else None
-
-        static = packet.static_vcs[hop]
-        if static is not None:
-            buffer = self._buffers[target_channel][static]
-            if buffer.owner is None and has_space(static):
-                return static
-            return None
-
-        best: Optional[int] = None
-        best_occupancy: Optional[int] = None
-        for vc in self._allowed_vcs(packet.flow_name, hop):
-            buffer = self._buffers[target_channel][vc]
-            if buffer.owner is not None or not has_space(vc):
+        local_bandwidth = self.config.local_bandwidth
+        node_rr = self._node_rr
+        for node, entries in self._node_injection:
+            live = [entry for entry in entries if entry[1]]
+            if not live:
                 continue
-            occupancy = len(buffer.fifo)
-            if best_occupancy is None or occupancy < best_occupancy:
-                best = vc
-                best_occupancy = occupancy
-        return best
+            rr = node_rr[node]
+            node_rr[node] = rr + 1
+            count = len(live)
+            start = rr % count
+            for offset in range(min(local_bandwidth, count)):
+                flow_index, queue = live[(start + offset) % count]
+                flit = queue[0]
+                target = flit.route[0]
+                entry = candidates.get(target)
+                if entry is None:
+                    candidates[target] = [(False, flow_index, flit)]
+                else:
+                    entry.append((False, flow_index, flit))
+        return candidates
 
     def _transfer(self, departed_buffers: set) -> int:
         """Move at most one flit onto every physical channel; returns moves."""
         candidates = self._collect_candidates(departed_buffers)
-        scheduled_in: Dict[Tuple[int, int], int] = {}
-        moves: List[Tuple[str, object, Flit, int, int]] = []
+        scheduled_in: Dict[int, int] = {}
+        moves: List[Tuple[bool, int, Flit, int, int]] = []
 
+        fifos = self._fifos
+        owners = self._owners
+        num_vcs = self._num_vcs
+        depth = self.config.buffer_depth
+        allowed = self._allowed
+        scheduled_get = scheduled_in.get
         for target_channel, contenders in candidates.items():
             rr = self._output_rr[target_channel]
             self._output_rr[target_channel] = rr + 1
-            order = [contenders[(rr + offset) % len(contenders)]
-                     for offset in range(len(contenders))]
-            for kind, key, flit in order:
-                vc = self._try_allocate_vc(flit, target_channel, scheduled_in)
-                if vc is None:
-                    continue
-                scheduled_in[(target_channel, vc)] = \
-                    scheduled_in.get((target_channel, vc), 0) + 1
-                moves.append((kind, key, flit, target_channel, vc))
+            count = len(contenders)
+            base = target_channel * num_vcs
+            for offset in range(count):
+                from_buffer, key, flit = contenders[(rr + offset) % count]
+                packet = flit.packet
+                hop = flit.hop + 1
+                # virtual-channel allocation at the target buffer, inlined:
+                # body/tail flits follow the head's VC, heads claim a free
+                # statically-named or least-occupied allowed VC
+                if not flit.is_head:
+                    vc = packet.static_vcs[hop]
+                    if vc is None:
+                        vc = packet.allocated_vcs[hop]
+                        if vc is None:
+                            continue  # head has not allocated this hop yet
+                    buffer_index = base + vc
+                    if len(fifos[buffer_index]) + \
+                            scheduled_get(buffer_index, 0) >= depth:
+                        continue
+                else:
+                    static = packet.static_vcs[hop]
+                    if static is not None:
+                        buffer_index = base + static
+                        if owners[buffer_index] is not None or \
+                                len(fifos[buffer_index]) + \
+                                scheduled_get(buffer_index, 0) >= depth:
+                            continue
+                        vc = static
+                    else:
+                        boundary, pre, post = allowed[packet.flow_name]
+                        vc_choices = pre if boundary is None or hop < boundary \
+                            else post
+                        vc = -1
+                        best_occupancy = 0
+                        for choice in vc_choices:
+                            buffer_index = base + choice
+                            if owners[buffer_index] is not None:
+                                continue
+                            occupancy = len(fifos[buffer_index])
+                            if occupancy + scheduled_get(buffer_index, 0) >= depth:
+                                continue
+                            if vc < 0 or occupancy < best_occupancy:
+                                vc = choice
+                                best_occupancy = occupancy
+                        if vc < 0:
+                            continue
+                        buffer_index = base + vc
+                scheduled_in[buffer_index] = \
+                    scheduled_get(buffer_index, 0) + 1
+                moves.append((from_buffer, key, flit, vc, buffer_index))
                 break  # one flit per physical channel per cycle
 
         # commit all moves simultaneously
-        for kind, key, flit, target_channel, vc in moves:
-            if kind == "buffer":
-                cid, source_vc = key
-                buffer = self._buffers[cid][source_vc]
-                buffer.fifo.popleft()
-                if not buffer.fifo:
-                    self._occupied.discard((cid, source_vc))
+        occupied = self._occupied
+        for from_buffer, key, flit, vc, buffer_index in moves:
+            if from_buffer:
+                fifo = fifos[key]
+                fifo.popleft()
+                if not fifo:
+                    occupied.discard(key)
                 if flit.is_tail:
-                    buffer.owner = None
+                    owners[key] = None
             else:
-                queue = self._injection_queues[key]
-                queue.popleft()
-            flit.hop += 1
-            packet = flit.packet
+                self._flow_queues[key].popleft()
+            hop = flit.hop + 1
+            flit.hop = hop
             if flit.is_head:
-                packet.allocated_vcs[flit.hop] = vc
-            target = self._buffers[target_channel][vc]
-            if flit.is_head:
-                target.owner = packet.packet_id
-            target.fifo.append(flit)
-            self._occupied.add((target_channel, vc))
+                packet = flit.packet
+                packet.allocated_vcs[hop] = vc
+                owners[buffer_index] = packet.packet_id
+            fifos[buffer_index].append(flit)
+            occupied.add(buffer_index)
         return len(moves)
 
     # ------------------------------------------------------------------
@@ -431,8 +501,10 @@ class NetworkSimulator:
     def occupancy_snapshot(self) -> Dict[str, int]:
         """Flits buffered per channel label (debugging / test aid)."""
         snapshot: Dict[str, int] = {}
+        num_vcs = self._num_vcs
         for cid, channel in enumerate(self._channels):
-            count = sum(len(self._buffers[cid][vc]) for vc in range(self._num_vcs))
+            base = cid * num_vcs
+            count = sum(len(self._fifos[base + vc]) for vc in range(num_vcs))
             if count:
                 snapshot[self.topology.channel_label(channel)] = count
         return snapshot

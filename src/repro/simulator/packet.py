@@ -6,17 +6,20 @@ allocates virtual channels hop by hop; body flits follow the head through the
 same virtual channels; the tail flit releases them.  The simulator models
 flits individually because head-of-line blocking, the phenomenon virtual
 channels exist to mitigate (Figure 2-3), only appears at flit granularity.
+
+Both classes are ``__slots__``-based and flits carry their packet's route
+tuple and final hop index directly: the simulator's inner loop touches these
+fields hundreds of thousands of times per run, and flat attribute loads on
+slotted instances are what keeps the pure-Python hot path affordable.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from ..exceptions import SimulationError
 
 
-@dataclass
 class Packet:
     """One packet of a flow traversing the network.
 
@@ -38,37 +41,51 @@ class Packet:
         Packet length in flits (head + body + tail).
     injected_cycle:
         Cycle at which the head flit entered the source queue.
+    num_hops:
+        Route length in channels (precomputed from ``route_channels``).
+    allocated_vcs:
+        Virtual channel dynamically allocated at each hop (filled as the
+        head flit advances); mirrors ``static_vcs`` when allocation is
+        static.
+    delivered_cycle:
+        Cycle the tail flit was consumed at the destination (set on
+        delivery).
     """
 
-    packet_id: int
-    flow_name: str
-    source: int
-    destination: int
-    route_channels: Tuple[int, ...]
-    static_vcs: Tuple[Optional[int], ...]
-    size_flits: int
-    injected_cycle: int
-    #: virtual channel dynamically allocated at each hop (filled as the head
-    #: flit advances); mirrors ``static_vcs`` when allocation is static.
-    allocated_vcs: List[Optional[int]] = field(default_factory=list)
-    #: cycle the tail flit was consumed at the destination (set on delivery).
-    delivered_cycle: Optional[int] = None
+    __slots__ = (
+        "packet_id", "flow_name", "source", "destination", "route_channels",
+        "static_vcs", "size_flits", "injected_cycle", "num_hops",
+        "allocated_vcs", "delivered_cycle",
+    )
 
-    def __post_init__(self) -> None:
-        if self.size_flits < 1:
-            raise SimulationError(f"packet size must be >= 1 flit: {self.size_flits}")
-        if len(self.route_channels) != len(self.static_vcs):
+    def __init__(self, packet_id: int, flow_name: str, source: int,
+                 destination: int, route_channels: Sequence[int],
+                 static_vcs: Sequence[Optional[int]], size_flits: int,
+                 injected_cycle: int,
+                 allocated_vcs: Optional[List[Optional[int]]] = None,
+                 delivered_cycle: Optional[int] = None) -> None:
+        if size_flits < 1:
+            raise SimulationError(f"packet size must be >= 1 flit: {size_flits}")
+        if len(route_channels) != len(static_vcs):
             raise SimulationError(
                 "route_channels and static_vcs must have the same length"
             )
-        if not self.route_channels:
+        if not route_channels:
             raise SimulationError("packet route must have at least one hop")
-        if not self.allocated_vcs:
-            self.allocated_vcs = [None] * len(self.route_channels)
-
-    @property
-    def num_hops(self) -> int:
-        return len(self.route_channels)
+        self.packet_id = packet_id
+        self.flow_name = flow_name
+        self.source = source
+        self.destination = destination
+        self.route_channels: Tuple[int, ...] = tuple(route_channels)
+        self.static_vcs: Tuple[Optional[int], ...] = tuple(static_vcs)
+        self.size_flits = size_flits
+        self.injected_cycle = injected_cycle
+        self.num_hops = len(self.route_channels)
+        self.allocated_vcs: List[Optional[int]] = (
+            allocated_vcs if allocated_vcs
+            else [None] * self.num_hops
+        )
+        self.delivered_cycle = delivered_cycle
 
     @property
     def latency(self) -> Optional[int]:
@@ -85,31 +102,46 @@ class Packet:
 
     def make_flits(self) -> List["Flit"]:
         """Create the flit train of this packet (head, bodies, tail)."""
-        flits = []
-        for index in range(self.size_flits):
-            flits.append(Flit(
+        last = self.size_flits - 1
+        return [
+            Flit(
                 packet=self,
                 sequence=index,
                 is_head=(index == 0),
-                is_tail=(index == self.size_flits - 1),
-            ))
-        return flits
+                is_tail=(index == last),
+            )
+            for index in range(self.size_flits)
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Packet({self.flow_name}#{self.packet_id}, "
+            f"{self.source}->{self.destination}, {self.size_flits} flits)"
+        )
 
 
-@dataclass
 class Flit:
     """One flit of a packet.
 
     ``hop`` is the index of the route hop whose downstream input buffer the
     flit currently occupies; ``-1`` means the flit is still in the source
-    (injection) queue of the source node.
+    (injection) queue of the source node.  ``route`` and ``last_hop`` are
+    copies of the packet's route tuple and final hop index so the hot loop
+    reads them with one attribute load instead of two plus a ``len``.
     """
 
-    packet: Packet
-    sequence: int
-    is_head: bool
-    is_tail: bool
-    hop: int = -1
+    __slots__ = ("packet", "sequence", "is_head", "is_tail", "hop",
+                 "route", "last_hop")
+
+    def __init__(self, packet: Packet, sequence: int, is_head: bool,
+                 is_tail: bool, hop: int = -1) -> None:
+        self.packet = packet
+        self.sequence = sequence
+        self.is_head = is_head
+        self.is_tail = is_tail
+        self.hop = hop
+        self.route = packet.route_channels
+        self.last_hop = packet.num_hops - 1
 
     @property
     def flow_name(self) -> str:
@@ -117,14 +149,14 @@ class Flit:
 
     @property
     def at_last_hop(self) -> bool:
-        return self.hop == self.packet.num_hops - 1
+        return self.hop == self.last_hop
 
     def next_hop_channel(self) -> Optional[int]:
         """Channel id of the next hop, or ``None`` at the last hop."""
         nxt = self.hop + 1
-        if nxt >= self.packet.num_hops:
+        if nxt > self.last_hop:
             return None
-        return self.packet.route_channels[nxt]
+        return self.route[nxt]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         kind = "H" if self.is_head else ("T" if self.is_tail else "B")

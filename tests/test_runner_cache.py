@@ -1,0 +1,244 @@
+"""Tests for the runner's content-addressed result cache.
+
+Covers the satellite requirements: key stability across processes (and
+across ``PYTHONHASHSEED``), cache hit/miss behaviour through the runner,
+and invalidation when any field of the simulation inputs changes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.metrics.statistics import SimulationStatistics
+from repro.routing import BSORRouting, XYRouting, YXRouting
+from repro.runner import (
+    ExperimentRunner,
+    ResultCache,
+    simulation_cache_key,
+    statistics_from_dict,
+    statistics_to_dict,
+)
+from repro.simulator import SimulationConfig
+from repro.topology import Mesh2D
+from repro.traffic import transpose
+
+
+@pytest.fixture
+def sim_config() -> SimulationConfig:
+    return SimulationConfig(num_vcs=2, buffer_depth=4, packet_size_flits=4,
+                            warmup_cycles=50, measurement_cycles=200)
+
+
+@pytest.fixture
+def xy_routes(mesh4, transpose4):
+    return XYRouting().compute_routes(mesh4, transpose4)
+
+
+KEY_SCRIPT = """
+from repro.routing import XYRouting
+from repro.runner import simulation_cache_key
+from repro.simulator import SimulationConfig
+from repro.topology import Mesh2D
+from repro.traffic import transpose
+
+mesh = Mesh2D(4)
+routes = XYRouting().compute_routes(mesh, transpose(16, demand=1.0))
+config = SimulationConfig(num_vcs=2, buffer_depth=4, packet_size_flits=4,
+                          warmup_cycles=50, measurement_cycles=200)
+print(simulation_cache_key(mesh, routes, config, 0.5, {"f1": 2}))
+"""
+
+
+class TestKeyStability:
+    def test_key_is_deterministic_in_process(self, mesh4, xy_routes, sim_config):
+        first = simulation_cache_key(mesh4, xy_routes, sim_config, 0.5)
+        second = simulation_cache_key(mesh4, xy_routes, sim_config, 0.5)
+        assert first == second
+        assert len(first) == 64  # sha256 hex
+
+    def test_key_ignores_object_identity(self, mesh4, transpose4, sim_config):
+        """Rebuilding the same experiment yields the same key."""
+        key_a = simulation_cache_key(
+            mesh4, XYRouting().compute_routes(mesh4, transpose4),
+            sim_config, 1.0,
+        )
+        key_b = simulation_cache_key(
+            Mesh2D(4),
+            XYRouting().compute_routes(Mesh2D(4), transpose(16, demand=1.0)),
+            dataclasses.replace(sim_config), 1.0,
+        )
+        assert key_a == key_b
+
+    def test_key_stable_across_processes(self):
+        """Fresh interpreters with different hash seeds agree on the key."""
+        keys = set()
+        for hash_seed in ("0", "1", "31337"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = hash_seed
+            env["PYTHONPATH"] = os.pathsep.join(
+                [os.path.join(os.path.dirname(__file__), "..", "src")]
+                + env.get("PYTHONPATH", "").split(os.pathsep)
+            )
+            result = subprocess.run(
+                [sys.executable, "-c", KEY_SCRIPT],
+                capture_output=True, text=True, env=env, check=True,
+            )
+            keys.add(result.stdout.strip())
+        assert len(keys) == 1
+
+
+class TestKeyInvalidation:
+    def test_every_config_field_invalidates(self, mesh4, xy_routes, sim_config):
+        """Changing any simulation-config field produces a new key."""
+        base_key = simulation_cache_key(mesh4, xy_routes, sim_config, 0.5)
+        changed = dict(
+            num_vcs=4,
+            buffer_depth=8,
+            packet_size_flits=2,
+            warmup_cycles=51,
+            measurement_cycles=300,
+            local_bandwidth=2,
+            injection_buffer_depth=32,
+            seed=7,
+            bandwidth_variation=0.1,
+            variation_dwell_cycles=100,
+            drop_when_source_full=True,
+        )
+        assert set(changed) == {field.name for field in
+                                dataclasses.fields(SimulationConfig)}
+        for field_name, new_value in changed.items():
+            varied = dataclasses.replace(sim_config, **{field_name: new_value})
+            assert simulation_cache_key(mesh4, xy_routes, varied, 0.5) \
+                != base_key, f"field {field_name} did not invalidate the key"
+
+    def test_rate_topology_routes_and_boundaries_invalidate(
+            self, mesh4, transpose4, xy_routes, sim_config):
+        base_key = simulation_cache_key(mesh4, xy_routes, sim_config, 0.5)
+        assert simulation_cache_key(mesh4, xy_routes, sim_config, 0.6) != base_key
+        assert simulation_cache_key(
+            mesh4, xy_routes, sim_config, 0.5, {"f1": 1}) != base_key
+        other_routes = YXRouting().compute_routes(mesh4, transpose4)
+        assert simulation_cache_key(
+            mesh4, other_routes, sim_config, 0.5) != base_key
+        mesh5 = Mesh2D(5)
+        routes5 = XYRouting().compute_routes(mesh5, transpose4)
+        assert simulation_cache_key(
+            mesh5, routes5, sim_config, 0.5) != base_key
+
+    def test_demand_change_invalidates(self, mesh4, sim_config):
+        light = XYRouting().compute_routes(mesh4, transpose(16, demand=1.0))
+        heavy = XYRouting().compute_routes(mesh4, transpose(16, demand=2.0))
+        assert simulation_cache_key(mesh4, light, sim_config, 0.5) != \
+            simulation_cache_key(mesh4, heavy, sim_config, 0.5)
+
+    def test_static_vc_allocation_is_part_of_the_key(self, mesh4, transpose4,
+                                                     sim_config):
+        dynamic = BSORRouting(selector="dijkstra").compute_routes(
+            mesh4, transpose4)
+        static = BSORRouting(selector="dijkstra", num_vcs=2).compute_routes(
+            mesh4, transpose4)
+        assert simulation_cache_key(mesh4, dynamic, sim_config, 0.5) != \
+            simulation_cache_key(mesh4, static, sim_config, 0.5)
+
+
+class TestResultCacheStore:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        stats = SimulationStatistics(
+            cycles=100, warmup_cycles=10, packets_injected=50,
+            packets_delivered=40, flits_delivered=160, total_latency=500.0,
+            per_flow_latency={"f1": 500.0}, per_flow_delivered={"f1": 40},
+            dropped_at_source=2,
+        )
+        cache.put("a" * 64, stats)
+        assert "a" * 64 in cache
+        assert len(cache) == 1
+        loaded = cache.get("a" * 64)
+        assert loaded == stats
+
+    def test_miss_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("b" * 64) is None
+        assert cache.misses == 1
+        cache.put("b" * 64, SimulationStatistics(
+            cycles=1, warmup_cycles=0, packets_injected=0,
+            packets_delivered=0, flits_delivered=0, total_latency=0.0,
+        ))
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (tmp_path / ("c" * 64 + ".json")).write_text("{not json")
+        assert cache.get("c" * 64) is None
+
+    def test_statistics_dict_round_trip(self):
+        stats = SimulationStatistics(
+            cycles=10, warmup_cycles=2, packets_injected=5,
+            packets_delivered=4, flits_delivered=16, total_latency=40.0,
+        )
+        assert statistics_from_dict(statistics_to_dict(stats)) == stats
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(TypeError):
+            statistics_from_dict({"cycles": 1, "bogus": 2})
+
+
+class TestRunnerCacheBehaviour:
+    def test_hit_miss_accounting(self, tmp_path, mesh4, xy_routes, sim_config):
+        runner = ExperimentRunner(workers=1, cache=tmp_path)
+        first = runner.sweep(mesh4, xy_routes, sim_config, [0.3, 0.9])
+        assert runner.last_report.points_simulated == 2
+        assert runner.last_report.cache_hits == 0
+
+        second = runner.sweep(mesh4, xy_routes, sim_config, [0.3, 0.9])
+        assert runner.last_report.points_simulated == 0
+        assert runner.last_report.cache_hits == 2
+        assert second.curve.throughputs == first.curve.throughputs
+        assert second.curve.latencies == first.curve.latencies
+
+        # a new rate simulates only the missing point
+        third = runner.sweep(mesh4, xy_routes, sim_config, [0.3, 0.9, 1.5])
+        assert runner.last_report.points_simulated == 1
+        assert runner.last_report.cache_hits == 2
+        assert third.curve.throughputs[:2] == first.curve.throughputs
+
+    def test_warm_cache_never_invokes_the_simulator(
+            self, tmp_path, mesh4, xy_routes, sim_config, monkeypatch):
+        """Acceptance: a warm re-run must not construct NetworkSimulator."""
+        runner = ExperimentRunner(workers=1, cache=tmp_path)
+        cold = runner.sweep(mesh4, xy_routes, sim_config, [0.3, 0.9])
+
+        import repro.simulator.network as network_module
+        import repro.simulator.simulation as simulation_module
+
+        def _forbidden(*args, **kwargs):
+            raise AssertionError(
+                "NetworkSimulator invoked despite a warm cache")
+
+        monkeypatch.setattr(network_module.NetworkSimulator,
+                            "__init__", _forbidden)
+        monkeypatch.setattr(simulation_module.NetworkSimulator,
+                            "__init__", _forbidden)
+        warm = runner.sweep(mesh4, xy_routes, sim_config, [0.3, 0.9])
+        assert warm.curve.throughputs == cold.curve.throughputs
+        assert runner.last_report.points_simulated == 0
+
+    def test_config_change_misses(self, tmp_path, mesh4, xy_routes, sim_config):
+        runner = ExperimentRunner(workers=1, cache=tmp_path)
+        runner.sweep(mesh4, xy_routes, sim_config, [0.5])
+        varied = dataclasses.replace(sim_config, seed=99)
+        runner.sweep(mesh4, xy_routes, varied, [0.5])
+        assert runner.last_report.points_simulated == 1
+
+    def test_disabled_cache_always_simulates(self, mesh4, xy_routes, sim_config):
+        runner = ExperimentRunner(workers=1, cache=None)
+        runner.sweep(mesh4, xy_routes, sim_config, [0.5])
+        runner.sweep(mesh4, xy_routes, sim_config, [0.5])
+        assert runner.last_report.points_simulated == 1
+        assert runner.last_report.cache_hits == 0

@@ -1,14 +1,16 @@
 # Developer / CI entry points for the BSOR reproduction.
 #
-#   make test   - tier-1 test suite (what must never regress)
-#   make smoke  - one fast figure benchmark through the parallel runner
-#   make links  - fail on broken relative links in README.md / docs/
-#   make check  - all of the above (what CI runs)
+#   make test       - tier-1 test suite (what must never regress)
+#   make smoke      - one fast figure benchmark through the parallel runner
+#   make links      - fail on broken relative links in README.md / docs/
+#   make docs       - regenerate docs/api/*.md and docs/routing-guide.md
+#   make docs-check - fail when the generated docs are stale
+#   make check      - all of the above (what CI runs)
 
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test smoke links check clean-cache
+.PHONY: test smoke links docs docs-check check clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -20,7 +22,13 @@ smoke:
 links:
 	$(PYTHON) scripts/check_links.py
 
-check: test smoke links
+docs:
+	$(PYTHON) scripts/gen_api_docs.py
+
+docs-check:
+	$(PYTHON) scripts/gen_api_docs.py --check
+
+check: test smoke docs-check links
 
 clean-cache:
 	$(PYTHON) -m repro.runner cache clear

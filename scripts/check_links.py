@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
 """Fail on broken relative links in the project documentation.
 
-Scans the given markdown files (default: README.md and docs/*.md) for
-``[text](target)`` links and verifies that every relative target exists in
-the repository.  External (``http://``/``https://``/``mailto:``) links are
+Scans the given markdown files (default: README.md and every markdown file
+under docs/, including the generated docs/api pages) for ``[text](target)``
+links and verifies that every relative target exists in the repository.  External (``http://``/``https://``/``mailto:``) links are
 not fetched — CI must not depend on the network — and pure ``#anchor``
 links are skipped.
 
@@ -48,7 +48,7 @@ def main(argv: list) -> int:
         files = [Path(name).resolve() for name in argv]
     else:
         files = [repo_root / "README.md"]
-        files.extend(sorted((repo_root / "docs").glob("*.md")))
+        files.extend(sorted((repo_root / "docs").rglob("*.md")))
     missing = [str(path) for path in files if not path.exists()]
     if missing:
         print("documentation files not found: " + ", ".join(missing))

@@ -18,6 +18,10 @@ pipeline of layers, each importable on its own:
   injection-rate sweeps with a content-addressed on-disk result cache
   (:class:`ExperimentRunner`, :class:`ResultCache`), also usable as a CLI
   via ``python -m repro.runner``;
+* :mod:`repro.compare` — the unified routing comparison: adaptive
+  saturation-throughput search over a (topology x pattern x router)
+  matrix, driven by the routing registry and the runner; CLI via
+  ``python -m repro.compare``;
 * :mod:`repro.experiments` / :mod:`repro.metrics` — the harness that
   regenerates every table and figure of the evaluation chapter, and the
   statistics containers it reports.
@@ -65,6 +69,14 @@ from .exceptions import (
     TrafficError,
     UnroutableFlowError,
 )
+from .compare import (
+    CompareMatrix,
+    CompareResult,
+    SaturationCriteria,
+    SaturationSearch,
+    compare_routers,
+    find_saturation,
+)
 from .flowgraph import ChannelCapacities, FlowGraph
 from .metrics import (
     SimulationStatistics,
@@ -81,14 +93,19 @@ from .routing import (
     ROMMRouting,
     Route,
     RouteSet,
+    RouterSpec,
     RoutingAlgorithm,
     ValiantRouting,
     XYRouting,
     YXRouting,
+    available_routers,
     bsor_dijkstra,
     bsor_milp,
     check_deadlock_freedom,
+    create_router,
     paper_strategies,
+    register_router,
+    router_spec,
 )
 from .runner import ExperimentRunner, ResultCache, simulation_cache_key
 from .simulator import NetworkSimulator, SimulationConfig
@@ -111,6 +128,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BSORRouting",
+    "CompareMatrix",
+    "CompareResult",
     "CDGError",
     "Channel",
     "ChannelCapacities",
@@ -134,8 +153,11 @@ __all__ = [
     "Ring",
     "Route",
     "RouteSet",
+    "RouterSpec",
     "RoutingAlgorithm",
     "RoutingError",
+    "SaturationCriteria",
+    "SaturationSearch",
     "SimulationConfig",
     "SimulationError",
     "SimulationStatistics",
@@ -154,18 +176,24 @@ __all__ = [
     "XYRouting",
     "YXRouting",
     "ad_hoc_cdg",
+    "available_routers",
     "application_by_name",
     "bit_complement",
     "bsor_dijkstra",
     "bsor_milp",
     "check_deadlock_freedom",
+    "compare_routers",
+    "create_router",
     "dor_cdg",
+    "find_saturation",
     "h264_decoder",
     "load_report",
     "map_onto_mesh",
     "maximum_channel_load",
     "paper_strategies",
     "performance_modeling",
+    "register_router",
+    "router_spec",
     "shuffle",
     "simulation_cache_key",
     "synthetic_by_name",

@@ -1,0 +1,148 @@
+"""Command-line interface of the routing-comparison engine.
+
+Compare any registered routers across topologies and traffic patterns::
+
+    python -m repro.compare --topology mesh8x8 \\
+        --patterns transpose,bit_complement \\
+        --routers dor,o1turn,bsor-dijkstra
+
+    python -m repro.compare --topology mesh4x4 --profile quick \\
+        --routers dor,yx,romm --patterns shuffle --json
+
+    python -m repro.compare --list-routers
+
+Router names are registry slugs (see ``--list-routers`` or
+``docs/routing-guide.md``); pattern names accept the synthetic patterns
+(underscore or dash spelling, plus aliases) and the application workloads
+(``h264``, ``perf-modeling``, ``transmitter``).  The adaptive saturation
+search replaces a dense rate sweep, so each cell costs a handful of
+simulation points; ``--max-rate`` / ``--resolution`` tune its range and
+precision.  Simulated points land in the shared result cache (disable with
+``--no-cache``), making warm re-runs near-free.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+import time
+from typing import List, Optional
+
+from ..exceptions import ReproError
+from ..experiments.config import ExperimentConfig
+from ..routing.registry import router_specs
+from ..runner.engine import runner_for
+from .matrix import CompareMatrix
+from .report import render_json, render_markdown
+from .saturation import SaturationCriteria
+
+PROFILES = ("quick", "default", "paper")
+
+
+def _split(text: str) -> List[str]:
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.compare",
+        description="Compare routing algorithms: adaptive saturation search "
+                    "over a (topology x pattern x router) matrix.",
+    )
+    parser.add_argument("--topology", "--topologies", dest="topologies",
+                        default="mesh8x8",
+                        help="comma-separated topology specs, e.g. "
+                             "mesh8x8,torus4x4,ring16 (default: %(default)s)")
+    parser.add_argument("--patterns", default="transpose,bit_complement",
+                        help="comma-separated traffic patterns "
+                             "(default: %(default)s)")
+    parser.add_argument("--routers", default="dor,o1turn,bsor-dijkstra",
+                        help="comma-separated registry names "
+                             "(default: %(default)s)")
+    parser.add_argument("--profile", choices=PROFILES, default="default",
+                        help="experiment scale (default: %(default)s)")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="worker processes (0 = $REPRO_WORKERS or CPU "
+                             "count)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="simulate every point even when cached")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result cache directory (default: "
+                             "$REPRO_CACHE_DIR or ~/.cache/repro-bsor)")
+    parser.add_argument("--min-rate", type=float, default=None,
+                        help="lowest offered rate / latency reference point")
+    parser.add_argument("--max-rate", type=float, default=None,
+                        help="highest offered rate to probe")
+    parser.add_argument("--resolution", type=float, default=None,
+                        help="target width of the saturation bracket")
+    parser.add_argument("--json", action="store_true",
+                        help="emit JSON instead of markdown")
+    parser.add_argument("--output", default=None,
+                        help="write the report to a file instead of stdout")
+    parser.add_argument("--list-routers", action="store_true",
+                        help="list registered routing algorithms and exit")
+    return parser
+
+
+def _list_routers() -> str:
+    lines = ["registered routing algorithms:"]
+    for spec in router_specs():
+        aliases = f" (aliases: {', '.join(spec.aliases)})" if spec.aliases \
+            else ""
+        lines.append(f"  {spec.name:<14} {spec.display_name:<14} "
+                     f"{spec.summary}{aliases}")
+    return "\n".join(lines)
+
+
+def _criteria(args: argparse.Namespace) -> SaturationCriteria:
+    overrides = {}
+    if args.min_rate is not None:
+        overrides["min_rate"] = args.min_rate
+    if args.max_rate is not None:
+        overrides["max_rate"] = args.max_rate
+    if args.resolution is not None:
+        overrides["resolution"] = args.resolution
+    return dataclasses.replace(SaturationCriteria(), **overrides) \
+        if overrides else SaturationCriteria()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_routers:
+        print(_list_routers())
+        return 0
+
+    config = dataclasses.replace(
+        ExperimentConfig.from_profile(args.profile),
+        workers=args.workers,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+    )
+    started = time.time()
+    try:
+        matrix = CompareMatrix(config=config, criteria=_criteria(args),
+                               runner=runner_for(config))
+        result = matrix.run(
+            _split(args.topologies), _split(args.patterns),
+            _split(args.routers),
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    output = render_json(result) if args.json else render_markdown(result)
+    if args.output:
+        with open(args.output, "w") as stream:
+            stream.write(output if output.endswith("\n") else output + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(output)
+    elapsed = time.time() - started
+    print(f"[{result.total_invocations()} rate point(s) across "
+          f"{len(result.cells)} cell(s); {result.report.describe()}; "
+          f"{elapsed:.1f}s]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,301 @@
+"""The comparison engine: (topology x pattern x router) through the runner.
+
+:class:`CompareMatrix` is the first-class home of the paper's central,
+comparative experiment — BSOR against the oblivious baselines across
+topologies and traffic patterns.  For every cell of the cross-product it
+
+1. builds the topology (``"mesh8x8"``-style specs, see
+   :func:`parse_topology`) and the traffic pattern (synthetic patterns by
+   name/alias, or one of the application workloads on a mesh);
+2. instantiates the router from the :mod:`repro.routing.registry` and
+   computes its static route set (offline metrics — maximum channel load,
+   average hops — come straight from the routes);
+3. runs the adaptive :class:`~repro.compare.saturation.SaturationSearch`
+   instead of a dense rate sweep.  All unfinished cells propose their next
+   offered rate each round and the whole round is submitted to the
+   :class:`~repro.runner.engine.ExperimentRunner` as one batch, so the
+   search stays adaptive *and* parallel — and every simulated point lands
+   in the result cache, making warm re-runs near-free.
+
+The output is a list of :class:`CompareCell` rows that
+:mod:`repro.compare.report` renders as markdown or JSON.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import ExperimentError
+from ..experiments.config import ExperimentConfig
+from ..experiments.workloads import APPLICATION_WORKLOADS, workload_flow_set
+from ..metrics.statistics import SimulationStatistics
+from ..routing.base import RouteSet, RoutingAlgorithm
+from ..routing.bsor.framework import full_strategy_set
+from ..routing.registry import router_spec
+from ..runner.engine import ExperimentRunner, RunnerReport, SweepSpec, runner_for
+from ..simulator.simulation import phase_boundaries_for
+from ..topology.base import Topology
+from ..topology.mesh import Mesh2D
+from ..topology.ring import Ring
+from ..topology.torus import Torus2D
+from ..traffic.flow import FlowSet
+from ..traffic.synthetic import normalize_pattern_name, synthetic_by_name
+from .saturation import SaturationCriteria, SaturationResult, SaturationSearch
+
+_TOPOLOGY_SPEC = re.compile(r"^(mesh|torus|ring)(\d+)(?:x(\d+))?$")
+
+
+def parse_topology(spec: str) -> Topology:
+    """Build a topology from a compact spec string.
+
+    ``mesh8x8`` / ``mesh8`` -> :class:`Mesh2D`, ``torus4x4`` ->
+    :class:`Torus2D`, ``ring16`` -> :class:`Ring`.  Raises
+    :class:`ExperimentError` with the accepted forms for anything else.
+    """
+    match = _TOPOLOGY_SPEC.match(spec.strip().lower())
+    if not match:
+        raise ExperimentError(
+            f"unknown topology spec {spec!r}; expected forms: mesh8x8, "
+            f"mesh8, torus4x4, ring16"
+        )
+    kind, first, second = match.group(1), int(match.group(2)), match.group(3)
+    if kind == "ring":
+        if second is not None:
+            raise ExperimentError(
+                f"ring topologies are one-dimensional: {spec!r}"
+            )
+        return Ring(first)
+    height = int(second) if second is not None else first
+    if kind == "mesh":
+        return Mesh2D(first, height)
+    return Torus2D(first, height)
+
+
+def pattern_flow_set(pattern: str, topology: Topology,
+                     config: ExperimentConfig) -> FlowSet:
+    """Instantiate a traffic pattern on *topology*.
+
+    Synthetic patterns (``transpose``, ``bit_complement``, aliases included)
+    work on any power-of-two topology; the application workloads (``h264``,
+    ``perf-modeling``, ``transmitter``) are task graphs mapped onto a mesh.
+    """
+    key = pattern.strip().lower()
+    if key in APPLICATION_WORKLOADS:
+        if not isinstance(topology, Mesh2D):
+            raise ExperimentError(
+                f"application workload {pattern!r} requires a mesh topology, "
+                f"got {type(topology).__name__}"
+            )
+        return workload_flow_set(key, topology, config)
+    return synthetic_by_name(pattern, topology.num_nodes,
+                             demand=config.synthetic_demand)
+
+
+@dataclass
+class CompareCell:
+    """One row of the comparison matrix: one router on one workload."""
+
+    topology: str
+    pattern: str
+    router: str
+    display_name: str
+    max_channel_load: float
+    average_hops: float
+    saturation: SaturationResult
+    low_load_latency: float
+    p99_latency: float
+
+    @property
+    def saturation_rate(self) -> float:
+        return self.saturation.saturation_rate
+
+    @property
+    def saturation_throughput(self) -> float:
+        return self.saturation.throughput
+
+
+@dataclass
+class CompareResult:
+    """All cells of one :meth:`CompareMatrix.run`, plus run bookkeeping."""
+
+    cells: List[CompareCell]
+    criteria: SaturationCriteria
+    report: RunnerReport
+
+    def cell(self, topology: str, pattern: str, router: str) -> CompareCell:
+        router = router_spec(router).name
+        pattern = _canonical_pattern(pattern)
+        topology = topology.strip().lower()
+        for candidate in self.cells:
+            if (candidate.topology, candidate.pattern, candidate.router) == \
+                    (topology, pattern, router):
+                return candidate
+        raise ExperimentError(
+            f"no comparison cell ({topology}, {pattern}, {router})"
+        )
+
+    def groups(self) -> List[Tuple[Tuple[str, str], List[CompareCell]]]:
+        """Cells grouped by (topology, pattern), preserving run order."""
+        grouped: Dict[Tuple[str, str], List[CompareCell]] = {}
+        for cell in self.cells:
+            grouped.setdefault((cell.topology, cell.pattern), []).append(cell)
+        return list(grouped.items())
+
+    def total_invocations(self) -> int:
+        return sum(cell.saturation.invocations for cell in self.cells)
+
+
+def _canonical_pattern(pattern: str) -> str:
+    key = pattern.strip().lower()
+    if key in APPLICATION_WORKLOADS:
+        return key
+    return normalize_pattern_name(pattern)
+
+
+@dataclass
+class _Cell:
+    """Internal per-cell state while the matrix is running."""
+
+    topology_name: str
+    pattern: str
+    router: str
+    display_name: str
+    topology: Topology
+    algorithm: RoutingAlgorithm
+    route_set: RouteSet
+    boundaries: Dict[str, int]
+    search: SaturationSearch
+    #: offered rate -> simulated statistics, for the latency columns.
+    statistics: Dict[float, SimulationStatistics] = field(default_factory=dict)
+
+
+class CompareMatrix:
+    """Fan a routing comparison across the parallel experiment runner.
+
+    Parameters
+    ----------
+    config:
+        Experiment scale (mesh demands, simulator cycle counts, seed,
+        worker/cache settings).  Defaults to :class:`ExperimentConfig`.
+    criteria:
+        Saturation predicate and search range shared by every cell.
+    runner:
+        An existing :class:`ExperimentRunner`; built from *config* when
+        omitted.
+    """
+
+    def __init__(self, config: Optional[ExperimentConfig] = None,
+                 criteria: Optional[SaturationCriteria] = None,
+                 runner: Optional[ExperimentRunner] = None) -> None:
+        self.config = config or ExperimentConfig()
+        self.criteria = criteria or SaturationCriteria()
+        self.runner = runner or runner_for(self.config)
+
+    # ------------------------------------------------------------------
+    def run(self, topologies: Sequence[str], patterns: Sequence[str],
+            routers: Sequence[str]) -> CompareResult:
+        """Run the full (topology x pattern x router) comparison."""
+        cells = self._build_cells(topologies, patterns, routers)
+        report = RunnerReport(workers=self.runner.workers)
+        while True:
+            batch: Dict[str, Tuple[_Cell, float]] = {}
+            for index, cell in enumerate(cells):
+                rate = cell.search.next_rate()
+                if rate is not None:
+                    batch[f"cell-{index}@{rate:g}"] = (cell, rate)
+            if not batch:
+                break
+            specs = {
+                key: SweepSpec(
+                    cell.topology, cell.route_set, self.config.simulation,
+                    [rate], workload=cell.pattern,
+                    phase_boundaries=cell.boundaries or None,
+                )
+                for key, (cell, rate) in batch.items()
+            }
+            results = self.runner.sweep_many(specs)
+            report.merge(self.runner.last_report)
+            for key, (cell, rate) in batch.items():
+                stats = results[key].statistics[0]
+                cell.statistics[rate] = stats
+                cell.search.observe(rate, stats.throughput,
+                                    stats.average_latency,
+                                    stats.delivery_ratio)
+        return CompareResult(
+            cells=[self._finish_cell(cell) for cell in cells],
+            criteria=self.criteria,
+            report=report,
+        )
+
+    # ------------------------------------------------------------------
+    def _build_cells(self, topologies: Sequence[str], patterns: Sequence[str],
+                     routers: Sequence[str]) -> List[_Cell]:
+        if not topologies or not patterns or not routers:
+            raise ExperimentError(
+                "comparison needs at least one topology, pattern and router"
+            )
+        cells: List[_Cell] = []
+        for topology_name in topologies:
+            topology = parse_topology(topology_name)
+            # same CDG search space as the figure/table harnesses: the full
+            # strategy set when the config asks for it (mesh only — the ad
+            # hoc and turn-model strategies are mesh constructions)
+            strategies = (
+                full_strategy_set(topology)
+                if self.config.explore_full_cdg_set and
+                isinstance(topology, Mesh2D) else None
+            )
+            for pattern in patterns:
+                flow_set = pattern_flow_set(pattern, topology, self.config)
+                for router_name in routers:
+                    spec = router_spec(router_name)
+                    router = spec.create(
+                        seed=self.config.seed,
+                        strategies=strategies,
+                        hop_slack=self.config.hop_slack,
+                        milp_time_limit=self.config.milp_time_limit,
+                    )
+                    route_set = router.compute_routes(topology, flow_set)
+                    cells.append(_Cell(
+                        topology_name=topology_name.strip().lower(),
+                        pattern=_canonical_pattern(pattern),
+                        router=spec.name,
+                        display_name=spec.display_name,
+                        topology=topology,
+                        algorithm=router,
+                        route_set=route_set,
+                        boundaries=phase_boundaries_for(router, route_set),
+                        search=SaturationSearch(self.criteria),
+                    ))
+        return cells
+
+    def _finish_cell(self, cell: _Cell) -> CompareCell:
+        result = cell.search.result()
+        low_rate = self.criteria.min_rate
+        low_stats = cell.statistics.get(low_rate)
+        stable_stats = cell.statistics.get(result.last_stable_rate, low_stats)
+        return CompareCell(
+            topology=cell.topology_name,
+            pattern=cell.pattern,
+            router=cell.router,
+            display_name=cell.display_name,
+            max_channel_load=cell.route_set.max_channel_load(),
+            average_hops=cell.route_set.average_hop_count(),
+            saturation=result,
+            low_load_latency=(low_stats.average_latency if low_stats else 0.0),
+            p99_latency=(stable_stats.latency_percentile(0.99)
+                         if stable_stats else 0.0),
+        )
+
+
+def compare_routers(topologies: Sequence[str], patterns: Sequence[str],
+                    routers: Sequence[str],
+                    config: Optional[ExperimentConfig] = None,
+                    criteria: Optional[SaturationCriteria] = None,
+                    runner: Optional[ExperimentRunner] = None,
+                    ) -> CompareResult:
+    """One-call convenience wrapper around :class:`CompareMatrix`."""
+    matrix = CompareMatrix(config=config, criteria=criteria, runner=runner)
+    return matrix.run(topologies, patterns, routers)

@@ -1,0 +1,117 @@
+"""Markdown / JSON rendering of comparison results.
+
+The comparison engine produces structured :class:`~repro.compare.matrix.CompareCell`
+rows; this module turns them into
+
+* **markdown** — one table per (topology, pattern) group with per-router
+  saturation throughput, saturation rate, latency columns and max channel
+  load, ready to paste into EXPERIMENTS.md or a PR description;
+* **JSON** — the same data as plain dictionaries for downstream tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .matrix import CompareCell, CompareResult
+
+#: Column layout of the markdown tables: (header, cell -> formatted value).
+_COLUMNS = (
+    ("router", lambda cell: cell.display_name),
+    ("saturation rate (pkt/cycle)", lambda cell: _rate(cell)),
+    ("saturation throughput (pkt/cycle)",
+     lambda cell: f"{cell.saturation_throughput:.3f}"),
+    ("low-load latency (cycles)", lambda cell: f"{cell.low_load_latency:.1f}"),
+    ("p99 flow latency (cycles)", lambda cell: f"{cell.p99_latency:.1f}"),
+    ("max channel load", lambda cell: f"{cell.max_channel_load:g}"),
+    ("avg hops", lambda cell: f"{cell.average_hops:.2f}"),
+    ("sim points", lambda cell: str(cell.saturation.invocations)),
+)
+
+
+def _rate(cell: CompareCell) -> str:
+    rate = f"{cell.saturation_rate:g}"
+    if not cell.saturation.saturated_within_range:
+        return f">= {rate}"
+    return rate
+
+
+def render_markdown(result: CompareResult) -> str:
+    """The full comparison as a markdown document."""
+    criteria = result.criteria
+    lines: List[str] = ["# Routing comparison", ""]
+    lines.append(
+        f"Adaptive saturation search over offered rates "
+        f"[{criteria.min_rate:g}, {criteria.max_rate:g}] pkt/cycle, "
+        f"resolution {criteria.resolution:g} (saturation = latency > "
+        f"{criteria.latency_blowup:g}x low-load latency or delivery ratio < "
+        f"{criteria.delivery_floor:g})."
+    )
+    for (topology, pattern), cells in result.groups():
+        lines.extend(["", f"## {topology} / {pattern}", ""])
+        headers = [header for header, _ in _COLUMNS]
+        lines.append("| " + " | ".join(headers) + " |")
+        lines.append("|" + "|".join(" --- " for _ in headers) + "|")
+        for cell in cells:
+            values = [render(cell) for _, render in _COLUMNS]
+            lines.append("| " + " | ".join(values) + " |")
+    lines.extend([
+        "",
+        f"_{len(result.cells)} cell(s), "
+        f"{result.total_invocations()} rate point(s) evaluated; runner: "
+        f"{result.report.describe()}._",
+        "",
+    ])
+    return "\n".join(lines)
+
+
+def cell_to_dict(cell: CompareCell) -> Dict:
+    """Plain-JSON rendering of one comparison cell."""
+    return {
+        "topology": cell.topology,
+        "pattern": cell.pattern,
+        "router": cell.router,
+        "display_name": cell.display_name,
+        "saturation_rate": cell.saturation_rate,
+        "saturated_within_range": cell.saturation.saturated_within_range,
+        "last_stable_rate": cell.saturation.last_stable_rate,
+        "saturation_throughput": cell.saturation_throughput,
+        "max_throughput": cell.saturation.max_throughput,
+        "low_load_latency": cell.low_load_latency,
+        "p99_latency": cell.p99_latency,
+        "max_channel_load": cell.max_channel_load,
+        "average_hops": cell.average_hops,
+        "invocations": cell.saturation.invocations,
+        "observations": [
+            {
+                "offered_rate": observation.offered_rate,
+                "throughput": observation.throughput,
+                "average_latency": observation.average_latency,
+                "delivery_ratio": observation.delivery_ratio,
+                "saturated": observation.saturated,
+            }
+            for observation in cell.saturation.observations
+        ],
+    }
+
+
+def result_to_dict(result: CompareResult) -> Dict:
+    """Plain-JSON rendering of a full comparison run."""
+    return {
+        "criteria": {
+            "min_rate": result.criteria.min_rate,
+            "max_rate": result.criteria.max_rate,
+            "resolution": result.criteria.resolution,
+            "bracket_factor": result.criteria.bracket_factor,
+            "latency_blowup": result.criteria.latency_blowup,
+            "delivery_floor": result.criteria.delivery_floor,
+        },
+        "cells": [cell_to_dict(cell) for cell in result.cells],
+        "total_invocations": result.total_invocations(),
+    }
+
+
+def render_json(result: CompareResult, indent: int = 2) -> str:
+    """The full comparison as a JSON document."""
+    return json.dumps(result_to_dict(result), indent=indent, sort_keys=True)

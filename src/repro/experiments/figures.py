@@ -23,10 +23,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..exceptions import ExperimentError
 from ..routing.base import RoutingAlgorithm
-from ..routing.bsor.framework import BSORRouting, full_strategy_set, paper_strategies
-from ..routing.dor import XYRouting, YXRouting
-from ..routing.romm import ROMMRouting
-from ..routing.valiant import ValiantRouting
+from ..routing.bsor.framework import full_strategy_set, paper_strategies
+from ..routing.registry import create_router
 from ..runner.engine import ExperimentRunner, SweepSpec, runner_for
 from ..simulator.config import SimulationConfig
 from ..simulator.simulation import SweepResult, phase_boundaries_for
@@ -115,23 +113,30 @@ class FigureResult:
 
 def default_algorithms(config: ExperimentConfig, mesh,
                        include_milp: bool = True) -> List[RoutingAlgorithm]:
-    """The six algorithms plotted in Figures 6-1 .. 6-6."""
+    """The six algorithms plotted in Figures 6-1 .. 6-6.
+
+    Instantiated through :mod:`repro.routing.registry`, so the figure
+    harness, the comparison engine and the CLIs all construct algorithms
+    the same way; each factory picks the options it understands from the
+    shared bag (``seed`` for ROMM/Valiant, ``strategies``/``hop_slack``/
+    ``milp_time_limit`` for BSOR).
+    """
     strategies = (full_strategy_set(mesh) if config.explore_full_cdg_set
                   else paper_strategies())
-    algorithms: List[RoutingAlgorithm] = [
-        XYRouting(),
-        YXRouting(),
-        ROMMRouting(seed=config.seed),
-        ValiantRouting(seed=config.seed),
-    ]
+    names = ["dor", "yx", "romm", "valiant"]
     if include_milp:
-        algorithms.append(BSORRouting(
-            selector="milp", strategies=strategies,
-            hop_slack=config.hop_slack, milp_time_limit=config.milp_time_limit,
-        ))
-    algorithms.append(BSORRouting(selector="dijkstra", strategies=strategies,
-                                  hop_slack=config.hop_slack))
-    return algorithms
+        names.append("bsor-milp")
+    names.append("bsor-dijkstra")
+    return [
+        create_router(
+            name,
+            seed=config.seed,
+            strategies=strategies,
+            hop_slack=config.hop_slack,
+            milp_time_limit=config.milp_time_limit,
+        )
+        for name in names
+    ]
 
 
 def _run_sweeps(algorithms: Sequence[RoutingAlgorithm], mesh, flow_set,

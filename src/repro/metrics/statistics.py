@@ -134,6 +134,19 @@ class SimulationStatistics:
             return 0.0
         return self.per_flow_latency.get(flow_name, 0.0) / delivered
 
+    def latency_percentile(self, fraction: float) -> float:
+        """Percentile over the per-flow average latencies (e.g. 0.99 = p99).
+
+        The simulator aggregates latency per flow rather than keeping every
+        packet sample, so this is a percentile across *flows* — the tail
+        flow, not the tail packet.  That is the quantity the comparison
+        reports use to show how unevenly an algorithm treats its flows.
+        """
+        samples = [self.flow_average_latency(name)
+                   for name, delivered in self.per_flow_delivered.items()
+                   if delivered > 0]
+        return percentile(samples, fraction)
+
     def describe(self) -> str:
         return (
             f"cycles={self.cycles} (warmup {self.warmup_cycles}), "

@@ -33,6 +33,16 @@ from .deadlock import (
 from .dor import DimensionOrderRouting, XYRouting, YXRouting
 from .o1turn import O1TurnRouting
 from .romm import ROMMRouting
+from .registry import (
+    RouterSpec,
+    available_routers,
+    create_router,
+    normalize_router_name,
+    register_router,
+    render_routing_guide,
+    router_spec,
+    router_specs,
+)
 from .table import (
     NodeRoutingTable,
     NodeTableEntry,
@@ -43,6 +53,8 @@ from .table import (
 from .valiant import ValiantRouting
 
 #: Registry of baseline (non application-aware) routing algorithms by name.
+#: Kept for backwards compatibility; new code should use
+#: :func:`create_router` / :func:`router_spec`, which also cover BSOR.
 BASELINE_ALGORITHMS = {
     "XY": XYRouting,
     "YX": YXRouting,
@@ -69,6 +81,7 @@ __all__ = [
     "ResidualCapacityWeight",
     "Route",
     "RouteSet",
+    "RouterSpec",
     "RoutingAlgorithm",
     "SourceRoute",
     "SourceRoutingTable",
@@ -79,14 +92,21 @@ __all__ = [
     "all_two_turn_strategies",
     "analyze_route_set",
     "analyze_two_phase",
+    "available_routers",
     "bsor_dijkstra",
     "bsor_milp",
     "check_deadlock_freedom",
+    "create_router",
     "dijkstra_route_set",
     "full_strategy_set",
     "induced_cdg",
     "milp_route_set",
+    "normalize_router_name",
     "paper_strategies",
+    "register_router",
+    "render_routing_guide",
+    "router_spec",
+    "router_specs",
     "split_route_at",
     "turn_model_strategy",
     "two_turn_strategy",

@@ -18,6 +18,10 @@ sweep points is on by default; ``--no-cache`` forces fresh simulation and
 ``--cache-dir`` relocates the store (also settable via
 ``$REPRO_CACHE_DIR``).  Table runs perform route exploration, not
 simulation, so they fan out across workers but are not cached.
+
+For saturation-throughput comparisons across routers, patterns and
+topologies, use the comparison engine instead: ``python -m repro.compare``
+(see :mod:`repro.compare`), which shares this runner and its cache.
 """
 
 from __future__ import annotations
@@ -84,8 +88,9 @@ def _build_parser() -> argparse.ArgumentParser:
                                 parents=[common])
     sweep.add_argument("--workload", default="transpose")
     sweep.add_argument("--algorithms", default="XY,BSOR-Dijkstra",
-                       help="comma-separated algorithm names "
-                            "(XY, YX, ROMM, Valiant, BSOR-MILP, BSOR-Dijkstra)")
+                       help="comma-separated routing-registry names or "
+                            "aliases (dor/XY, yx, romm, valiant, o1turn, "
+                            "bsor-milp, bsor-dijkstra)")
     sweep.add_argument("--rates", default=None,
                        help="comma-separated offered rates (packets/cycle)")
 
@@ -140,20 +145,29 @@ def _run_table(args: argparse.Namespace, runner: ExperimentRunner) -> str:
 
 
 def _run_sweep(args: argparse.Namespace, runner: ExperimentRunner) -> str:
-    from ..experiments import build_mesh, default_algorithms, workload_flow_set
+    from ..experiments import build_mesh, workload_flow_set
     from ..experiments.report import render_series
+    from ..routing.bsor.framework import full_strategy_set, paper_strategies
+    from ..routing.registry import router_spec
 
     config = _experiment_config(args)
     mesh = build_mesh(config)
     flow_set = workload_flow_set(args.workload, mesh, config)
     wanted = [name.strip() for name in args.algorithms.split(",") if name.strip()]
-    algorithms = [algorithm
-                  for algorithm in default_algorithms(
-                      config, mesh, include_milp="BSOR-MILP" in wanted)
-                  if algorithm.name in wanted]
-    unknown = set(wanted) - {algorithm.name for algorithm in algorithms}
-    if unknown:
-        raise SystemExit(f"unknown algorithms: {sorted(unknown)}")
+    # Resolve through the routing registry: canonical slugs ("bsor-dijkstra"),
+    # aliases ("xy") and display names ("BSOR-Dijkstra") all work, and an
+    # unknown name fails with the full list of registered algorithms.
+    strategies = (full_strategy_set(mesh) if config.explore_full_cdg_set
+                  else paper_strategies())
+    algorithms = [
+        router_spec(name).create(
+            seed=config.seed,
+            strategies=strategies,
+            hop_slack=config.hop_slack,
+            milp_time_limit=config.milp_time_limit,
+        )
+        for name in wanted
+    ]
     rates: Sequence[float] = config.offered_rates
     if args.rates:
         try:

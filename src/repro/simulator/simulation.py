@@ -14,6 +14,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from ..exceptions import SimulationError
 from ..metrics.statistics import SimulationStatistics, SweepCurve, SweepPoint
 from ..routing.base import RouteSet, RoutingAlgorithm
+from ..routing.o1turn import O1TurnRouting
 from ..routing.romm import ROMMRouting
 from ..routing.valiant import ValiantRouting
 from ..topology.base import Topology
@@ -49,9 +50,25 @@ def phase_boundaries_from_intermediates(route_set: RouteSet,
 
 def phase_boundaries_for(algorithm: RoutingAlgorithm,
                          route_set: RouteSet) -> Dict[str, int]:
-    """Phase boundaries for algorithms that expose per-flow intermediates."""
+    """Per-flow virtual-network split for algorithms that require one.
+
+    ROMM and Valiant switch virtual networks at their per-flow intermediate
+    node.  O1TURN keeps each flow on a single dimension order for its whole
+    route, so its XY flows live entirely on the first VC class (boundary =
+    route length) and its YX flows entirely on the second (boundary = 0) —
+    the disjoint virtual networks its deadlock-freedom argument assumes.
+    """
     if isinstance(algorithm, (ROMMRouting, ValiantRouting)):
         return phase_boundaries_from_intermediates(route_set, algorithm.intermediates)
+    if isinstance(algorithm, O1TurnRouting):
+        boundaries: Dict[str, int] = {}
+        for route in route_set:
+            order = algorithm.assignments.get(route.flow.name)
+            if order == "yx":
+                boundaries[route.flow.name] = 0
+            elif order == "xy":
+                boundaries[route.flow.name] = route.hop_count
+        return boundaries
     return {}
 
 

@@ -199,16 +199,50 @@ SYNTHETIC_PATTERNS: Dict[str, Callable[..., FlowSet]] = {
     "bit-reverse": bit_reverse,
 }
 
+#: Accepted alternative spellings, resolved after case/underscore folding.
+SYNTHETIC_PATTERN_ALIASES: Dict[str, str] = {
+    "bitcomp": "bit-complement",
+    "complement": "bit-complement",
+    "bitrev": "bit-reverse",
+    "reverse": "bit-reverse",
+    "perfect-shuffle": "shuffle",
+}
+
+
+def available_pattern_names() -> List[str]:
+    """Canonical synthetic pattern names, sorted."""
+    return sorted(SYNTHETIC_PATTERNS)
+
+
+def normalize_pattern_name(name: str) -> str:
+    """Resolve a pattern name or alias to its canonical form.
+
+    Folds case, surrounding whitespace and ``_``/``-`` spelling, then
+    resolves aliases.  Raises :class:`TrafficError` naming every available
+    pattern (and the closest match, when one exists) for unknown names, so
+    CLI and config errors are self-explanatory.
+    """
+    import difflib
+
+    key = name.strip().lower().replace("_", "-")
+    key = SYNTHETIC_PATTERN_ALIASES.get(key, key)
+    if key not in SYNTHETIC_PATTERNS:
+        candidates = sorted(set(SYNTHETIC_PATTERNS) |
+                            set(SYNTHETIC_PATTERN_ALIASES))
+        suggestions = difflib.get_close_matches(key, candidates, n=1)
+        hint = f" (did you mean {suggestions[0]!r}?)" if suggestions else ""
+        raise TrafficError(
+            f"unknown synthetic pattern {name!r}{hint}; "
+            f"available patterns: {available_pattern_names()}"
+        )
+    return key
+
 
 def synthetic_by_name(name: str, num_nodes: int, demand: float = 1.0) -> FlowSet:
-    """Look up a synthetic pattern by its canonical name."""
-    key = name.lower().replace("_", "-")
-    if key not in SYNTHETIC_PATTERNS:
-        raise TrafficError(
-            f"unknown synthetic pattern {name!r}; "
-            f"known patterns: {sorted(SYNTHETIC_PATTERNS)}"
-        )
-    return SYNTHETIC_PATTERNS[key](num_nodes, demand=demand)
+    """Look up a synthetic pattern by its canonical name or an alias."""
+    return SYNTHETIC_PATTERNS[normalize_pattern_name(name)](
+        num_nodes, demand=demand
+    )
 
 
 def pattern_permutation(flow_set: FlowSet, num_nodes: int) -> List[Optional[int]]:

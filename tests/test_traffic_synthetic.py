@@ -146,6 +146,53 @@ class TestRegistry:
         with pytest.raises(TrafficError):
             synthetic_by_name("tornado", 16)
 
+    def test_unknown_name_lists_available_patterns(self):
+        from repro.traffic import available_pattern_names
+
+        with pytest.raises(TrafficError) as excinfo:
+            synthetic_by_name("tornado", 16)
+        message = str(excinfo.value)
+        assert "tornado" in message
+        for name in available_pattern_names():
+            assert name in message
+
+    def test_unknown_name_suggests_close_match(self):
+        with pytest.raises(TrafficError, match="did you mean 'transpose'"):
+            synthetic_by_name("transposed", 16)
+
+    def test_whitespace_and_case_folded(self):
+        flows = synthetic_by_name("  SHUFFLE ", 16)
+        assert flows.name == "shuffle"
+
+    @pytest.mark.parametrize("alias, canonical", [
+        ("bitcomp", "bit-complement"),
+        ("complement", "bit-complement"),
+        ("bitrev", "bit-reverse"),
+        ("reverse", "bit-reverse"),
+        ("perfect_shuffle", "shuffle"),
+    ])
+    def test_aliases_resolve(self, alias, canonical):
+        assert synthetic_by_name(alias, 16).name == canonical
+
+    def test_normalize_pattern_name(self):
+        from repro.traffic import normalize_pattern_name
+
+        assert normalize_pattern_name("Bit_Reverse") == "bit-reverse"
+        assert normalize_pattern_name("bitcomp") == "bit-complement"
+        with pytest.raises(TrafficError):
+            normalize_pattern_name("")
+
+    def test_available_pattern_names_sorted_and_canonical(self):
+        from repro.traffic import SYNTHETIC_PATTERNS, available_pattern_names
+
+        names = available_pattern_names()
+        assert names == sorted(names)
+        assert set(names) == set(SYNTHETIC_PATTERNS)
+
+    def test_alias_demand_forwarded(self):
+        flows = synthetic_by_name("bitcomp", 16, demand=3.5)
+        assert flows.max_demand() == 3.5
+
     def test_pattern_permutation(self):
         flows = transpose(16)
         mapping = pattern_permutation(flows, 16)

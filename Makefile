@@ -1,19 +1,35 @@
 # Developer / CI entry points for the BSOR reproduction.
 #
 #   make test       - tier-1 test suite (what must never regress)
+#   make test-fast  - the suite minus @pytest.mark.slow (the fast CI job)
+#   make coverage   - full suite under coverage with the CI coverage floor
+#                     (needs pytest-cov: pip install pytest-cov)
 #   make smoke      - one fast figure benchmark through the parallel runner
 #   make links      - fail on broken relative links in README.md / docs/
-#   make docs       - regenerate docs/api/*.md and docs/routing-guide.md
+#   make docs       - regenerate docs/api/*.md, docs/routing-guide.md and
+#                     docs/workloads-guide.md
 #   make docs-check - fail when the generated docs are stale
-#   make check      - all of the above (what CI runs)
+#   make check      - test + smoke + docs-check + links (the fast CI job
+#                     runs this with test-fast; the full CI job adds the
+#                     slow tests and the coverage floor)
 
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test smoke links docs docs-check check clean-cache
+#: Minimum line coverage (percent) the full CI job enforces.
+COVERAGE_FLOOR ?= 70
+
+.PHONY: test test-fast coverage smoke links docs docs-check check clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+test-fast:
+	$(PYTHON) -m pytest -x -q -m "not slow"
+
+coverage:
+	$(PYTHON) -m pytest -q --cov=repro --cov-report=term-missing \
+		--cov-fail-under=$(COVERAGE_FLOOR)
 
 smoke:
 	REPRO_BENCH_PROFILE=quick $(PYTHON) -m pytest benchmarks/bench_figure_6_1.py \

@@ -5,8 +5,12 @@ A reproduction of Kinsy et al.'s bandwidth-sensitive oblivious routing
 pipeline of layers, each importable on its own:
 
 * :mod:`repro.topology` — meshes, tori, rings and their directed channels;
-* :mod:`repro.traffic` — flow sets: synthetic patterns and application task
-  graphs, plus run-time bandwidth variation models;
+* :mod:`repro.traffic` — flow sets: synthetic patterns, the paper's
+  profiled applications, and run-time bandwidth variation models;
+* :mod:`repro.workloads` — the application-aware workload plane:
+  :class:`AppGraph` task graphs with mesh/torus placement, a workload
+  registry (``decoder-pipeline``, ``fft-butterfly``, ...), injection-trace
+  capture with bit-identical replay, and bursty/hotspot modulation;
 * :mod:`repro.cdg` / :mod:`repro.flowgraph` — acyclic channel-dependence
   graphs (turn models, ad hoc cycle breaking, VC expansion) and the flow
   networks derived from them;
@@ -109,6 +113,19 @@ from .routing import (
 )
 from .runner import ExperimentRunner, ResultCache, simulation_cache_key
 from .simulator import NetworkSimulator, SimulationConfig
+from .workloads import (
+    AppGraph,
+    BurstyInjection,
+    HotspotInjection,
+    InjectionTrace,
+    TraceInjectionProcess,
+    available_workloads,
+    capture_simulation,
+    create_workload,
+    register_workload,
+    replay_simulation,
+    workload_spec,
+)
 from .topology import Channel, Direction, Mesh2D, Ring, Topology, Torus2D, VirtualChannel
 from .traffic import (
     Flow,
@@ -127,7 +144,9 @@ from .traffic import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AppGraph",
     "BSORRouting",
+    "BurstyInjection",
     "CompareMatrix",
     "CompareResult",
     "CDGError",
@@ -143,6 +162,8 @@ __all__ = [
     "Flow",
     "FlowGraph",
     "FlowSet",
+    "HotspotInjection",
+    "InjectionTrace",
     "MILPSelector",
     "Mesh2D",
     "NetworkSimulator",
@@ -168,6 +189,7 @@ __all__ = [
     "Topology",
     "TopologyError",
     "Torus2D",
+    "TraceInjectionProcess",
     "TrafficError",
     "TurnModel",
     "UnroutableFlowError",
@@ -177,13 +199,16 @@ __all__ = [
     "YXRouting",
     "ad_hoc_cdg",
     "available_routers",
+    "available_workloads",
     "application_by_name",
     "bit_complement",
     "bsor_dijkstra",
     "bsor_milp",
+    "capture_simulation",
     "check_deadlock_freedom",
     "compare_routers",
     "create_router",
+    "create_workload",
     "dor_cdg",
     "find_saturation",
     "h264_decoder",
@@ -193,6 +218,8 @@ __all__ = [
     "paper_strategies",
     "performance_modeling",
     "register_router",
+    "register_workload",
+    "replay_simulation",
     "router_spec",
     "shuffle",
     "simulation_cache_key",
@@ -200,5 +227,6 @@ __all__ = [
     "transpose",
     "turn_model_cdg",
     "wlan_transmitter",
+    "workload_spec",
     "__version__",
 ]

@@ -1,24 +1,34 @@
 """Command-line interface of the routing-comparison engine.
 
-Compare any registered routers across topologies and traffic patterns::
+Compare any registered routers across topologies, traffic patterns and
+application workloads::
 
     python -m repro.compare --topology mesh8x8 \\
         --patterns transpose,bit_complement \\
         --routers dor,o1turn,bsor-dijkstra
 
+    python -m repro.compare --topology mesh8x8 \\
+        --workloads decoder-pipeline --routers dor,o1turn,bsor-dijkstra
+
     python -m repro.compare --topology mesh4x4 --profile quick \\
         --routers dor,yx,romm --patterns shuffle --json
 
     python -m repro.compare --list-routers
+    python -m repro.compare --list-workloads
 
 Router names are registry slugs (see ``--list-routers`` or
 ``docs/routing-guide.md``); pattern names accept the synthetic patterns
-(underscore or dash spelling, plus aliases) and the application workloads
-(``h264``, ``perf-modeling``, ``transmitter``).  The adaptive saturation
-search replaces a dense rate sweep, so each cell costs a handful of
-simulation points; ``--max-rate`` / ``--resolution`` tune its range and
-precision.  Simulated points land in the shared result cache (disable with
-``--no-cache``), making warm re-runs near-free.
+(underscore or dash spelling, plus aliases) and the paper's application
+workloads (``h264``, ``perf-modeling``, ``transmitter``).  The
+``--workloads`` axis names application task graphs from the
+:mod:`repro.workloads` registry (``--list-workloads`` or
+``docs/workloads-guide.md``); their routers — BSOR included — are
+configured from the application's own flow graph, placed with
+``--mapping``.  The adaptive saturation search replaces a dense rate
+sweep, so each cell costs a handful of simulation points; ``--max-rate``
+/ ``--resolution`` tune its range and precision.  Simulated points land in
+the shared result cache (disable with ``--no-cache``), making warm
+re-runs near-free.
 """
 
 from __future__ import annotations
@@ -33,6 +43,7 @@ from ..exceptions import ReproError
 from ..experiments.config import ExperimentConfig
 from ..routing.registry import router_specs
 from ..runner.engine import runner_for
+from ..workloads.registry import workload_specs
 from .matrix import CompareMatrix
 from .report import render_json, render_markdown
 from .saturation import SaturationCriteria
@@ -54,9 +65,20 @@ def build_parser() -> argparse.ArgumentParser:
                         default="mesh8x8",
                         help="comma-separated topology specs, e.g. "
                              "mesh8x8,torus4x4,ring16 (default: %(default)s)")
-    parser.add_argument("--patterns", default="transpose,bit_complement",
+    parser.add_argument("--patterns", default=None,
                         help="comma-separated traffic patterns "
-                             "(default: %(default)s)")
+                             "(default: transpose,bit_complement unless "
+                             "--workloads is given)")
+    parser.add_argument("--workload", "--workloads", dest="workloads",
+                        default=None,
+                        help="comma-separated application workloads from "
+                             "the repro.workloads registry (see "
+                             "--list-workloads); adds a workload axis "
+                             "alongside --patterns")
+    parser.add_argument("--mapping", default=None,
+                        choices=("block", "row-major", "spread", "random"),
+                        help="task placement strategy for application "
+                             "workloads (default: block)")
     parser.add_argument("--routers", default="dor,o1turn,bsor-dijkstra",
                         help="comma-separated registry names "
                              "(default: %(default)s)")
@@ -82,6 +104,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the report to a file instead of stdout")
     parser.add_argument("--list-routers", action="store_true",
                         help="list registered routing algorithms and exit")
+    parser.add_argument("--list-workloads", action="store_true",
+                        help="list registered application workloads and exit")
     return parser
 
 
@@ -91,6 +115,16 @@ def _list_routers() -> str:
         aliases = f" (aliases: {', '.join(spec.aliases)})" if spec.aliases \
             else ""
         lines.append(f"  {spec.name:<14} {spec.display_name:<14} "
+                     f"{spec.summary}{aliases}")
+    return "\n".join(lines)
+
+
+def _list_workloads() -> str:
+    lines = ["registered application workloads:"]
+    for spec in workload_specs():
+        aliases = f" (aliases: {', '.join(spec.aliases)})" if spec.aliases \
+            else ""
+        lines.append(f"  {spec.name:<18} {spec.display_name:<22} "
                      f"{spec.summary}{aliases}")
     return "\n".join(lines)
 
@@ -112,20 +146,33 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.list_routers:
         print(_list_routers())
         return 0
+    if args.list_workloads:
+        print(_list_workloads())
+        return 0
 
+    # the pattern axis is the concatenation of --patterns and --workloads;
+    # the default synthetic pair applies only when neither axis was given
+    patterns = _split(args.patterns) if args.patterns else []
+    patterns += _split(args.workloads) if args.workloads else []
+    if not patterns:
+        patterns = ["transpose", "bit_complement"]
+
+    overrides = {
+        "workers": args.workers,
+        "use_cache": not args.no_cache,
+        "cache_dir": args.cache_dir,
+    }
+    if args.mapping:
+        overrides["mapping_strategy"] = args.mapping
     config = dataclasses.replace(
-        ExperimentConfig.from_profile(args.profile),
-        workers=args.workers,
-        use_cache=not args.no_cache,
-        cache_dir=args.cache_dir,
+        ExperimentConfig.from_profile(args.profile), **overrides
     )
     started = time.time()
     try:
         matrix = CompareMatrix(config=config, criteria=_criteria(args),
                                runner=runner_for(config))
         result = matrix.run(
-            _split(args.topologies), _split(args.patterns),
-            _split(args.routers),
+            _split(args.topologies), patterns, _split(args.routers),
         )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -27,7 +27,7 @@ import re
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..exceptions import ExperimentError
+from ..exceptions import ExperimentError, TrafficError
 from ..experiments.config import ExperimentConfig
 from ..experiments.workloads import APPLICATION_WORKLOADS, workload_flow_set
 from ..metrics.statistics import SimulationStatistics
@@ -42,6 +42,8 @@ from ..topology.ring import Ring
 from ..topology.torus import Torus2D
 from ..traffic.flow import FlowSet
 from ..traffic.synthetic import normalize_pattern_name, synthetic_by_name
+from ..workloads.registry import is_registered_workload, workload_spec
+from ..workloads.registry import workload_flow_set as registry_workload_flow_set
 from .saturation import SaturationCriteria, SaturationResult, SaturationSearch
 
 _TOPOLOGY_SPEC = re.compile(r"^(mesh|torus|ring)(\d+)(?:x(\d+))?$")
@@ -75,22 +77,47 @@ def parse_topology(spec: str) -> Topology:
 
 def pattern_flow_set(pattern: str, topology: Topology,
                      config: ExperimentConfig) -> FlowSet:
-    """Instantiate a traffic pattern on *topology*.
+    """Instantiate a traffic pattern or application workload on *topology*.
 
     Synthetic patterns (``transpose``, ``bit_complement``, aliases included)
-    work on any power-of-two topology; the application workloads (``h264``,
-    ``perf-modeling``, ``transmitter``) are task graphs mapped onto a mesh.
+    work on any power-of-two topology; the paper's application workloads
+    (``h264``, ``perf-modeling``, ``transmitter``) are task graphs mapped
+    onto a mesh; any other name resolves through the
+    :mod:`repro.workloads` registry (``decoder-pipeline``,
+    ``fft-butterfly``, ...) and maps onto meshes and tori alike — so BSOR's
+    bandwidth allocation is configured from the application's own flow
+    graph.
     """
     key = pattern.strip().lower()
     if key in APPLICATION_WORKLOADS:
-        if not isinstance(topology, Mesh2D):
+        if not isinstance(topology, (Mesh2D, Torus2D)):
             raise ExperimentError(
-                f"application workload {pattern!r} requires a mesh topology, "
-                f"got {type(topology).__name__}"
+                f"application workload {pattern!r} requires a mesh or torus "
+                f"topology, got {type(topology).__name__}"
             )
-        return workload_flow_set(key, topology, config)
-    return synthetic_by_name(pattern, topology.num_nodes,
-                             demand=config.synthetic_demand)
+        if isinstance(topology, Mesh2D):
+            return workload_flow_set(key, topology, config)
+    if is_registered_workload(key):
+        return registry_workload_flow_set(
+            key, topology,
+            strategy=config.mapping_strategy,
+            seed=config.seed,
+        )
+    try:
+        return synthetic_by_name(pattern, topology.num_nodes,
+                                 demand=config.synthetic_demand)
+    except TrafficError as error:
+        # neither a synthetic pattern nor a workload: surface both
+        # vocabularies (workload_spec's error carries a did-you-mean hint
+        # over the registry)
+        try:
+            workload_spec(key)
+        except TrafficError as workload_error:
+            raise ExperimentError(
+                f"unknown pattern or workload {pattern!r}: {error}; "
+                f"{workload_error}"
+            ) from error
+        raise  # pragma: no cover - workload_spec cannot succeed here
 
 
 @dataclass
@@ -151,6 +178,8 @@ def _canonical_pattern(pattern: str) -> str:
     key = pattern.strip().lower()
     if key in APPLICATION_WORKLOADS:
         return key
+    if is_registered_workload(key):
+        return workload_spec(key).name
     return normalize_pattern_name(pattern)
 
 

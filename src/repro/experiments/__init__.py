@@ -41,6 +41,7 @@ from .workloads import (
     APPLICATION_WORKLOADS,
     SYNTHETIC_WORKLOADS,
     WORKLOAD_NAMES,
+    extended_workload_names,
     all_workloads,
     build_mesh,
     workload_flow_set,
@@ -62,6 +63,7 @@ __all__ = [
     "TableResult",
     "VCSweepResult",
     "WORKLOAD_NAMES",
+    "extended_workload_names",
     "all_workloads",
     "build_mesh",
     "default_algorithms",

@@ -49,8 +49,11 @@ class ExperimentConfig:
     explore_full_cdg_set: bool = False
     #: random seed shared by ROMM / Valiant / ad hoc CDGs / injection.
     seed: int = 0
-    #: mapping strategy for application task graphs onto the mesh.
-    mapping_strategy: str = "block"
+    #: mapping strategy for application task graphs onto the mesh.  ``None``
+    #: means "per-workload default": the paper's three applications use
+    #: ``"block"`` (their original placement), registry workloads use their
+    #: spec's ``default_mapping``.
+    mapping_strategy: Optional[str] = None
     #: worker processes for the experiment runner (1 = serial, the seed
     #: behaviour; 0 = auto via $REPRO_WORKERS or the CPU count).
     workers: int = 1

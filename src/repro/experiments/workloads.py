@@ -1,22 +1,27 @@
-"""The six evaluation workloads, instantiated on the experiment mesh.
+"""The evaluation workloads, instantiated on the experiment mesh.
 
 Three synthetic patterns (transpose, bit-complement, shuffle) cover the whole
 mesh; three applications (H.264 decoder, processor performance model,
 802.11a/g transmitter) are task graphs whose modules are placed onto a
 compact block of the mesh (the paper treats mapping as an orthogonal,
-pre-existing decision).
+pre-existing decision).  Beyond those six paper workloads, every application
+registered in :mod:`repro.workloads.registry` (``decoder-pipeline``,
+``fft-butterfly``, ``map-reduce``, ``hotspot-server``, ...) resolves here
+too, so the figure/sweep CLIs and the comparison engine accept any
+registered workload name.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, List, Tuple
 
-from ..exceptions import ExperimentError
+from ..exceptions import ExperimentError, ReproError
 from ..topology.mesh import Mesh2D
 from ..traffic.applications import h264_decoder, performance_modeling, wlan_transmitter
 from ..traffic.flow import FlowSet
 from ..traffic.mapping import map_onto_mesh
 from ..traffic.synthetic import bit_complement, shuffle, transpose
+from ..workloads import registry as workload_registry
 from .config import ExperimentConfig
 
 #: Canonical workload names, in the order the paper's tables list them.
@@ -59,22 +64,48 @@ def _application(name: str, mesh: Mesh2D, config: ExperimentConfig) -> FlowSet:
     logical = factories[name]()
     return map_onto_mesh(
         logical, mesh,
-        strategy=config.mapping_strategy,
+        strategy=config.mapping_strategy or "block",
         seed=config.seed,
     )
 
 
 def workload_flow_set(name: str, mesh: Mesh2D,
                       config: ExperimentConfig) -> FlowSet:
-    """Instantiate one named workload on *mesh*."""
+    """Instantiate one named workload on *mesh*.
+
+    The six paper workloads keep their original construction (so cached
+    results and golden seeds stay valid); any other name is resolved
+    through the :mod:`repro.workloads` registry, placed with the config's
+    mapping strategy (or, when that is ``None``, the workload's own
+    ``default_mapping``) and the config's seed.
+    """
     key = name.lower()
     if key in SYNTHETIC_WORKLOADS:
         return _synthetic(key, mesh, config)
     if key in APPLICATION_WORKLOADS:
         return _application(key, mesh, config)
-    raise ExperimentError(
-        f"unknown workload {name!r}; known workloads: {list(WORKLOAD_NAMES)}"
-    )
+    try:
+        return workload_registry.workload_flow_set(
+            key, mesh,
+            strategy=config.mapping_strategy,
+            seed=config.seed,
+        )
+    except ReproError as error:
+        if workload_registry.is_registered_workload(key):
+            raise  # registered but unplaceable (e.g. mesh too small)
+        raise ExperimentError(
+            f"unknown workload {name!r}; accepted workloads: "
+            f"{extended_workload_names()}; {error}"
+        ) from error
+
+
+def extended_workload_names() -> List[str]:
+    """Every accepted workload name: the paper's six plus the registry."""
+    names = list(WORKLOAD_NAMES)
+    for extra in workload_registry.available_workloads():
+        if extra not in names:
+            names.append(extra)
+    return names
 
 
 def all_workloads(config: ExperimentConfig,

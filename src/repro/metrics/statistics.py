@@ -141,10 +141,23 @@ class SimulationStatistics:
         packet sample, so this is a percentile across *flows* — the tail
         flow, not the tail packet.  That is the quantity the comparison
         reports use to show how unevenly an algorithm treats its flows.
+
+        Edge cases are well defined instead of raising or returning NaN:
+        an empty sample set (nothing delivered yet) gives 0.0, a single
+        sample gives that sample for every percentile, ``fraction=0``
+        gives the minimum and ``fraction=1`` the maximum.  Values barely
+        above 1 from float round-off (within ``1e-6``) are clamped to the
+        maximum; beyond that, percent-style inputs in (1, 100] —
+        ``latency_percentile(99)`` — are interpreted as ``p/100`` for
+        convenience.
         """
         samples = [self.flow_average_latency(name)
                    for name, delivered in self.per_flow_delivered.items()
                    if delivered > 0]
+        if 1.0 < fraction <= 1.0 + 1e-6:
+            fraction = 1.0  # round-off above p100, not a percent input
+        elif 1.0 < fraction <= 100.0:
+            fraction = fraction / 100.0
         return percentile(samples, fraction)
 
     def describe(self) -> str:
@@ -235,10 +248,17 @@ def relative_improvement(value: float, baseline: float) -> float:
 
 
 def percentile(values: Sequence[float], fraction: float) -> float:
-    """Linear-interpolation percentile (fraction in [0, 1])."""
+    """Linear-interpolation percentile (fraction in [0, 1]).
+
+    Well-defined at the edges: an empty sequence yields 0.0, a single
+    value is every percentile of itself, ``fraction=0`` is the minimum and
+    ``fraction=1`` the maximum.  A NaN or out-of-range fraction raises
+    :class:`ValueError` (NaN would otherwise propagate silently through
+    the interpolation).
+    """
     if not values:
         return 0.0
-    if not 0.0 <= fraction <= 1.0:
+    if math.isnan(fraction) or not 0.0 <= fraction <= 1.0:
         raise ValueError(f"fraction must be within [0, 1]: {fraction}")
     ordered = sorted(values)
     if len(ordered) == 1:

@@ -26,6 +26,7 @@ from .deadlock import (
     DeadlockReport,
     analyze_route_set,
     analyze_two_phase,
+    analyze_virtual_networks,
     check_deadlock_freedom,
     induced_cdg,
     split_route_at,
@@ -92,6 +93,7 @@ __all__ = [
     "all_two_turn_strategies",
     "analyze_route_set",
     "analyze_two_phase",
+    "analyze_virtual_networks",
     "available_routers",
     "bsor_dijkstra",
     "bsor_milp",

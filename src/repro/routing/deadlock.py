@@ -97,6 +97,55 @@ def split_route_at(route: Route, pivot_node: int) -> Tuple[Sequence, Sequence]:
     )
 
 
+def analyze_virtual_networks(route_set: RouteSet,
+                             phase_boundaries: dict) -> DeadlockReport:
+    """Deadlock analysis under the simulator's virtual-network split.
+
+    The simulator partitions the virtual channels of a two-virtual-network
+    algorithm with per-flow *phase boundaries* — flow ``f`` uses the first
+    VC class for hops before ``phase_boundaries[f]`` and the second class
+    from that hop on (see
+    :func:`repro.simulator.simulation.phase_boundaries_for`).  The route
+    set is deadlock free under that split iff each virtual network's
+    induced CDG is acyclic on its own.  Flows without a boundary run
+    entirely in the first network.
+
+    This is the registry-generic check: it reproduces
+    :func:`analyze_route_set` for single-network algorithms (empty
+    boundaries) and :func:`analyze_two_phase` for ROMM / Valiant, and also
+    covers O1TURN, whose boundary is 0 or the full route length.
+    """
+    networks: Tuple[List[Sequence], List[Sequence]] = ([], [])
+    for route in route_set:
+        boundary = phase_boundaries.get(route.flow.name)
+        if boundary is None:
+            networks[0].append(route.resources)
+            continue
+        boundary = max(0, min(boundary, len(route.resources)))
+        first = route.resources[:boundary]
+        second = route.resources[boundary:]
+        if first:
+            networks[0].append(first)
+        if second:
+            networks[1].append(second)
+
+    for label, phase_routes in (("virtual network 1", networks[0]),
+                                ("virtual network 2", networks[1])):
+        cdg = cdg_from_routes(route_set.topology, phase_routes, name=label)
+        cycle = cdg.find_cycle()
+        if cycle is not None:
+            return DeadlockReport(
+                deadlock_free=False,
+                cycle=cycle,
+                induced_cdg=cdg,
+                detail=f"{label} has a cyclic dependence",
+            )
+    return DeadlockReport(
+        deadlock_free=True,
+        detail="each virtual network conforms to an acyclic CDG on its own",
+    )
+
+
 def analyze_two_phase(route_set: RouteSet,
                       intermediates: dict) -> DeadlockReport:
     """Deadlock analysis for two-phase algorithms (ROMM, Valiant) with 2 VCs.

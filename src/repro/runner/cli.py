@@ -32,6 +32,7 @@ import sys
 import time
 from typing import List, Optional, Sequence
 
+from ..experiments.workloads import extended_workload_names
 from .cache import ResultCache, default_cache_dir
 from .engine import ExperimentRunner, runner_for
 
@@ -77,7 +78,8 @@ def _build_parser() -> argparse.ArgumentParser:
                                  parents=[common])
     figure.add_argument("number", help="figure number, e.g. 6-1 or 6-7")
     figure.add_argument("--workload", default="transpose",
-                        help="workload for figures 6-7..6-10 "
+                        help="workload for figures 6-7..6-10: one of "
+                             f"{', '.join(extended_workload_names())} "
                              "(default: %(default)s)")
 
     table = commands.add_parser("table", help="regenerate one MCL table",
@@ -86,7 +88,10 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sweep = commands.add_parser("sweep", help="sweep chosen algorithms",
                                 parents=[common])
-    sweep.add_argument("--workload", default="transpose")
+    sweep.add_argument("--workload", default="transpose",
+                       help="one of "
+                            f"{', '.join(extended_workload_names())} "
+                            "(default: %(default)s)")
     sweep.add_argument("--algorithms", default="XY,BSOR-Dijkstra",
                        help="comma-separated routing-registry names or "
                             "aliases (dor/XY, yx, romm, valiant, o1turn, "

@@ -165,6 +165,7 @@ class NetworkSimulator:
         self._per_flow_delivered: Dict[str, int] = {}
         self._dropped = 0
         self._in_flight_flits = 0
+        self._ejected_flits_total = 0
         self._idle_cycles = 0
         self.deadlock_suspected = False
 
@@ -291,6 +292,7 @@ class NetworkSimulator:
                     self._occupied.discard(index)
                 departed_buffers.add(index)
                 self._in_flight_flits -= 1
+                self._ejected_flits_total += 1
                 moved += 1
                 if flit.is_tail:
                     self._owners[index] = None
@@ -497,6 +499,76 @@ class NetworkSimulator:
     @property
     def in_flight_flits(self) -> int:
         return self._in_flight_flits
+
+    def flit_audit(self) -> Dict[str, int]:
+        """Conservation ledger of the simulation, valid at any cycle.
+
+        Two invariants must hold at every cycle boundary (asserted by the
+        invariant test suite, ``tests/invariants/``):
+
+        * **flit conservation** — every flit ever built entered exactly one
+          of the ledger's bins: ``flits_built == flits_ejected +
+          flits_in_network + flits_in_source_queues``;
+        * **packet conservation** — every generated packet is either still
+          in its source backlog, was dropped at a full source, or was built
+          into flits: ``packets_generated == packets_built +
+          packets_in_backlog + packets_dropped``.
+
+        The per-bin recount (``flits_in_network`` from the FIFOs,
+        ``flits_in_source_queues`` from the injection queues) is computed
+        fresh here, so a drift between the incremental ``in_flight_flits``
+        counter and reality is also caught: ``in_flight_flits ==
+        flits_in_network + flits_in_source_queues``.
+        """
+        flits_in_network = sum(len(fifo) for fifo in self._fifos)
+        flits_in_source_queues = sum(len(queue) for queue in self._flow_queues)
+        return {
+            "cycle": self._cycle,
+            "packets_generated": self._packets_generated,
+            "packets_built": self._next_packet_id,
+            "packets_in_backlog": sum(len(backlog)
+                                      for backlog in self._backlogs),
+            "packets_dropped": self._dropped,
+            "flits_built": self._next_packet_id * self.config.packet_size_flits,
+            "flits_ejected": self._ejected_flits_total,
+            "flits_in_network": flits_in_network,
+            "flits_in_source_queues": flits_in_source_queues,
+            "in_flight_flits": self._in_flight_flits,
+        }
+
+    def conservation_violations(self) -> List[str]:
+        """Human-readable list of broken conservation invariants (empty = ok)."""
+        audit = self.flit_audit()
+        violations: List[str] = []
+        if audit["flits_built"] != (audit["flits_ejected"] +
+                                    audit["flits_in_network"] +
+                                    audit["flits_in_source_queues"]):
+            violations.append(
+                f"flit conservation broken at cycle {audit['cycle']}: "
+                f"built {audit['flits_built']} != ejected "
+                f"{audit['flits_ejected']} + in-network "
+                f"{audit['flits_in_network']} + queued "
+                f"{audit['flits_in_source_queues']}"
+            )
+        if audit["in_flight_flits"] != (audit["flits_in_network"] +
+                                        audit["flits_in_source_queues"]):
+            violations.append(
+                f"in-flight counter drifted at cycle {audit['cycle']}: "
+                f"{audit['in_flight_flits']} != "
+                f"{audit['flits_in_network']} + "
+                f"{audit['flits_in_source_queues']}"
+            )
+        if audit["packets_generated"] != (audit["packets_built"] +
+                                          audit["packets_in_backlog"] +
+                                          audit["packets_dropped"]):
+            violations.append(
+                f"packet conservation broken at cycle {audit['cycle']}: "
+                f"generated {audit['packets_generated']} != built "
+                f"{audit['packets_built']} + backlog "
+                f"{audit['packets_in_backlog']} + dropped "
+                f"{audit['packets_dropped']}"
+            )
+        return violations
 
     def occupancy_snapshot(self) -> Dict[str, int]:
         """Flits buffered per channel label (debugging / test aid)."""

@@ -132,6 +132,46 @@ def validate_mapping(mapping: Dict[int, int], topology: Topology) -> None:
         seen[node] = module
 
 
+#: Placement strategies understood by :func:`mapping_for`.
+MAPPING_STRATEGIES: tuple[str, ...] = ("block", "row-major", "spread", "random")
+
+
+def mapping_for(num_modules: int, topology: Topology,
+                strategy: str = "block",
+                origin: tuple[int, int] = (0, 0),
+                seed: Optional[int] = None) -> Dict[int, int]:
+    """Build a validated placement with a named strategy.
+
+    The single dispatch point for every strategy name — both
+    :func:`map_onto_mesh` and :meth:`repro.workloads.AppGraph.mapping_for`
+    route through it, so the strategy vocabulary cannot diverge.  The
+    ``"block"`` strategy packs modules into a compact rectangle and
+    therefore needs a 2-D grid topology with ``node_at`` coordinates (mesh
+    or torus); the other strategies work on any topology.
+    """
+    if strategy == "block":
+        if not hasattr(topology, "node_at") or not hasattr(topology, "width"):
+            raise TrafficError(
+                f"the 'block' mapping strategy needs a 2-D grid topology "
+                f"(mesh or torus), got {type(topology).__name__}; use "
+                f"'row-major', 'spread' or 'random' instead"
+            )
+        mapping = block_mapping(num_modules, topology, origin=origin)
+    elif strategy == "row-major":
+        mapping = row_major_mapping(num_modules, topology)
+    elif strategy == "spread":
+        mapping = spread_mapping(num_modules, topology)
+    elif strategy == "random":
+        mapping = random_mapping(num_modules, topology, seed=seed)
+    else:
+        raise TrafficError(
+            f"unknown mapping strategy {strategy!r}; expected one of "
+            f"{list(MAPPING_STRATEGIES)}"
+        )
+    validate_mapping(mapping, topology)
+    return mapping
+
+
 def map_onto_mesh(flow_set: FlowSet, mesh: Mesh2D,
                   strategy: str = "block",
                   origin: tuple[int, int] = (0, 0),
@@ -147,21 +187,8 @@ def map_onto_mesh(flow_set: FlowSet, mesh: Mesh2D,
     seed:
         RNG seed for the ``"random"`` strategy.
     """
-    num_modules = flow_set.max_node() + 1
-    if strategy == "block":
-        mapping = block_mapping(num_modules, mesh, origin=origin)
-    elif strategy == "row-major":
-        mapping = row_major_mapping(num_modules, mesh)
-    elif strategy == "spread":
-        mapping = spread_mapping(num_modules, mesh)
-    elif strategy == "random":
-        mapping = random_mapping(num_modules, mesh, seed=seed)
-    else:
-        raise TrafficError(
-            f"unknown mapping strategy {strategy!r}; expected one of "
-            f"'block', 'row-major', 'spread', 'random'"
-        )
-    validate_mapping(mapping, mesh)
+    mapping = mapping_for(flow_set.max_node() + 1, mesh,
+                          strategy=strategy, origin=origin, seed=seed)
     return flow_set.remapped(mapping)
 
 

@@ -1,0 +1,299 @@
+"""Application task graphs: tasks, directed flows, and placement.
+
+The paper's central claim is *application-aware* routing: BSOR allocates
+bandwidth from the application's flow graph rather than from a synthetic
+permutation.  An :class:`AppGraph` is the first-class model of such an
+application — a set of named **tasks** (the processing modules of a decoder
+pipeline, the mappers of a map-reduce job, ...) connected by directed
+**flows** with estimated bandwidth demands.
+
+An ``AppGraph`` lives in *logical* task-index space.  Two conversions bridge
+it to the rest of the library:
+
+* :meth:`AppGraph.flow_set` — the logical :class:`~repro.traffic.flow.FlowSet`
+  (task indices as node indices), for inspection and demand analysis;
+* :meth:`AppGraph.mapped_onto` — the *physical* flow set after placing the
+  tasks onto the nodes of a mesh or torus with one of the deterministic
+  mapping strategies of :mod:`repro.traffic.mapping`.  This is the flow set
+  the BSOR route selectors and the simulator consume, so every route BSOR
+  computes for a workload is derived from the application's flow graph.
+
+The canonical application library (decoder pipeline, FFT butterfly,
+map-reduce shuffle, hotspot server, plus the paper's three profiled
+applications) lives in :mod:`repro.workloads.library`; discovery by name goes
+through :mod:`repro.workloads.registry`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import networkx as nx
+
+from ..exceptions import TrafficError
+from ..topology.base import Topology
+from ..traffic.flow import Flow, FlowSet
+from ..traffic.mapping import MAPPING_STRATEGIES
+from ..traffic.mapping import mapping_for as build_mapping_for
+
+#: Ways a task can be referenced in the builder API.
+TaskRef = Union[int, str, "AppTask"]
+
+
+@dataclass(frozen=True)
+class AppTask:
+    """One task (processing module) of an application graph.
+
+    Attributes
+    ----------
+    index:
+        Logical task index; doubles as the node index of the logical flow
+        set.  Assigned densely in creation order.
+    name:
+        Unique human-readable name (``"entropy-decode"``, ``"mapper-0"``).
+    kind:
+        Free-form role tag — ``"source"``, ``"sink"``, ``"compute"`` — used
+        by documentation and by mapping heuristics, never by the routing
+        layers.
+    """
+
+    index: int
+    name: str
+    kind: str = "compute"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}[{self.index}]"
+
+
+class AppGraph:
+    """A directed application task graph with per-flow bandwidth demands.
+
+    Build one incrementally::
+
+        app = AppGraph("my-pipeline")
+        app.add_task("source", kind="source")
+        app.add_task("stage-0")
+        app.add_flow("source", "stage-0", demand=40.0)
+
+    or in one call from tables (see :meth:`from_tables`).  Task references
+    in :meth:`add_flow` accept names, indices or :class:`AppTask` objects.
+    """
+
+    def __init__(self, name: str, description: str = "") -> None:
+        if not name:
+            raise TrafficError("application graphs need a non-empty name")
+        self.name = name
+        self.description = description
+        self._tasks: List[AppTask] = []
+        self._by_name: Dict[str, AppTask] = {}
+        self._flows = FlowSet(name=name)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_task(self, name: str, kind: str = "compute") -> AppTask:
+        """Append a task; names must be unique within the graph."""
+        if not name:
+            raise TrafficError("task names must be non-empty")
+        if name in self._by_name:
+            raise TrafficError(
+                f"duplicate task name {name!r} in application {self.name!r}"
+            )
+        task = AppTask(index=len(self._tasks), name=name, kind=kind)
+        self._tasks.append(task)
+        self._by_name[name] = task
+        return task
+
+    def add_flow(self, producer: TaskRef, consumer: TaskRef,
+                 demand: float, name: str = "") -> Flow:
+        """Add a directed flow between two existing tasks."""
+        source = self.task(producer)
+        destination = self.task(consumer)
+        return self._flows.add_flow(
+            source.index, destination.index, demand, name=name
+        )
+
+    @classmethod
+    def from_tables(cls, name: str, tasks: Sequence[Union[str, Tuple[str, str]]],
+                    flows: Iterable[Tuple], description: str = "") -> "AppGraph":
+        """Build a graph from a task table and a flow table.
+
+        ``tasks`` entries are task names or ``(name, kind)`` pairs; ``flows``
+        entries are ``(producer, consumer, demand)`` or
+        ``(flow_name, producer, consumer, demand)`` tuples, endpoints given
+        by task name or index.
+        """
+        graph = cls(name, description=description)
+        for entry in tasks:
+            if isinstance(entry, str):
+                graph.add_task(entry)
+            else:
+                task_name, kind = entry
+                graph.add_task(task_name, kind=kind)
+        for row in flows:
+            if len(row) == 3:
+                producer, consumer, demand = row
+                graph.add_flow(producer, consumer, demand)
+            elif len(row) == 4:
+                flow_name, producer, consumer, demand = row
+                graph.add_flow(producer, consumer, demand, name=flow_name)
+            else:
+                raise TrafficError(
+                    f"flow rows must have 3 or 4 entries, got {row!r}"
+                )
+        return graph
+
+    # ------------------------------------------------------------------
+    # task lookup
+    # ------------------------------------------------------------------
+    def task(self, ref: TaskRef) -> AppTask:
+        """Resolve a task reference (name, index, or the task itself)."""
+        if isinstance(ref, AppTask):
+            if ref.index >= len(self._tasks) or \
+                    self._tasks[ref.index] is not ref:
+                raise TrafficError(
+                    f"task {ref} does not belong to application {self.name!r}"
+                )
+            return ref
+        if isinstance(ref, int):
+            if not 0 <= ref < len(self._tasks):
+                raise TrafficError(
+                    f"task index {ref} outside application {self.name!r} "
+                    f"({len(self._tasks)} tasks)"
+                )
+            return self._tasks[ref]
+        if ref not in self._by_name:
+            raise TrafficError(
+                f"no task named {ref!r} in application {self.name!r}; "
+                f"tasks: {self.task_names()}"
+            )
+        return self._by_name[ref]
+
+    @property
+    def tasks(self) -> Tuple[AppTask, ...]:
+        return tuple(self._tasks)
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self._tasks)
+
+    @property
+    def num_flows(self) -> int:
+        return len(self._flows)
+
+    def task_names(self) -> List[str]:
+        return [task.name for task in self._tasks]
+
+    def tasks_of_kind(self, kind: str) -> List[AppTask]:
+        return [task for task in self._tasks if task.kind == kind]
+
+    # ------------------------------------------------------------------
+    # flow views
+    # ------------------------------------------------------------------
+    def flow_set(self) -> FlowSet:
+        """The logical flow set (task indices as node indices)."""
+        return FlowSet(self._flows, name=self.name)
+
+    def total_demand(self) -> float:
+        return self._flows.total_demand()
+
+    def flows_from(self, ref: TaskRef) -> List[Flow]:
+        return self._flows.flows_from(self.task(ref).index)
+
+    def flows_to(self, ref: TaskRef) -> List[Flow]:
+        return self._flows.flows_to(self.task(ref).index)
+
+    def task_graph(self) -> "nx.DiGraph":
+        """The task-level digraph (one edge per distinct producer/consumer)."""
+        graph = nx.DiGraph()
+        graph.add_nodes_from(range(self.num_tasks))
+        for flow in self._flows:
+            if graph.has_edge(flow.source, flow.destination):
+                graph[flow.source][flow.destination]["demand"] += flow.demand
+            else:
+                graph.add_edge(flow.source, flow.destination,
+                               demand=flow.demand)
+        return graph
+
+    def is_acyclic(self) -> bool:
+        """Whether the task graph is a DAG (pipelines are; servers are not)."""
+        return nx.is_directed_acyclic_graph(self.task_graph())
+
+    def depth(self) -> int:
+        """Longest task chain (number of tasks) of an acyclic graph.
+
+        Raises :class:`TrafficError` for cyclic graphs, where "depth" has no
+        meaning.
+        """
+        graph = self.task_graph()
+        if not nx.is_directed_acyclic_graph(graph):
+            raise TrafficError(
+                f"application {self.name!r} is cyclic; depth is undefined"
+            )
+        if graph.number_of_nodes() == 0:
+            return 0
+        return nx.dag_longest_path_length(graph) + 1
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+    def mapping_for(self, topology: Topology, strategy: str = "block",
+                    origin: Tuple[int, int] = (0, 0),
+                    seed: Optional[int] = None) -> Dict[int, int]:
+        """A ``{task index -> physical node}`` placement on *topology*.
+
+        ``"block"`` packs the tasks into a compact rectangle and therefore
+        needs a 2-D topology with ``node_at`` coordinates (mesh or torus);
+        ``"row-major"``, ``"spread"`` and ``"random"`` work on any topology.
+        The strategy dispatch is shared with
+        :func:`repro.traffic.mapping.map_onto_mesh`, so both placement
+        paths accept exactly the same vocabulary.
+        """
+        if self.num_tasks == 0:
+            raise TrafficError(
+                f"application {self.name!r} has no tasks to place"
+            )
+        return build_mapping_for(self.num_tasks, topology,
+                                 strategy=strategy, origin=origin, seed=seed)
+
+    def mapped_onto(self, topology: Topology, strategy: str = "block",
+                    origin: Tuple[int, int] = (0, 0),
+                    seed: Optional[int] = None) -> FlowSet:
+        """The physical flow set after placing the tasks onto *topology*.
+
+        This is the flow set handed to the route selectors: BSOR's MILP /
+        Dijkstra bandwidth allocation then runs on the application's own
+        flow graph instead of a synthetic pattern.
+        """
+        mapping = self.mapping_for(topology, strategy=strategy,
+                                   origin=origin, seed=seed)
+        return self.flow_set().remapped(mapping)
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """Multi-line summary of tasks and flows, for logs and docs."""
+        lines = [
+            f"AppGraph {self.name!r}: {self.num_tasks} tasks, "
+            f"{self.num_flows} flows, total demand {self.total_demand():g}"
+        ]
+        for task in self._tasks:
+            out_demand = self._flows.injection_demand(task.index)
+            in_demand = self._flows.ejection_demand(task.index)
+            lines.append(
+                f"  [{task.index:>2}] {task.name:<24} kind={task.kind:<8} "
+                f"out={out_demand:g} in={in_demand:g}"
+            )
+        for flow in self._flows:
+            lines.append(
+                f"  {flow.name:>6}  "
+                f"{self._tasks[flow.source].name} -> "
+                f"{self._tasks[flow.destination].name}  {flow.demand:g}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AppGraph(name={self.name!r}, tasks={self.num_tasks}, "
+            f"flows={self.num_flows})"
+        )

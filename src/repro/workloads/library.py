@@ -1,0 +1,319 @@
+"""The canonical application library: registered task-graph workloads.
+
+Four synthetic-but-structured applications cover the traffic shapes the
+paper's evaluation cares about, and the three profiled applications of
+Chapter 5 are wrapped as task graphs so every workload goes through the
+same registry:
+
+* **decoder-pipeline** — a streaming video-decoder pipeline (the shape of
+  the paper's H.264 study, with generic stage names): a feed-forward chain
+  with a heavy write-back flow and a shared memory controller;
+* **fft-butterfly** — ``lanes`` parallel pipelines exchanging data in the
+  butterfly pattern of a radix-2 FFT, one exchange stage per ``log2(lanes)``;
+* **map-reduce** — an all-to-all shuffle between mapper and reducer tasks,
+  bracketed by a splitter source and a collector sink;
+* **hotspot-server** — many clients issuing small requests to one server
+  that answers with larger responses: the classic hotspot workload, but
+  expressed as an application so BSOR can see the demand asymmetry;
+* **h264 / perf-modeling / transmitter** — the paper's profiled
+  applications (:mod:`repro.traffic.applications`), re-exposed as
+  :class:`AppGraph` objects.
+
+All bandwidth demands are in the same arbitrary MB/s-like unit the rest of
+the library uses; only the *ratios* matter to the route selectors and the
+injection split.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import TrafficError
+from ..traffic.applications import (
+    H264_FLOWS,
+    H264_MODULES,
+    PERFORMANCE_MODEL_FLOWS,
+    PERFORMANCE_MODEL_MODULES,
+    WLAN_FLOWS,
+    WLAN_MODULES,
+)
+from .appgraph import AppGraph
+from .registry import register_workload
+
+
+# ----------------------------------------------------------------------
+# decoder pipeline
+# ----------------------------------------------------------------------
+@register_workload(
+    "decoder-pipeline",
+    display_name="Decoder pipeline",
+    aliases=("decoder",),
+    summary="Streaming decoder pipeline: feed-forward stages, a heavy "
+            "frame write-back and a shared memory controller.",
+    description=(
+        "A nine-task streaming decoder modelled on the paper's H.264 "
+        "study: a memory controller feeds a parse/entropy stage, "
+        "coefficients flow through inverse transform into reconstruction, "
+        "a predictor loop reads reference data, and the reconstructed "
+        "output is written back to the memory controller at roughly 3x "
+        "the input bandwidth.  The mix of a long feed-forward chain with "
+        "one dominant flow is what makes bandwidth-sensitive route "
+        "selection visibly better than hop-count-only selection."
+    ),
+)
+def decoder_pipeline(*, writeback_demand: float = 120.0) -> AppGraph:
+    """The streaming-decoder pipeline application.
+
+    ``writeback_demand`` scales the dominant reconstructed-frame
+    write-back flow (the paper's H.264 equivalent is 120.4 MB/s).
+    """
+    if writeback_demand <= 0:
+        raise TrafficError(
+            f"writeback demand must be positive: {writeback_demand}"
+        )
+    graph = AppGraph(
+        "decoder-pipeline",
+        description="streaming decoder: parse -> transform -> reconstruct",
+    )
+    graph.add_task("memory-controller", kind="source")
+    graph.add_task("bitstream-parse")
+    graph.add_task("entropy-decode")
+    graph.add_task("inverse-transform")
+    graph.add_task("motion-compensate")
+    graph.add_task("intra-predict")
+    graph.add_task("reconstruct")
+    graph.add_task("deblock-filter")
+    graph.add_task("display-out", kind="sink")
+
+    graph.add_flow("memory-controller", "bitstream-parse", 40.0)
+    graph.add_flow("bitstream-parse", "entropy-decode", 38.0)
+    graph.add_flow("entropy-decode", "inverse-transform", 20.4)
+    graph.add_flow("entropy-decode", "intra-predict", 3.3)
+    graph.add_flow("inverse-transform", "reconstruct", 20.5)
+    graph.add_flow("memory-controller", "motion-compensate", 39.7)
+    graph.add_flow("motion-compensate", "reconstruct", 14.0)
+    graph.add_flow("intra-predict", "reconstruct", 1.6)
+    graph.add_flow("reconstruct", "deblock-filter", 60.2)
+    graph.add_flow("deblock-filter", "display-out", 36.0)
+    graph.add_flow("deblock-filter", "memory-controller", writeback_demand)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# FFT butterfly
+# ----------------------------------------------------------------------
+@register_workload(
+    "fft-butterfly",
+    display_name="FFT butterfly",
+    aliases=("fft",),
+    summary="Parallel FFT lanes exchanging data in the radix-2 butterfly "
+            "pattern, one exchange per log2(lanes) stage.",
+    description=(
+        "``lanes`` parallel pipelines each run ``log2(lanes) + 1`` "
+        "stages.  Between consecutive stages every lane forwards half of "
+        "its data straight ahead and half to its butterfly partner (the "
+        "lane whose index differs in bit ``s``), producing the structured "
+        "long-range exchanges of sorting networks and FFT data flows.  "
+        "All flows share one demand, so the challenge for the route "
+        "selector is purely the turn structure."
+    ),
+)
+def fft_butterfly(*, lanes: int = 4, demand: float = 18.0) -> AppGraph:
+    """The radix-2 FFT butterfly application over ``lanes`` parallel lanes.
+
+    ``lanes`` must be a power of two; the graph has
+    ``lanes * (log2(lanes) + 1)`` tasks.
+    """
+    if lanes < 2 or lanes & (lanes - 1):
+        raise TrafficError(
+            f"fft-butterfly needs a power-of-two lane count >= 2: {lanes}"
+        )
+    if demand <= 0:
+        raise TrafficError(f"flow demand must be positive: {demand}")
+    stages = lanes.bit_length()  # log2(lanes) exchange stages + final stage
+    graph = AppGraph(
+        "fft-butterfly",
+        description=f"radix-2 butterfly over {lanes} lanes",
+    )
+    for stage in range(stages):
+        kind = "source" if stage == 0 else \
+            ("sink" if stage == stages - 1 else "compute")
+        for lane in range(lanes):
+            graph.add_task(f"s{stage}-lane{lane}", kind=kind)
+    for stage in range(stages - 1):
+        for lane in range(lanes):
+            here = f"s{stage}-lane{lane}"
+            graph.add_flow(here, f"s{stage + 1}-lane{lane}", demand / 2)
+            partner = lane ^ (1 << stage)
+            graph.add_flow(here, f"s{stage + 1}-lane{partner}", demand / 2)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# map-reduce shuffle
+# ----------------------------------------------------------------------
+@register_workload(
+    "map-reduce",
+    display_name="Map-reduce shuffle",
+    aliases=("mapreduce", "shuffle-app"),
+    summary="Splitter -> mappers -> all-to-all shuffle -> reducers -> "
+            "collector: the dense exchange phase of a map-reduce job.",
+    description=(
+        "A splitter task fans input out to ``mappers`` mapper tasks; "
+        "every mapper sends one shuffle flow to every one of the "
+        "``reducers`` reducer tasks; the reducers feed a collector sink.  "
+        "The ``mappers x reducers`` all-to-all shuffle is the densest "
+        "flow structure in the library and the one where per-flow path "
+        "diversity matters most."
+    ),
+    default_mapping="spread",
+)
+def map_reduce(*, mappers: int = 4, reducers: int = 4,
+               shuffle_demand: float = 10.0) -> AppGraph:
+    """The map-reduce shuffle application.
+
+    Input/output flows are sized so that every mapper receives and every
+    reducer emits the sum of its shuffle flows.
+    """
+    if mappers < 1 or reducers < 1:
+        raise TrafficError(
+            f"need at least one mapper and one reducer: "
+            f"{mappers} mappers, {reducers} reducers"
+        )
+    if shuffle_demand <= 0:
+        raise TrafficError(
+            f"shuffle demand must be positive: {shuffle_demand}"
+        )
+    graph = AppGraph(
+        "map-reduce",
+        description=f"{mappers} mappers x {reducers} reducers shuffle",
+    )
+    graph.add_task("splitter", kind="source")
+    for index in range(mappers):
+        graph.add_task(f"mapper-{index}")
+    for index in range(reducers):
+        graph.add_task(f"reducer-{index}")
+    graph.add_task("collector", kind="sink")
+    for m in range(mappers):
+        graph.add_flow("splitter", f"mapper-{m}",
+                       shuffle_demand * reducers)
+        for r in range(reducers):
+            graph.add_flow(f"mapper-{m}", f"reducer-{r}", shuffle_demand)
+    for r in range(reducers):
+        graph.add_flow(f"reducer-{r}", "collector",
+                       shuffle_demand * mappers)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# hotspot server
+# ----------------------------------------------------------------------
+@register_workload(
+    "hotspot-server",
+    display_name="Hotspot server",
+    aliases=("server",),
+    summary="Many clients issuing small requests to one server answering "
+            "with larger responses: hotspot traffic as an application.",
+    description=(
+        "``clients`` client tasks each send a request flow to a single "
+        "server task, which answers every client with a response flow "
+        "``response_ratio`` times heavier.  Unlike the synthetic hotspot "
+        "pattern, the demands are part of the application description, so "
+        "BSOR spreads the heavy response flows away from each other "
+        "instead of discovering the congestion at run time."
+    ),
+    default_mapping="spread",
+)
+def hotspot_server(*, clients: int = 8, request_demand: float = 5.0,
+                   response_ratio: float = 4.0) -> AppGraph:
+    """The client/server hotspot application."""
+    if clients < 1:
+        raise TrafficError(f"need at least one client: {clients}")
+    if request_demand <= 0 or response_ratio <= 0:
+        raise TrafficError(
+            f"request demand and response ratio must be positive: "
+            f"{request_demand}, {response_ratio}"
+        )
+    graph = AppGraph(
+        "hotspot-server",
+        description=f"{clients} clients around one server",
+    )
+    graph.add_task("server", kind="sink")
+    for index in range(clients):
+        graph.add_task(f"client-{index}", kind="source")
+    for index in range(clients):
+        client = f"client-{index}"
+        graph.add_flow(client, "server", request_demand)
+        graph.add_flow("server", client, request_demand * response_ratio)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# the paper's profiled applications, as task graphs
+# ----------------------------------------------------------------------
+def _from_paper_tables(name: str, description: str, modules, flows) -> AppGraph:
+    graph = AppGraph(name, description=description)
+    for module in modules:
+        graph.add_task(module)
+    for flow_name, source, destination, demand in flows:
+        graph.add_flow(source, destination, demand, name=flow_name)
+    return graph
+
+
+@register_workload(
+    "h264",
+    display_name="H.264 decoder",
+    aliases=("h.264", "h264-decoder"),
+    summary="The paper's profiled H.264 decoder (Figure 5-1): nine modules, "
+            "flows from 0.473 to 120.4 MB/s.",
+    description=(
+        "The H.264 decoder data-flow graph transcribed from Figure 5-1 "
+        "(see :mod:`repro.traffic.applications` for the flow table and "
+        "its provenance), wrapped as a task graph so it participates in "
+        "the workload registry like every other application."
+    ),
+)
+def h264_app() -> AppGraph:
+    """The paper's H.264 decoder as a task graph."""
+    return _from_paper_tables(
+        "h264", "H.264 decoder (Figure 5-1)", H264_MODULES, H264_FLOWS
+    )
+
+
+@register_workload(
+    "perf-modeling",
+    display_name="Performance model",
+    aliases=("perf", "performance-modeling"),
+    summary="The paper's processor performance model (Figure 5-2): a "
+            "three-stage pipeline with memories and a register file.",
+    description=(
+        "The processor performance-modeling application of Figure 5-2: "
+        "fetch/decode/execute stages exchanging operands with instruction "
+        "memory, data memory and the register file, flows from 4.3 to "
+        "62.73 MB/s."
+    ),
+)
+def perf_modeling_app() -> AppGraph:
+    """The paper's processor performance model as a task graph."""
+    return _from_paper_tables(
+        "perf-modeling", "processor performance model (Figure 5-2)",
+        PERFORMANCE_MODEL_MODULES, PERFORMANCE_MODEL_FLOWS,
+    )
+
+
+@register_workload(
+    "transmitter",
+    display_name="802.11a/g transmitter",
+    aliases=("wlan", "wlan-transmitter"),
+    summary="The paper's IEEE 802.11a/g OFDM transmitter (Table 5.2): "
+            "sixteen modules including a four-way parallel IFFT.",
+    description=(
+        "The wireless-LAN transmitter of Figure 5-3 / Table 5.2: a "
+        "scrambler-to-upsampler chain whose IFFT is split across four "
+        "parallel butterfly modules, flows in MBit/s."
+    ),
+)
+def transmitter_app() -> AppGraph:
+    """The paper's 802.11a/g transmitter as a task graph."""
+    return _from_paper_tables(
+        "transmitter", "IEEE 802.11a/g OFDM transmitter (Table 5.2)",
+        WLAN_MODULES, WLAN_FLOWS,
+    )

@@ -1,0 +1,205 @@
+"""Bursty and hotspot injection modulation, usable around any pattern.
+
+The bandwidth-variation model of Section 5.3 perturbs rates *around* their
+nominal values; real applications also exhibit two harsher behaviours the
+comparison harness wants to exercise:
+
+* **burstiness** — a flow is silent for a while, then injects a burst well
+  above its nominal rate.  :class:`BurstyInjection` models this with a
+  per-flow two-state **on/off Markov chain**: in the *off* state a flow
+  injects nothing, in the *on* state it injects at ``nominal /
+  duty_cycle``, so the long-run mean equals the nominal rate and sweeps
+  with and without burstiness stay comparable;
+* **hotspot episodes** — traffic into one or a few nodes periodically
+  surges (a hot cache line, a popular shard).  :class:`HotspotInjection`
+  multiplies the rate of every flow *into* the hotspot nodes by ``boost``
+  during hot episodes, rescaling so the long-run mean is preserved.
+
+Both are :class:`~repro.simulator.injection.InjectionProcess` subclasses
+built from a flow set and an offered rate, exactly like the Bernoulli and
+Markov-modulated processes, so they wrap any synthetic pattern or
+application workload and drop into :class:`NetworkSimulator` (and into
+:class:`~repro.workloads.trace.RecordingInjection`) unchanged.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..exceptions import SimulationError
+from ..simulator.injection import InjectionProcess
+from ..traffic.flow import Flow, FlowSet
+
+
+class _OnOffChain:
+    """A seeded two-state Markov chain with geometric dwell times."""
+
+    def __init__(self, on_probability: float, mean_on_cycles: float,
+                 mean_off_cycles: float, seed: int) -> None:
+        self._rng = random.Random(seed)
+        self._leave_on = 1.0 / mean_on_cycles
+        self._leave_off = 1.0 / mean_off_cycles
+        # start in the stationary distribution so short runs are unbiased
+        self.on = self._rng.random() < on_probability
+
+    def step(self) -> bool:
+        """Advance one cycle; returns whether the chain is now *on*."""
+        leave = self._leave_on if self.on else self._leave_off
+        if self._rng.random() < leave:
+            self.on = not self.on
+        return self.on
+
+
+class BurstyInjection(InjectionProcess):
+    """On/off Markov-modulated injection around any flow set.
+
+    Parameters
+    ----------
+    flow_set / offered_rate / seed:
+        As for every injection process; the offered rate is split across
+        flows proportionally to demand.
+    duty_cycle:
+        Long-run fraction of time each flow spends *on* (0 < duty <= 1).
+        While on, the flow injects at ``nominal / duty_cycle``; while off
+        it injects nothing, so the long-run mean rate stays nominal.
+    mean_burst_cycles:
+        Average length of an *on* period; the mean *off* period follows
+        from the duty cycle.  Shorter bursts at the same duty cycle mean
+        more frequent, milder congestion events.
+    """
+
+    def __init__(self, flow_set: FlowSet, offered_rate: float,
+                 duty_cycle: float = 0.25, mean_burst_cycles: int = 50,
+                 seed: int = 0) -> None:
+        super().__init__(flow_set, offered_rate, seed=seed)
+        if not 0.0 < duty_cycle <= 1.0:
+            raise SimulationError(
+                f"duty cycle must be in (0, 1]: {duty_cycle}"
+            )
+        if mean_burst_cycles < 1:
+            raise SimulationError(
+                f"mean burst length must be >= 1 cycle: {mean_burst_cycles}"
+            )
+        self.duty_cycle = duty_cycle
+        self.mean_burst_cycles = mean_burst_cycles
+        # duty_cycle == 1 degenerates to plain Bernoulli injection (always
+        # on, no boost); modelling it with a chain would still leave brief
+        # off dips and break the mean-preservation contract
+        self._always_on = duty_cycle >= 1.0
+        self._chain_of: Dict[str, _OnOffChain] = {}
+        if not self._always_on:
+            mean_off = mean_burst_cycles * (1.0 - duty_cycle) / duty_cycle
+            for index, flow in enumerate(flow_set):
+                self._chain_of[flow.name] = _OnOffChain(
+                    on_probability=duty_cycle,
+                    mean_on_cycles=float(mean_burst_cycles),
+                    mean_off_cycles=mean_off,
+                    seed=(seed or 0) * 7919 + index + 1,
+                )
+        self._boost = 1.0 / duty_cycle
+        self._cycle_of: Dict[str, int] = {flow.name: -1 for flow in flow_set}
+
+    def rate_of(self, flow: Flow, cycle: int) -> float:
+        if self._always_on:
+            return self.flow_rates[flow.name]
+        chain = self._chain_of[flow.name]
+        # advance the chain exactly once per simulated cycle per flow, even
+        # if the rate is queried repeatedly within one cycle
+        if self._cycle_of[flow.name] != cycle:
+            self._cycle_of[flow.name] = cycle
+            chain.step()
+        if not chain.on:
+            return 0.0
+        return self.flow_rates[flow.name] * self._boost
+
+
+class HotspotInjection(InjectionProcess):
+    """Episodic hotspot modulation around any flow set.
+
+    A single on/off chain (shared by all flows, so the surge is coherent)
+    switches between *cool* and *hot* episodes.  During hot episodes every
+    flow whose destination is in ``hotspot_nodes`` injects at ``boost``
+    times its base rate; rates are rescaled so each flow's long-run mean
+    equals its nominal rate.
+
+    ``hotspot_nodes`` defaults to the single destination with the highest
+    aggregate ejection demand — for application workloads that is typically
+    the memory controller or the server task.
+    """
+
+    def __init__(self, flow_set: FlowSet, offered_rate: float,
+                 hotspot_nodes: Optional[Iterable[int]] = None,
+                 boost: float = 4.0, hot_fraction: float = 0.2,
+                 mean_hot_cycles: int = 100, seed: int = 0) -> None:
+        super().__init__(flow_set, offered_rate, seed=seed)
+        if boost <= 1.0:
+            raise SimulationError(f"boost must exceed 1: {boost}")
+        if not 0.0 < hot_fraction < 1.0:
+            raise SimulationError(
+                f"hot fraction must be in (0, 1): {hot_fraction}"
+            )
+        if mean_hot_cycles < 1:
+            raise SimulationError(
+                f"mean hot episode length must be >= 1: {mean_hot_cycles}"
+            )
+        if hotspot_nodes is None:
+            destinations = flow_set.destinations()
+            if not destinations:
+                raise SimulationError("flow set has no destinations")
+            hottest = max(destinations, key=flow_set.ejection_demand)
+            self.hotspot_nodes: Set[int] = {hottest}
+        else:
+            self.hotspot_nodes = set(hotspot_nodes)
+            if not self.hotspot_nodes:
+                raise SimulationError("hotspot_nodes must not be empty")
+        self.boost = boost
+        self.hot_fraction = hot_fraction
+        mean_cool = mean_hot_cycles * (1.0 - hot_fraction) / hot_fraction
+        self._chain = _OnOffChain(
+            on_probability=hot_fraction,
+            mean_on_cycles=float(mean_hot_cycles),
+            mean_off_cycles=max(mean_cool, 1e-9),
+            seed=(seed or 0) * 6271 + 1,
+        )
+        self._chain_cycle = -1
+        # mean-preserving factors: hot_fraction * boost + cool * 1 scaled to 1
+        mean_factor = hot_fraction * boost + (1.0 - hot_fraction)
+        self._hot_factor = boost / mean_factor
+        self._cool_factor = 1.0 / mean_factor
+        self._targets_hotspot = {
+            flow.name: flow.destination in self.hotspot_nodes
+            for flow in flow_set
+        }
+
+    def rate_of(self, flow: Flow, cycle: int) -> float:
+        if self._chain_cycle != cycle:
+            self._chain_cycle = cycle
+            self._chain.step()
+        base = self.flow_rates[flow.name]
+        if not self._targets_hotspot[flow.name]:
+            return base
+        return base * (self._hot_factor if self._chain.on
+                       else self._cool_factor)
+
+    @property
+    def hot(self) -> bool:
+        """Whether the current cycle is inside a hot episode."""
+        return self._chain.on
+
+
+def modulated_process(kind: str, flow_set: FlowSet, offered_rate: float,
+                      seed: int = 0, **options) -> InjectionProcess:
+    """Factory: build a modulation wrapper by name.
+
+    ``kind`` is ``"bursty"`` or ``"hotspot"``; extra keyword options are
+    forwarded to the corresponding class.
+    """
+    key = kind.strip().lower()
+    if key == "bursty":
+        return BurstyInjection(flow_set, offered_rate, seed=seed, **options)
+    if key == "hotspot":
+        return HotspotInjection(flow_set, offered_rate, seed=seed, **options)
+    raise SimulationError(
+        f"unknown modulation kind {kind!r}; expected 'bursty' or 'hotspot'"
+    )

@@ -1,0 +1,336 @@
+"""Injection-trace capture and bit-identical replay.
+
+Any simulation run can be captured to a compact trace of its per-cycle
+packet injections and replayed later — through a different process, on a
+different machine, or against a different router — with **bit-identical**
+results for the same route set and configuration:
+
+* :class:`RecordingInjection` wraps any
+  :class:`~repro.simulator.injection.InjectionProcess` and records the
+  per-cycle, per-flow packet counts as they are drawn;
+* :class:`InjectionTrace` is the captured artefact: flow names, offered
+  rate, and a sparse ``cycle -> (flow index, count)`` table.  It saves to
+  JSON-lines (one header line plus one line per injecting cycle), with
+  transparent gzip compression for ``.gz`` paths — the compact on-disk
+  format;
+* :class:`TraceInjectionProcess` is an injection process that replays a
+  trace verbatim: the simulator consumes it exactly like a live process,
+  so a replayed run reproduces the live run's statistics field for field
+  (asserted by ``tests/test_workloads_trace.py``).
+
+The :func:`capture_simulation` / :func:`replay_simulation` helpers mirror
+:func:`repro.simulator.simulation.simulate_route_set` for the capture and
+replay sides.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..exceptions import SimulationError
+from ..metrics.statistics import SimulationStatistics
+from ..routing.base import RouteSet
+from ..simulator.config import SimulationConfig
+from ..simulator.injection import InjectionProcess, make_injection_process
+from ..simulator.network import NetworkSimulator
+from ..topology.base import Topology
+from ..traffic.flow import Flow, FlowSet
+
+#: On-disk format marker of the JSONL header line.
+TRACE_FORMAT = "repro-injection-trace"
+TRACE_VERSION = 1
+
+
+@dataclass
+class InjectionTrace:
+    """A captured per-cycle injection schedule for one flow set.
+
+    ``counts`` is sparse: only cycles with at least one injection appear,
+    each mapping to a tuple of ``(flow index, packet count)`` pairs in flow
+    order.  ``num_cycles`` records the length of the captured run so replay
+    knows where the schedule ends.
+    """
+
+    flow_names: Tuple[str, ...]
+    offered_rate: float
+    seed: int
+    num_cycles: int
+    counts: Dict[int, Tuple[Tuple[int, int], ...]] = field(default_factory=dict)
+    workload: str = ""
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def total_packets(self) -> int:
+        """Total packets injected over the whole trace."""
+        return sum(count for row in self.counts.values() for _, count in row)
+
+    def packets_of_flow(self, flow_name: str) -> int:
+        """Total packets a single flow injects over the trace."""
+        if flow_name not in self.flow_names:
+            raise SimulationError(
+                f"flow {flow_name!r} is not part of this trace; "
+                f"flows: {list(self.flow_names)}"
+            )
+        index = self.flow_names.index(flow_name)
+        return sum(count for row in self.counts.values()
+                   for flow_index, count in row if flow_index == index)
+
+    def injecting_cycles(self) -> List[int]:
+        """Cycles with at least one injection, ascending."""
+        return sorted(self.counts)
+
+    def matches_flow_set(self, flow_set: FlowSet) -> bool:
+        """Whether *flow_set* has exactly the trace's flows, in order."""
+        return tuple(flow.name for flow in flow_set) == self.flow_names
+
+    # ------------------------------------------------------------------
+    # (de)serialisation — compact JSONL, gzip for ``.gz`` paths
+    # ------------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """The trace as JSON-lines text: a header plus one line per cycle."""
+        header = {
+            "format": TRACE_FORMAT,
+            "version": TRACE_VERSION,
+            "flows": list(self.flow_names),
+            "offered_rate": self.offered_rate,
+            "seed": self.seed,
+            "num_cycles": self.num_cycles,
+            "workload": self.workload,
+        }
+        lines = [json.dumps(header, sort_keys=True)]
+        for cycle in sorted(self.counts):
+            row = self.counts[cycle]
+            lines.append(json.dumps(
+                {"c": cycle, "i": [pair[0] for pair in row],
+                 "n": [pair[1] for pair in row]},
+            ))
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "InjectionTrace":
+        """Parse a trace from its JSON-lines representation."""
+        lines = [line for line in text.splitlines() if line.strip()]
+        if not lines:
+            raise SimulationError("empty injection trace")
+        header = json.loads(lines[0])
+        if header.get("format") != TRACE_FORMAT:
+            raise SimulationError(
+                f"not an injection trace (format {header.get('format')!r})"
+            )
+        if header.get("version") != TRACE_VERSION:
+            raise SimulationError(
+                f"unsupported trace version {header.get('version')!r}; "
+                f"this library reads version {TRACE_VERSION}"
+            )
+        counts: Dict[int, Tuple[Tuple[int, int], ...]] = {}
+        for line in lines[1:]:
+            record = json.loads(line)
+            counts[int(record["c"])] = tuple(
+                (int(index), int(count))
+                for index, count in zip(record["i"], record["n"])
+            )
+        return cls(
+            flow_names=tuple(header["flows"]),
+            offered_rate=float(header["offered_rate"]),
+            seed=int(header["seed"]),
+            num_cycles=int(header["num_cycles"]),
+            counts=counts,
+            workload=header.get("workload", ""),
+        )
+
+    def save(self, path: Union[str, os.PathLike]) -> None:
+        """Write the trace to *path* (gzip-compressed when it ends in .gz)."""
+        text = self.to_jsonl()
+        path = os.fspath(path)
+        if path.endswith(".gz"):
+            with gzip.open(path, "wt", encoding="utf-8") as stream:
+                stream.write(text)
+        else:
+            with io.open(path, "w", encoding="utf-8") as stream:
+                stream.write(text)
+
+    @classmethod
+    def load(cls, path: Union[str, os.PathLike]) -> "InjectionTrace":
+        """Read a trace written by :meth:`save`."""
+        path = os.fspath(path)
+        if path.endswith(".gz"):
+            with gzip.open(path, "rt", encoding="utf-8") as stream:
+                return cls.from_jsonl(stream.read())
+        with io.open(path, "r", encoding="utf-8") as stream:
+            return cls.from_jsonl(stream.read())
+
+    def describe(self) -> str:
+        return (
+            f"InjectionTrace({self.workload or 'unnamed'}: "
+            f"{len(self.flow_names)} flows, {self.num_cycles} cycles, "
+            f"{self.total_packets()} packets over "
+            f"{len(self.counts)} injecting cycles)"
+        )
+
+
+class RecordingInjection(InjectionProcess):
+    """Wraps an injection process and records every drawn packet count.
+
+    Delegates all rate decisions to the wrapped process, so recording does
+    not perturb the stream: a run driven through a recorder is bit-identical
+    to the same run driven through the bare process.  Both injection paths
+    (the batched :meth:`counts_for_cycle` the simulator prefers and the
+    per-flow :meth:`packets_to_inject` fallback) are recorded.
+    """
+
+    def __init__(self, inner: InjectionProcess) -> None:
+        super().__init__(inner.flow_set, inner.offered_rate, seed=inner.seed)
+        self.inner = inner
+        self._index_of = {flow.name: index
+                          for index, flow in enumerate(inner.flow_set)}
+        self._records: Dict[int, Dict[int, int]] = {}
+        self._last_cycle = -1
+
+    # ------------------------------------------------------------------
+    def rate_of(self, flow: Flow, cycle: int) -> float:
+        return self.inner.rate_of(flow, cycle)
+
+    def counts_for_cycle(self, cycle: int) -> List[int]:
+        counts = self.inner.counts_for_cycle(cycle)
+        self._last_cycle = max(self._last_cycle, cycle)
+        row = {index: count for index, count in enumerate(counts) if count}
+        if row:
+            self._records[cycle] = row
+        return counts
+
+    def packets_to_inject(self, flow: Flow, cycle: int) -> int:
+        count = self.inner.packets_to_inject(flow, cycle)
+        self._last_cycle = max(self._last_cycle, cycle)
+        if count:
+            record = self._records.setdefault(cycle, {})
+            record[self._index_of[flow.name]] = count
+        return count
+
+    # ------------------------------------------------------------------
+    def trace(self, num_cycles: Optional[int] = None,
+              workload: str = "") -> InjectionTrace:
+        """The captured trace; *num_cycles* defaults to the cycles seen."""
+        cycles = num_cycles if num_cycles is not None else self._last_cycle + 1
+        counts = {
+            cycle: tuple(sorted(row.items()))
+            for cycle, row in self._records.items()
+            if cycle < cycles
+        }
+        return InjectionTrace(
+            flow_names=tuple(flow.name for flow in self.flow_set),
+            offered_rate=self.offered_rate,
+            seed=self.seed,
+            num_cycles=cycles,
+            counts=counts,
+            workload=workload or self.flow_set.name,
+        )
+
+
+class TraceInjectionProcess(InjectionProcess):
+    """Replays a captured :class:`InjectionTrace` verbatim.
+
+    The trace's flows must match the flow set exactly (same names, same
+    order) — replaying a trace against a reordered or different application
+    would silently misattribute traffic, so it is rejected.  Cycles beyond
+    the trace's recorded length inject nothing.
+    """
+
+    def __init__(self, flow_set: FlowSet, trace: InjectionTrace) -> None:
+        if not trace.matches_flow_set(flow_set):
+            raise SimulationError(
+                f"trace flows {list(trace.flow_names)} do not match the "
+                f"flow set ({[flow.name for flow in flow_set]}); traces "
+                f"replay only against their original flow set"
+            )
+        super().__init__(flow_set, trace.offered_rate, seed=trace.seed)
+        self.trace_data = trace
+        self._num_flows = len(trace.flow_names)
+        self._index_of = {name: index
+                          for index, name in enumerate(trace.flow_names)}
+
+    def counts_for_cycle(self, cycle: int) -> List[int]:
+        counts = [0] * self._num_flows
+        row = self.trace_data.counts.get(cycle)
+        if row:
+            for index, count in row:
+                counts[index] = count
+        return counts
+
+    def packets_to_inject(self, flow: Flow, cycle: int) -> int:
+        row = self.trace_data.counts.get(cycle)
+        if not row:
+            return 0
+        index = self._index_of[flow.name]
+        for flow_index, count in row:
+            if flow_index == index:
+                return count
+        return 0
+
+    def rate_of(self, flow: Flow, cycle: int) -> float:
+        """Empirical per-cycle rate: the recorded count itself."""
+        return float(self.packets_to_inject(flow, cycle))
+
+
+# ----------------------------------------------------------------------
+# capture / replay drivers (mirror simulate_route_set)
+# ----------------------------------------------------------------------
+def _check_complete(route_set: RouteSet) -> None:
+    if not route_set.is_complete():
+        missing = [flow.name for flow in route_set.missing_flows()]
+        raise SimulationError(
+            f"route set is missing routes for flows: {missing}"
+        )
+
+
+def capture_simulation(topology: Topology, route_set: RouteSet,
+                       config: SimulationConfig, offered_rate: float,
+                       phase_boundaries: Optional[Dict[str, int]] = None,
+                       workload: str = "",
+                       ) -> Tuple[SimulationStatistics, InjectionTrace]:
+    """Simulate one route set while capturing its injection trace.
+
+    Identical to :func:`~repro.simulator.simulation.simulate_route_set`
+    except that the returned pair also carries the
+    :class:`InjectionTrace` of the run.
+    """
+    _check_complete(route_set)
+    inner = make_injection_process(
+        route_set.flow_set, offered_rate,
+        variation_fraction=config.bandwidth_variation,
+        mean_dwell_cycles=config.variation_dwell_cycles,
+        seed=config.seed,
+    )
+    recorder = RecordingInjection(inner)
+    simulator = NetworkSimulator(
+        topology, route_set, config, recorder,
+        phase_boundaries=phase_boundaries,
+    )
+    statistics = simulator.run()
+    return statistics, recorder.trace(num_cycles=simulator.cycle,
+                                      workload=workload)
+
+
+def replay_simulation(topology: Topology, route_set: RouteSet,
+                      config: SimulationConfig, trace: InjectionTrace,
+                      phase_boundaries: Optional[Dict[str, int]] = None,
+                      ) -> SimulationStatistics:
+    """Replay a captured trace through the simulator.
+
+    With the route set, configuration and phase boundaries of the original
+    run, the result is bit-identical to the live run's statistics: the
+    simulator itself is deterministic, and the trace pins down the only
+    random input (the injection draws).
+    """
+    _check_complete(route_set)
+    process = TraceInjectionProcess(route_set.flow_set, trace)
+    simulator = NetworkSimulator(
+        topology, route_set, config, process,
+        phase_boundaries=phase_boundaries,
+    )
+    return simulator.run(max_cycles=trace.num_cycles)

@@ -9,6 +9,14 @@ from __future__ import annotations
 
 import pytest
 
+
+def pytest_configure(config: pytest.Config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running tests (full simulator runs, subprocess "
+        "round-trips); excluded from the fast CI job via -m 'not slow'",
+    )
+
 from repro.cdg import TurnModel, turn_model_cdg
 from repro.flowgraph import FlowGraph
 from repro.topology import Mesh2D, Ring, Torus2D

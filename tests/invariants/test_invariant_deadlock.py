@@ -1,0 +1,88 @@
+"""Invariant: every registered router is deadlock free under its VC split.
+
+For every algorithm in :mod:`repro.routing.registry`, on seeded random
+meshes, patterns and workloads, the route set must conform to an acyclic
+channel dependence graph under the virtual-network partition the simulator
+actually uses (:func:`phase_boundaries_for`):
+
+* single-network algorithms (DOR, YX, BSOR) must induce an acyclic CDG
+  outright;
+* two-virtual-network algorithms (ROMM, Valiant, O1TURN) must induce an
+  acyclic CDG in *each* virtual network.
+
+This is Lemma 1 of the paper applied across the whole registry, so a newly
+registered algorithm is automatically checked.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.routing import analyze_route_set, analyze_virtual_networks
+from repro.routing.registry import available_routers, create_router, router_spec
+from repro.simulator.simulation import phase_boundaries_for
+from repro.topology import Mesh2D
+from repro.traffic import FlowSet, synthetic_by_name, uniform_random
+from repro.workloads import workload_flow_set
+
+#: Algorithms whose induced CDG must be acyclic without any VC split.
+SINGLE_NETWORK = ("dor", "yx", "bsor-milp", "bsor-dijkstra")
+
+
+def _route_and_analyze(router_name: str, topology: Mesh2D,
+                       flows: FlowSet):
+    router = create_router(router_name, seed=0)
+    route_set = router.compute_routes(topology, flows)
+    assert route_set.is_complete()
+    boundaries = phase_boundaries_for(router, route_set)
+    return route_set, analyze_virtual_networks(route_set, boundaries)
+
+
+@pytest.mark.parametrize("router_name", available_routers())
+@pytest.mark.parametrize("pattern", ["transpose", "bit_complement"])
+def test_every_registered_router_is_deadlock_free_on_patterns(
+        router_name, pattern):
+    mesh = Mesh2D(4)
+    flows = synthetic_by_name(pattern, mesh.num_nodes, demand=25.0)
+    route_set, report = _route_and_analyze(router_name, mesh, flows)
+    assert report.deadlock_free, report.describe()
+    if router_spec(router_name).name in SINGLE_NETWORK:
+        assert analyze_route_set(route_set).deadlock_free
+
+
+@pytest.mark.parametrize("router_name", available_routers())
+@pytest.mark.parametrize("workload", ["decoder-pipeline", "map-reduce"])
+def test_every_registered_router_is_deadlock_free_on_workloads(
+        router_name, workload):
+    mesh = Mesh2D(4)
+    flows = workload_flow_set(workload, mesh)
+    _route_set, report = _route_and_analyze(router_name, mesh, flows)
+    assert report.deadlock_free, report.describe()
+
+
+# BSOR-MILP is excluded from the hypothesis sweep purely for runtime (it is
+# covered by the parametrized cases above); every other algorithm is cheap
+# enough to fuzz.
+FUZZED_ROUTERS = tuple(name for name in available_routers()
+                       if name != "bsor-milp")
+
+
+@given(width=st.integers(2, 4), height=st.integers(2, 4),
+       seed=st.integers(0, 10_000),
+       router_name=st.sampled_from(FUZZED_ROUTERS))
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_registered_routers_are_deadlock_free_on_random_traffic(
+        width, height, seed, router_name):
+    mesh = Mesh2D(width, height)
+    flows = uniform_random(mesh.num_nodes, flows_per_node=1,
+                           demand=10.0, seed=seed)
+    router = create_router(router_name, seed=seed)
+    route_set = router.compute_routes(mesh, flows)
+    boundaries = phase_boundaries_for(router, route_set)
+    report = analyze_virtual_networks(route_set, boundaries)
+    assert report.deadlock_free, (
+        f"{router_name} on {width}x{height} mesh (seed {seed}): "
+        f"{report.describe()}"
+    )

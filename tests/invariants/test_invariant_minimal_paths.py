@@ -1,0 +1,77 @@
+"""Invariant: DOR and O1TURN routes are always minimal.
+
+Seeded random topologies and flow sets (hypothesis): every route a
+dimension-order router (XY, YX) or O1TURN produces must have exactly the
+topological minimum hop count — dimension-order routing is minimal by
+construction, and O1TURN picks one of the two dimension orders per flow,
+both of which are minimal.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.routing.registry import create_router
+from repro.topology import Mesh2D
+from repro.traffic import FlowSet
+
+MINIMAL_ROUTERS = ("dor", "yx", "o1turn")
+
+mesh_dims = st.tuples(st.integers(2, 5), st.integers(2, 5))
+
+common_settings = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def mesh_and_flows(draw):
+    width, height = draw(mesh_dims)
+    topology = Mesh2D(width, height)
+    return topology, _draw_flows(draw, topology.num_nodes)
+
+
+def _draw_flows(draw, num_nodes: int, max_flows: int = 8) -> FlowSet:
+    count = draw(st.integers(1, max_flows))
+    flows = FlowSet(name="hypothesis")
+    pairs = set()
+    for _ in range(count):
+        source = draw(st.integers(0, num_nodes - 1))
+        destination = draw(st.integers(0, num_nodes - 1))
+        if source == destination or (source, destination) in pairs:
+            continue
+        pairs.add((source, destination))
+        flows.add_flow(source, destination,
+                       draw(st.floats(0.5, 100.0, allow_nan=False,
+                                      allow_infinity=False)))
+    if len(flows) == 0:
+        flows.add_flow(0, num_nodes - 1, 1.0)
+    return flows
+
+
+@given(case=mesh_and_flows(), router=st.sampled_from(MINIMAL_ROUTERS),
+       seed=st.integers(0, 1_000))
+@common_settings
+def test_minimal_routers_are_minimal_on_meshes(case, router, seed):
+    topology, flows = case
+    route_set = create_router(router, seed=seed).compute_routes(topology, flows)
+    assert route_set.is_complete()
+    for route in route_set:
+        expected = topology.shortest_path_length(route.flow.source,
+                                                 route.flow.destination)
+        assert route.hop_count == expected, (
+            f"{router} route for {route.flow.name} has {route.hop_count} "
+            f"hops, minimum is {expected}"
+        )
+
+
+@given(case=mesh_and_flows(), seed=st.integers(0, 1_000))
+@common_settings
+def test_o1turn_takes_at_most_one_turn(case, seed):
+    topology, flows = case
+    route_set = create_router("o1turn", seed=seed).compute_routes(
+        topology, flows)
+    for route in route_set:
+        assert route.turn_count(topology) <= 1

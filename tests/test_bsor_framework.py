@@ -123,6 +123,7 @@ class TestBSOREndToEnd:
         assert milp_routes.max_channel_load() <= \
             dijkstra_routes.max_channel_load() + 1e-9
 
+    @pytest.mark.slow
     def test_paper_headline_result_8x8_transpose(self, mesh8):
         """Tables 6.1/6.3: exploring the full CDG set, BSOR reaches MCL 75
         on 8x8 transpose while XY/YX stay at 175 (25 MB/s per flow)."""

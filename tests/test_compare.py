@@ -76,9 +76,12 @@ class TestPatternFlowSet:
             pattern_flow_set("h264", Ring(16), QUICK)
 
     def test_unknown_pattern_lists_names(self):
-        from repro.exceptions import TrafficError
+        from repro.exceptions import ReproError
 
-        with pytest.raises(TrafficError, match="transpose"):
+        # the error names both vocabularies: synthetic patterns and workloads
+        with pytest.raises(ReproError, match="transpose"):
+            pattern_flow_set("unknown-thing", Mesh2D(4), QUICK)
+        with pytest.raises(ReproError, match="workload"):
             pattern_flow_set("unknown-thing", Mesh2D(4), QUICK)
 
 

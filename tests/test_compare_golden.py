@@ -1,0 +1,141 @@
+"""Golden regression tests for the comparison reports.
+
+A hand-built, fully deterministic :class:`CompareResult` is rendered to
+markdown and JSON and compared against fixtures stored in
+``tests/golden/``.  Report refactors that change the output must regenerate
+the fixtures deliberately (run this file with ``REPRO_UPDATE_GOLDEN=1``) —
+they can no longer change silently.
+
+Comparisons are normalized: trailing whitespace is ignored in markdown, and
+JSON is compared as parsed objects with floats rounded, so irrelevant float
+formatting differences do not trip the test.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.compare.matrix import CompareCell, CompareResult
+from repro.compare.report import render_json, render_markdown
+from repro.compare.saturation import (
+    SaturationCriteria,
+    SaturationObservation,
+    SaturationResult,
+)
+from repro.runner.engine import RunnerReport
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+UPDATE = os.environ.get("REPRO_UPDATE_GOLDEN") == "1"
+
+
+def _observation(rate: float, saturated: bool) -> SaturationObservation:
+    return SaturationObservation(
+        offered_rate=rate,
+        throughput=min(rate, 2.0) * 0.9,
+        average_latency=8.0 + rate * (10.0 if saturated else 1.5),
+        delivery_ratio=0.8 if saturated else 1.0,
+        saturated=saturated,
+    )
+
+
+def _saturation(stable: float, saturated: float) -> SaturationResult:
+    return SaturationResult(
+        saturation_rate=saturated,
+        last_stable_rate=stable,
+        saturated_within_range=True,
+        throughput=stable * 0.9,
+        max_throughput=stable * 0.95,
+        invocations=4,
+        observations=[_observation(0.25, False), _observation(stable, False),
+                      _observation(saturated, True)],
+    )
+
+
+def _cell(pattern: str, router: str, display: str, stable: float,
+          saturated: float, mcl: float, hops: float) -> CompareCell:
+    return CompareCell(
+        topology="mesh8x8",
+        pattern=pattern,
+        router=router,
+        display_name=display,
+        max_channel_load=mcl,
+        average_hops=hops,
+        saturation=_saturation(stable, saturated),
+        low_load_latency=11.125,
+        p99_latency=27.5,
+    )
+
+
+def golden_result() -> CompareResult:
+    """A deterministic two-group, three-router comparison result."""
+    cells = [
+        _cell("transpose", "dor", "XY", 2.0, 2.25, 175.0, 4.67),
+        _cell("transpose", "o1turn", "O1TURN", 2.5, 2.75, 150.0, 4.67),
+        _cell("decoder-pipeline", "bsor-dijkstra", "BSOR-Dijkstra",
+              3.0, 3.25, 120.4, 2.18),
+    ]
+    return CompareResult(
+        cells=cells,
+        criteria=SaturationCriteria(),
+        report=RunnerReport(points_total=12, points_simulated=9,
+                            cache_hits=3, workers=4),
+    )
+
+
+def _check_or_update(name: str, rendered: str) -> str:
+    path = GOLDEN_DIR / name
+    if UPDATE:
+        path.write_text(rendered if rendered.endswith("\n")
+                        else rendered + "\n")
+    assert path.exists(), (
+        f"golden fixture {path} missing; regenerate with "
+        f"REPRO_UPDATE_GOLDEN=1"
+    )
+    return path.read_text()
+
+
+def _normalize_markdown(text: str) -> str:
+    return "\n".join(line.rstrip() for line in text.strip().splitlines())
+
+
+def _round_floats(value, digits: int = 9):
+    if isinstance(value, float):
+        return round(value, digits)
+    if isinstance(value, list):
+        return [_round_floats(item, digits) for item in value]
+    if isinstance(value, dict):
+        return {key: _round_floats(item, digits)
+                for key, item in value.items()}
+    return value
+
+
+def test_markdown_report_matches_golden():
+    rendered = render_markdown(golden_result())
+    expected = _check_or_update("compare_report.md", rendered)
+    assert _normalize_markdown(rendered) == _normalize_markdown(expected)
+
+
+def test_json_report_matches_golden():
+    rendered = render_json(golden_result())
+    expected = _check_or_update("compare_report.json", rendered)
+    assert _round_floats(json.loads(rendered)) == \
+        _round_floats(json.loads(expected))
+
+
+def test_json_report_is_sorted_and_stable():
+    first = render_json(golden_result())
+    second = render_json(golden_result())
+    assert first == second
+    parsed = json.loads(first)
+    assert list(parsed) == sorted(parsed)
+
+
+def test_markdown_report_structure():
+    rendered = render_markdown(golden_result())
+    assert rendered.count("## mesh8x8 / ") == 2  # one section per group
+    # every router row appears exactly once
+    for display in ("XY", "O1TURN", "BSOR-Dijkstra"):
+        assert sum(1 for line in rendered.splitlines()
+                   if line.startswith(f"| {display} |")) == 1

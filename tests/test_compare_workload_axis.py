@@ -1,0 +1,179 @@
+"""The comparison engine's --workload axis (ISSUE 3 acceptance criterion).
+
+``python -m repro.compare --topology mesh8x8 --workload decoder-pipeline
+--routers dor,o1turn,bsor-dijkstra`` must produce a report whose BSOR route
+set is derived from the application's flow graph, and a captured trace of
+any cell must replay bit-identically.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.compare.cli import main as compare_main
+from repro.compare.matrix import CompareMatrix, pattern_flow_set, parse_topology
+from repro.experiments.config import ExperimentConfig
+from repro.compare.saturation import SaturationCriteria
+from repro.simulator.simulation import phase_boundaries_for
+from repro.workloads import (
+    capture_simulation,
+    create_workload,
+    replay_simulation,
+)
+
+
+def _quick_config() -> ExperimentConfig:
+    return ExperimentConfig.quick(use_cache=False)
+
+
+def test_pattern_flow_set_resolves_registry_workloads():
+    config = _quick_config()
+    mesh = parse_topology("mesh8x8")
+    flows = pattern_flow_set("decoder-pipeline", mesh, config)
+    graph = create_workload("decoder-pipeline")
+    assert len(flows) == graph.num_flows
+    assert flows.total_demand() == pytest.approx(graph.total_demand())
+    # aliases resolve too, and tori are accepted for registry workloads
+    torus_flows = pattern_flow_set("decoder", parse_topology("torus4x4"),
+                                   config)
+    assert len(torus_flows) == graph.num_flows
+
+
+def test_per_workload_default_mapping_is_honored():
+    """map-reduce declares default_mapping='spread'; with no explicit
+    --mapping the compare path must produce that placement, not 'block'."""
+    from repro.workloads import workload_flow_set as registry_flow_set
+    from repro.workloads import workload_spec
+
+    assert workload_spec("map-reduce").default_mapping == "spread"
+    config = _quick_config()
+    assert config.mapping_strategy is None  # "use the workload's default"
+    mesh = parse_topology("mesh8x8")
+    via_compare = pattern_flow_set("map-reduce", mesh, config)
+    via_registry_default = registry_flow_set("map-reduce", mesh,
+                                             seed=config.seed)
+    assert [flow.pair for flow in via_compare] == \
+        [flow.pair for flow in via_registry_default]
+    # an explicit strategy still overrides the workload default
+    import dataclasses
+    blocked = pattern_flow_set(
+        "map-reduce", mesh,
+        dataclasses.replace(config, mapping_strategy="block"))
+    assert [flow.pair for flow in blocked] != \
+        [flow.pair for flow in via_compare]
+
+
+def test_extended_workload_names_drive_the_workload_vocabulary():
+    from repro.experiments import extended_workload_names, workload_flow_set
+    from repro.exceptions import ExperimentError
+    from repro.topology import Mesh2D
+
+    names = extended_workload_names()
+    assert names[:6] == ["transpose", "bit-complement", "shuffle",
+                         "h264", "perf-modeling", "transmitter"]
+    assert "decoder-pipeline" in names and "map-reduce" in names
+    # every accepted name instantiates; unknown names list the vocabulary
+    mesh = Mesh2D(8)
+    config = _quick_config()
+    for name in names:
+        assert len(workload_flow_set(name, mesh, config)) > 0
+    with pytest.raises(ExperimentError, match="decoder-pipeline"):
+        workload_flow_set("no-such-workload", mesh, config)
+
+
+def test_bsor_routes_are_derived_from_the_app_flow_graph():
+    config = _quick_config()
+    matrix = CompareMatrix(config=config)
+    cells = matrix._build_cells(["mesh8x8"], ["decoder-pipeline"],
+                                ["bsor-dijkstra"])
+    assert len(cells) == 1
+    cell = cells[0]
+    graph = create_workload("decoder-pipeline")
+    from repro.workloads import workload_spec
+    strategy = config.mapping_strategy or \
+        workload_spec("decoder-pipeline").default_mapping
+    mapped = graph.mapped_onto(cell.topology, strategy=strategy,
+                               seed=config.seed)
+    # the route set BSOR computed covers exactly the application's flows,
+    # with the application's bandwidth demands
+    routed = {route.flow.name: route.flow for route in cell.route_set}
+    assert set(routed) == {flow.name for flow in mapped}
+    for flow in mapped:
+        assert routed[flow.name].pair == flow.pair
+        assert routed[flow.name].demand == pytest.approx(flow.demand)
+    # ... and its per-channel loads are demand-weighted (application-aware),
+    # so the MCL is expressible in the app's bandwidth units
+    assert cell.route_set.max_channel_load() <= mapped.total_demand()
+    assert cell.route_set.max_channel_load() >= \
+        max(flow.demand for flow in mapped)
+
+
+def test_captured_cell_trace_replays_bit_identically():
+    config = _quick_config()
+    matrix = CompareMatrix(config=config)
+    [cell] = matrix._build_cells(["mesh8x8"], ["decoder-pipeline"],
+                                 ["bsor-dijkstra"])
+    boundaries = phase_boundaries_for(cell.algorithm, cell.route_set)
+    live, trace = capture_simulation(
+        cell.topology, cell.route_set, config.simulation, 1.0,
+        phase_boundaries=boundaries, workload=cell.pattern,
+    )
+    replayed = replay_simulation(
+        cell.topology, cell.route_set, config.simulation, trace,
+        phase_boundaries=boundaries,
+    )
+    assert replayed == live
+
+
+def test_cli_workload_axis_mesh4(capsys):
+    exit_code = compare_main([
+        "--topology", "mesh4x4", "--workload", "decoder-pipeline",
+        "--routers", "dor,o1turn", "--profile", "quick", "--no-cache",
+    ])
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "mesh4x4 / decoder-pipeline" in out
+    assert "XY" in out and "O1TURN" in out
+
+
+def test_cli_workloads_combine_with_patterns(capsys):
+    exit_code = compare_main([
+        "--topology", "mesh4x4", "--patterns", "transpose",
+        "--workloads", "fft-butterfly", "--routers", "dor",
+        "--profile", "quick", "--no-cache", "--json",
+    ])
+    assert exit_code == 0
+    report = json.loads(capsys.readouterr().out)
+    patterns = {cell["pattern"] for cell in report["cells"]}
+    assert patterns == {"transpose", "fft-butterfly"}
+
+
+def test_cli_unknown_workload_fails_with_hint(capsys):
+    exit_code = compare_main([
+        "--topology", "mesh4x4", "--workloads", "decoder-pipelin",
+        "--routers", "dor", "--profile", "quick", "--no-cache",
+    ])
+    assert exit_code == 1
+    err = capsys.readouterr().err
+    assert "decoder-pipeline" in err  # suggestion surfaced to the user
+
+
+@pytest.mark.slow
+def test_cli_acceptance_mesh8x8_decoder_pipeline(capsys):
+    """The literal acceptance command (quick profile keeps cycles small)."""
+    exit_code = compare_main([
+        "--topology", "mesh8x8", "--workload", "decoder-pipeline",
+        "--routers", "dor,o1turn,bsor-dijkstra",
+        "--profile", "quick", "--no-cache", "--json",
+    ])
+    assert exit_code == 0
+    report = json.loads(capsys.readouterr().out)
+    assert {cell["pattern"] for cell in report["cells"]} == \
+        {"decoder-pipeline"}
+    routers = {cell["router"] for cell in report["cells"]}
+    assert routers == {"dor", "o1turn", "bsor-dijkstra"}
+    for cell in report["cells"]:
+        assert cell["max_channel_load"] > 0
+        assert cell["saturation_throughput"] > 0

@@ -65,6 +65,7 @@ class TestFullPipelineOnApplications:
                     .max_channel_load()
                 assert bsor_mcl <= baseline_mcl + 1e-9
 
+    @pytest.mark.slow
     def test_perf_modeling_matches_paper_optimum_on_8x8(self):
         """Table 6.1/6.3: the best BSOR-MILP MCL for performance modeling is
         62.73 MB/s — exactly the single heaviest flow, i.e. provably optimal."""
@@ -74,6 +75,7 @@ class TestFullPipelineOnApplications:
         routes = bsor.compute_routes(mesh, flows)
         assert routes.max_channel_load() == pytest.approx(62.73)
 
+    @pytest.mark.slow
     def test_transmitter_matches_paper_optimum_on_8x8(self):
         """Table 6.3 reports 7.34 MB/s for BSOR-MILP on the transmitter;
         our flow table is in MBit/s, so the same optimum is 58.72."""
@@ -95,6 +97,7 @@ class TestPaperHeadlineThroughput:
                                SIM, [6.0])
         assert bsor.saturation_throughput > xy.saturation_throughput * 1.05
 
+    @pytest.mark.slow
     def test_full_cdg_exploration_reaches_75_on_8x8(self):
         """Tables 6.1/6.3: min MCL 75 MB/s for 8x8 transpose at 25 MB/s."""
         mesh = Mesh2D(8)

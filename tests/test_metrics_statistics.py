@@ -155,3 +155,67 @@ class TestHelpers:
         assert percentile([7.0], 0.9) == 7.0
         with pytest.raises(ValueError):
             percentile([1.0], 1.5)
+
+
+class TestLatencyPercentileEdgeCases:
+    """latency_percentile must be total: no raise, no NaN (issue satellite)."""
+
+    @staticmethod
+    def _stats(per_flow):
+        return SimulationStatistics(
+            cycles=1000, warmup_cycles=200,
+            packets_injected=sum(count for _, count in per_flow.values()),
+            packets_delivered=sum(count for _, count in per_flow.values()),
+            flits_delivered=0,
+            total_latency=sum(total for total, _ in per_flow.values()),
+            per_flow_latency={name: total
+                              for name, (total, _) in per_flow.items()},
+            per_flow_delivered={name: count
+                                for name, (_, count) in per_flow.items()},
+        )
+
+    def test_empty_sample_set_is_zero(self):
+        stats = self._stats({})
+        for fraction in (0.0, 0.5, 0.99, 1.0):
+            assert stats.latency_percentile(fraction) == 0.0
+
+    def test_flows_with_zero_deliveries_are_excluded(self):
+        stats = self._stats({"f1": (120.0, 10), "f2": (0.0, 0)})
+        assert stats.latency_percentile(0.99) == pytest.approx(12.0)
+
+    def test_single_sample_is_every_percentile(self):
+        stats = self._stats({"f1": (50.0, 10)})
+        for fraction in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert stats.latency_percentile(fraction) == pytest.approx(5.0)
+
+    def test_p0_is_minimum_and_p100_is_maximum(self):
+        stats = self._stats({"f1": (10.0, 10), "f2": (80.0, 10),
+                             "f3": (30.0, 10)})
+        assert stats.latency_percentile(0.0) == pytest.approx(1.0)
+        assert stats.latency_percentile(1.0) == pytest.approx(8.0)
+
+    def test_percent_style_inputs_are_accepted(self):
+        stats = self._stats({f"f{i}": (float(i) * 10.0, 10)
+                             for i in range(1, 101)})
+        assert stats.latency_percentile(99) == \
+            pytest.approx(stats.latency_percentile(0.99))
+        assert stats.latency_percentile(50) == \
+            pytest.approx(stats.latency_percentile(0.50))
+        assert stats.latency_percentile(100) == \
+            pytest.approx(stats.latency_percentile(1.0))
+
+    def test_float_roundoff_above_one_clamps_to_maximum(self):
+        # 1 + epsilon from float arithmetic is p100, not the 1e-7th percent
+        stats = self._stats({"f1": (10.0, 10), "f2": (80.0, 10),
+                             "f3": (30.0, 10)})
+        assert stats.latency_percentile(1.0 + 1e-9) == \
+            stats.latency_percentile(1.0)
+        # genuine percent-style inputs still convert
+        assert stats.latency_percentile(1.5) == \
+            pytest.approx(stats.latency_percentile(0.015))
+
+    def test_nan_fraction_raises_instead_of_propagating(self):
+        with pytest.raises(ValueError):
+            percentile([1.0, 2.0], float("nan"))
+        with pytest.raises(ValueError):
+            percentile([1.0, 2.0], -0.1)

@@ -74,6 +74,7 @@ class TestKeyStability:
         )
         assert key_a == key_b
 
+    @pytest.mark.slow
     def test_key_stable_across_processes(self):
         """Fresh interpreters with different hash seeds agree on the key."""
         keys = set()

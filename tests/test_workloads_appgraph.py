@@ -1,0 +1,161 @@
+"""Unit tests for the AppGraph model and the workload registry/library."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TrafficError
+from repro.topology import Mesh2D, Ring, Torus2D
+from repro.traffic import APPLICATIONS, application_by_name
+from repro.workloads import (
+    AppGraph,
+    available_workloads,
+    create_workload,
+    decoder_pipeline,
+    fft_butterfly,
+    is_registered_workload,
+    map_reduce,
+    render_workloads_guide,
+    workload_flow_set,
+    workload_spec,
+    workload_specs,
+)
+
+
+class TestAppGraphModel:
+    def _tiny(self) -> AppGraph:
+        graph = AppGraph("tiny")
+        graph.add_task("src", kind="source")
+        graph.add_task("mid")
+        graph.add_task("dst", kind="sink")
+        graph.add_flow("src", "mid", 10.0)
+        graph.add_flow("mid", "dst", 5.0)
+        return graph
+
+    def test_builder_and_lookup(self):
+        graph = self._tiny()
+        assert graph.num_tasks == 3
+        assert graph.num_flows == 2
+        assert graph.task("mid").index == 1
+        assert graph.task(1).name == "mid"
+        assert graph.task(graph.task("mid")) is graph.task("mid")
+        assert graph.task_names() == ["src", "mid", "dst"]
+        assert [task.name for task in graph.tasks_of_kind("source")] == ["src"]
+        assert graph.total_demand() == pytest.approx(15.0)
+
+    def test_duplicate_and_unknown_tasks_rejected(self):
+        graph = self._tiny()
+        with pytest.raises(TrafficError):
+            graph.add_task("mid")
+        with pytest.raises(TrafficError):
+            graph.add_flow("src", "nope", 1.0)
+        with pytest.raises(TrafficError):
+            graph.task(17)
+
+    def test_from_tables(self):
+        graph = AppGraph.from_tables(
+            "t", ["a", ("b", "sink")],
+            [("f1", "a", "b", 3.0), ("a", "b", 2.0)],
+        )
+        assert graph.num_flows == 2
+        assert graph.flow_set().by_name("f1").demand == 3.0
+        with pytest.raises(TrafficError):
+            AppGraph.from_tables("t2", ["a", "b"], [("a", "b")])
+
+    def test_acyclicity_and_depth(self):
+        graph = self._tiny()
+        assert graph.is_acyclic()
+        assert graph.depth() == 3
+        graph.add_flow("dst", "src", 1.0)  # close the loop
+        assert not graph.is_acyclic()
+        with pytest.raises(TrafficError):
+            graph.depth()
+
+    def test_flow_set_is_independent_copy(self):
+        graph = self._tiny()
+        flows = graph.flow_set()
+        flows.add_flow(0, 2, 99.0)
+        assert graph.num_flows == 2  # the graph is unaffected
+
+    def test_mapping_strategies(self):
+        graph = self._tiny()
+        mesh = Mesh2D(4)
+        for strategy in ("block", "row-major", "spread", "random"):
+            placed = graph.mapped_onto(mesh, strategy=strategy, seed=5)
+            assert len(placed) == graph.num_flows
+            nodes = set()
+            for flow in placed:
+                nodes.update(flow.pair)
+            assert all(0 <= node < mesh.num_nodes for node in nodes)
+        with pytest.raises(TrafficError):
+            graph.mapped_onto(mesh, strategy="nope")
+
+    def test_block_mapping_works_on_torus_but_not_ring(self):
+        graph = self._tiny()
+        assert len(graph.mapped_onto(Torus2D(3), strategy="block")) == 2
+        with pytest.raises(TrafficError, match="2-D grid"):
+            graph.mapped_onto(Ring(8), strategy="block")
+        # non-block strategies work on any topology
+        assert len(graph.mapped_onto(Ring(8), strategy="spread")) == 2
+
+    def test_describe_mentions_tasks_and_flows(self):
+        text = self._tiny().describe()
+        assert "tiny" in text and "mid" in text and "f1" in text
+
+
+class TestWorkloadLibrary:
+    def test_all_registered_workloads_instantiate_and_place(self):
+        mesh = Mesh2D(8)
+        for name in available_workloads():
+            graph = create_workload(name)
+            assert graph.num_tasks > 0 and graph.num_flows > 0
+            placed = workload_flow_set(name, mesh)
+            assert len(placed) == graph.num_flows
+            assert placed.total_demand() == pytest.approx(graph.total_demand())
+
+    def test_registry_aliases_and_suggestions(self):
+        assert workload_spec("decoder").name == "decoder-pipeline"
+        assert workload_spec("FFT").name == "fft-butterfly"
+        assert is_registered_workload("wlan")
+        assert not is_registered_workload("no-such-app")
+        with pytest.raises(TrafficError, match="did you mean"):
+            workload_spec("decoder-pipelin")
+
+    def test_factory_options_are_forwarded_and_filtered(self):
+        wide = workload_spec("fft-butterfly").create(lanes=8, bogus=1)
+        assert wide.num_tasks == 8 * 4
+        with pytest.raises(TrafficError):
+            fft_butterfly(lanes=3)
+        shuffle = map_reduce(mappers=2, reducers=3)
+        assert shuffle.num_flows == 2 + 2 * 3 + 3
+
+    def test_decoder_pipeline_structure(self):
+        graph = decoder_pipeline()
+        writeback = max(graph.flow_set(), key=lambda flow: flow.demand)
+        assert graph.tasks[writeback.destination].name == "memory-controller"
+        assert graph.tasks_of_kind("source")
+        assert graph.tasks_of_kind("sink")
+
+    def test_paper_applications_match_traffic_tables(self):
+        for name in APPLICATIONS:
+            graph = create_workload(name)
+            reference = application_by_name(name)
+            ours = graph.flow_set()
+            assert len(ours) == len(reference)
+            for flow, ref in zip(ours, reference.flows):
+                assert (flow.name, flow.pair, flow.demand) == \
+                    (ref.name, ref.pair, ref.demand)
+
+    def test_duplicate_registration_rejected(self):
+        from repro.workloads.registry import register_workload
+
+        with pytest.raises(TrafficError, match="already registered"):
+            @register_workload("decoder-pipeline", display_name="Dup")
+            def _dup():  # pragma: no cover - rejected before use
+                raise AssertionError
+
+    def test_workloads_guide_renders_every_workload(self):
+        guide = render_workloads_guide()
+        for spec in workload_specs():
+            assert f"`{spec.name}`" in guide
+        assert "do not edit by hand" in guide

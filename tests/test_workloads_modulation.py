@@ -1,0 +1,122 @@
+"""Tests of the bursty and hotspot injection modulation wrappers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.topology import Mesh2D
+from repro.traffic import hotspot, transpose
+from repro.workloads import (
+    BurstyInjection,
+    HotspotInjection,
+    modulated_process,
+    workload_flow_set,
+)
+
+CYCLES = 20_000
+
+
+def _mean_rate(process, cycles: int = CYCLES) -> float:
+    return sum(sum(process.counts_for_cycle(cycle))
+               for cycle in range(cycles)) / cycles
+
+
+class TestBurstyInjection:
+    def test_long_run_mean_matches_offered_rate(self):
+        flows = transpose(16, demand=25.0)
+        process = BurstyInjection(flows, 1.0, duty_cycle=0.25,
+                                  mean_burst_cycles=40, seed=1)
+        assert _mean_rate(process) == pytest.approx(1.0, rel=0.1)
+
+    def test_off_periods_inject_nothing_and_bursts_exceed_nominal(self):
+        flows = transpose(16, demand=25.0)
+        process = BurstyInjection(flows, 2.0, duty_cycle=0.2,
+                                  mean_burst_cycles=50, seed=2)
+        flow = flows[0]
+        rates = [process.rate_of(flow, cycle) for cycle in range(5_000)]
+        nominal = process.flow_rates[flow.name]
+        assert 0.0 in rates  # genuinely silent off periods
+        assert max(rates) == pytest.approx(nominal / 0.2)
+
+    def test_deterministic_for_a_seed(self):
+        flows = transpose(16, demand=25.0)
+        first = BurstyInjection(flows, 1.0, seed=9)
+        second = BurstyInjection(flows, 1.0, seed=9)
+        for cycle in range(500):
+            assert first.counts_for_cycle(cycle) == \
+                second.counts_for_cycle(cycle)
+
+    def test_rejects_bad_parameters(self):
+        flows = transpose(16, demand=25.0)
+        with pytest.raises(SimulationError):
+            BurstyInjection(flows, 1.0, duty_cycle=0.0)
+        with pytest.raises(SimulationError):
+            BurstyInjection(flows, 1.0, mean_burst_cycles=0)
+
+    def test_full_duty_cycle_degenerates_to_plain_bernoulli(self):
+        """duty_cycle=1 means no burstiness at all: never off, never
+        boosted, per-cycle rate exactly nominal (not just in the mean)."""
+        flows = transpose(16, demand=25.0)
+        process = BurstyInjection(flows, 1.0, duty_cycle=1.0, seed=3)
+        flow = flows[0]
+        nominal = process.flow_rates[flow.name]
+        for cycle in range(2_000):
+            assert process.rate_of(flow, cycle) == pytest.approx(nominal)
+
+    def test_wraps_any_pattern(self):
+        mesh = Mesh2D(4)
+        for flows in (hotspot(16, 5, demand=10.0),
+                      workload_flow_set("map-reduce", mesh)):
+            process = BurstyInjection(flows, 1.0, seed=4)
+            assert _mean_rate(process, 5_000) > 0
+
+
+class TestHotspotInjection:
+    def test_defaults_to_heaviest_destination(self):
+        mesh = Mesh2D(4)
+        flows = workload_flow_set("hotspot-server", mesh)
+        process = HotspotInjection(flows, 1.0, seed=1)
+        server = max(flows.destinations(), key=flows.ejection_demand)
+        assert process.hotspot_nodes == {server}
+
+    def test_long_run_mean_is_preserved(self):
+        flows = transpose(16, demand=25.0)
+        process = HotspotInjection(flows, 1.0, hotspot_nodes=[3], boost=4.0,
+                                   hot_fraction=0.2, mean_hot_cycles=50,
+                                   seed=5)
+        assert _mean_rate(process) == pytest.approx(1.0, rel=0.1)
+
+    def test_only_hotspot_flows_are_modulated(self):
+        flows = transpose(16, demand=25.0)
+        process = HotspotInjection(flows, 1.0, hotspot_nodes=[3], seed=6)
+        hot_flows = [flow for flow in flows if flow.destination == 3]
+        cold_flows = [flow for flow in flows if flow.destination != 3]
+        assert hot_flows and cold_flows
+        for cycle in range(200):
+            for flow in cold_flows:
+                assert process.rate_of(flow, cycle) == \
+                    pytest.approx(process.flow_rates[flow.name])
+            for flow in hot_flows:
+                rate = process.rate_of(flow, cycle)
+                assert rate != pytest.approx(process.flow_rates[flow.name])
+
+    def test_rejects_bad_parameters(self):
+        flows = transpose(16, demand=25.0)
+        with pytest.raises(SimulationError):
+            HotspotInjection(flows, 1.0, boost=1.0)
+        with pytest.raises(SimulationError):
+            HotspotInjection(flows, 1.0, hot_fraction=1.0)
+        with pytest.raises(SimulationError):
+            HotspotInjection(flows, 1.0, hotspot_nodes=[])
+
+
+class TestFactory:
+    def test_builds_both_kinds(self):
+        flows = transpose(16, demand=25.0)
+        assert isinstance(modulated_process("bursty", flows, 1.0),
+                          BurstyInjection)
+        assert isinstance(modulated_process("hotspot", flows, 1.0, boost=2.0),
+                          HotspotInjection)
+        with pytest.raises(SimulationError):
+            modulated_process("nope", flows, 1.0)

@@ -1,0 +1,156 @@
+"""Differential tests: trace replay is bit-identical to the live run.
+
+A captured trace replayed through :class:`TraceInjectionProcess` must
+reproduce its source simulation exactly — every statistics field, including
+per-flow latencies — whether the replay happens in the same process, in a
+fresh interpreter, or with a different ``REPRO_WORKERS`` setting (the trace
+pins the only random input, and the simulator itself is deterministic).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from dataclasses import asdict
+
+import pytest
+
+from repro.routing.registry import create_router
+from repro.simulator import SimulationConfig
+from repro.simulator.simulation import phase_boundaries_for, simulate_route_set
+from repro.topology import Mesh2D
+from repro.traffic import synthetic_by_name
+from repro.workloads import (
+    InjectionTrace,
+    TraceInjectionProcess,
+    capture_simulation,
+    replay_simulation,
+    workload_flow_set,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _case(router_name: str, workload: str, mesh_size: int = 4,
+          offered_rate: float = 1.5, variation: float = 0.0):
+    mesh = Mesh2D(mesh_size)
+    if workload in ("transpose", "shuffle", "bit-complement"):
+        flows = synthetic_by_name(workload, mesh.num_nodes, demand=25.0)
+    else:
+        flows = workload_flow_set(workload, mesh)
+    router = create_router(router_name, seed=0)
+    route_set = router.compute_routes(mesh, flows)
+    config = SimulationConfig.test_scale(num_vcs=2,
+                                         bandwidth_variation=variation)
+    boundaries = phase_boundaries_for(router, route_set)
+    return mesh, route_set, config, boundaries, offered_rate
+
+
+@pytest.mark.parametrize("router_name,workload,variation", [
+    ("dor", "transpose", 0.0),
+    ("o1turn", "decoder-pipeline", 0.0),
+    ("bsor-dijkstra", "decoder-pipeline", 0.0),
+    ("romm", "fft-butterfly", 0.0),
+    ("bsor-dijkstra", "h264", 0.25),  # Markov-modulated live injection
+])
+def test_replay_is_bit_identical_to_live_run(router_name, workload, variation):
+    mesh, route_set, config, boundaries, rate = _case(
+        router_name, workload, variation=variation)
+    live = simulate_route_set(mesh, route_set, config, rate,
+                              phase_boundaries=boundaries)
+    captured, trace = capture_simulation(mesh, route_set, config, rate,
+                                         phase_boundaries=boundaries,
+                                         workload=workload)
+    # recording must not perturb the run
+    assert captured == live
+    replayed = replay_simulation(mesh, route_set, config, trace,
+                                 phase_boundaries=boundaries)
+    # ... and the replay must match field for field, per-flow stats included
+    assert replayed == live
+    assert replayed.per_flow_latency == live.per_flow_latency
+    assert replayed.per_flow_delivered == live.per_flow_delivered
+
+
+def test_replay_is_identical_after_jsonl_roundtrip(tmp_path):
+    mesh, route_set, config, boundaries, rate = _case("dor", "transpose")
+    live, trace = capture_simulation(mesh, route_set, config, rate,
+                                     phase_boundaries=boundaries)
+    for suffix in ("trace.jsonl", "trace.jsonl.gz"):
+        path = tmp_path / suffix
+        trace.save(path)
+        loaded = InjectionTrace.load(path)
+        assert loaded == trace
+        replayed = replay_simulation(mesh, route_set, config, loaded,
+                                     phase_boundaries=boundaries)
+        assert replayed == live
+
+
+def test_trace_rejects_mismatched_flow_set():
+    mesh, route_set, config, boundaries, rate = _case("dor", "transpose")
+    _, trace = capture_simulation(mesh, route_set, config, rate,
+                                  phase_boundaries=boundaries)
+    other = workload_flow_set("decoder-pipeline", mesh)
+    with pytest.raises(Exception, match="do not match"):
+        TraceInjectionProcess(other, trace)
+
+
+def test_trace_packet_accounting_matches_statistics():
+    mesh, route_set, config, boundaries, rate = _case("dor", "transpose")
+    live, trace = capture_simulation(mesh, route_set, config, rate,
+                                     phase_boundaries=boundaries)
+    # the trace records *all* injections (warm-up included), so its packet
+    # count bounds the measured injection count from above
+    assert trace.total_packets() >= live.packets_injected
+    assert trace.num_cycles == config.total_cycles
+    per_flow = {name: trace.packets_of_flow(name)
+                for name in trace.flow_names}
+    assert sum(per_flow.values()) == trace.total_packets()
+
+
+_REPLAY_SNIPPET = textwrap.dedent("""
+    import json, sys
+    from dataclasses import asdict
+    from repro.routing.registry import create_router
+    from repro.simulator import SimulationConfig
+    from repro.simulator.simulation import phase_boundaries_for
+    from repro.topology import Mesh2D
+    from repro.traffic import synthetic_by_name
+    from repro.workloads import InjectionTrace, replay_simulation
+
+    trace = InjectionTrace.load(sys.argv[1])
+    mesh = Mesh2D(4)
+    flows = synthetic_by_name("transpose", mesh.num_nodes, demand=25.0)
+    router = create_router("o1turn", seed=0)
+    route_set = router.compute_routes(mesh, flows)
+    config = SimulationConfig.test_scale(num_vcs=2)
+    stats = replay_simulation(
+        mesh, route_set, config, trace,
+        phase_boundaries=phase_boundaries_for(router, route_set),
+    )
+    print(json.dumps(asdict(stats), sort_keys=True))
+""")
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("workers_env", ["1", "2"])
+def test_replay_is_identical_in_fresh_process(tmp_path, workers_env):
+    """Replays in fresh interpreters match, across REPRO_WORKERS settings."""
+    mesh, route_set, config, boundaries, rate = _case("o1turn", "transpose")
+    live, trace = capture_simulation(mesh, route_set, config, rate,
+                                     phase_boundaries=boundaries)
+    trace_path = tmp_path / "trace.jsonl.gz"
+    trace.save(trace_path)
+    env = dict(os.environ)
+    env["REPRO_WORKERS"] = workers_env
+    env["PYTHONHASHSEED"] = "random"  # determinism must not rely on hashing
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + os.pathsep + \
+        env.get("PYTHONPATH", "")
+    output = subprocess.run(
+        [sys.executable, "-c", _REPLAY_SNIPPET, str(trace_path)],
+        capture_output=True, text=True, env=env, check=True,
+    ).stdout
+    fresh = json.loads(output)
+    assert fresh == json.loads(json.dumps(asdict(live), sort_keys=True))

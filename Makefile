@@ -5,6 +5,9 @@
 #   make coverage   - full suite under coverage with the CI coverage floor
 #                     (needs pytest-cov: pip install pytest-cov)
 #   make smoke      - one fast figure benchmark through the parallel runner
+#   make bench-smoke - time both simulator backends on a small fixed sweep,
+#                     write BENCH_simkernel.json, and fail if the fast
+#                     backend regresses below parity (generous margin)
 #   make links      - fail on broken relative links in README.md / docs/
 #   make docs       - regenerate docs/api/*.md, docs/routing-guide.md and
 #                     docs/workloads-guide.md
@@ -19,7 +22,7 @@ export PYTHONPATH := src:$(PYTHONPATH)
 #: Minimum line coverage (percent) the full CI job enforces.
 COVERAGE_FLOOR ?= 70
 
-.PHONY: test test-fast coverage smoke links docs docs-check check clean-cache
+.PHONY: test test-fast coverage smoke bench-smoke links docs docs-check check clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -34,6 +37,9 @@ coverage:
 smoke:
 	REPRO_BENCH_PROFILE=quick $(PYTHON) -m pytest benchmarks/bench_figure_6_1.py \
 		--benchmark-only -x -q -p no:cacheprovider
+
+bench-smoke:
+	$(PYTHON) scripts/bench_smoke.py --check
 
 links:
 	$(PYTHON) scripts/check_links.py

@@ -54,17 +54,31 @@ def bench_cache_enabled() -> bool:
     )
 
 
+def bench_backend():
+    """Simulator backend override from $REPRO_BENCH_BACKEND (None = default).
+
+    Backends are bit-identical, so switching changes benchmark wall-clock
+    time only; cached sweep points stay valid either way.
+    """
+    return os.environ.get("REPRO_BENCH_BACKEND") or None
+
+
 def bench_config() -> ExperimentConfig:
     """The experiment configuration selected by REPRO_BENCH_PROFILE.
 
     The returned configuration carries the benchmark harness's runner
-    settings (parallel workers, result cache), so every figure/table
-    call site inherits them without further plumbing.
+    settings (parallel workers, result cache) and the simulator backend
+    chosen by ``REPRO_BENCH_BACKEND``, so every figure/table call site
+    inherits them without further plumbing.
     """
     profile = os.environ.get("REPRO_BENCH_PROFILE", "default")
     config = ExperimentConfig.from_profile(profile)
-    return config.with_runner(workers=bench_workers(),
-                              use_cache=bench_cache_enabled())
+    config = config.with_runner(workers=bench_workers(),
+                                use_cache=bench_cache_enabled())
+    backend = bench_backend()
+    if backend:
+        config = config.with_backend(backend)
+    return config
 
 
 def emit(title: str, text: str) -> None:

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Benchmark the simulator kernels on a small fixed sweep.
+
+Runs the ``bench_figure_6_7`` workload — the paper's 8x8 transpose under
+XY routing, swept over 1/2/4/8 virtual channels at three offered rates —
+once per registered backend with the cache disabled, and writes
+``BENCH_simkernel.json`` (seconds per point and the fast/reference speedup
+ratio) so the repository carries a perf trajectory across PRs.
+
+The statistics of every point are also compared across backends, so the
+bench doubles as a coarse differential check: a backend that drifted
+bit-wise fails here before any latency number is reported.
+
+Usage::
+
+    python scripts/bench_smoke.py                 # measure + write baseline
+    python scripts/bench_smoke.py --check         # CI smoke: also enforce
+                                                  # --min-speedup (default
+                                                  # 0.9: fast may not be
+                                                  # meaningfully slower)
+
+The CI job runs the ``--check`` form with the generous default margin —
+the recorded speedup is informational (see BENCH_simkernel.json and
+docs/architecture.md for the tracked numbers), while the assertion only
+guards against the fast backend regressing below parity.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: The fixed sweep: the figure 6-7 axes at the benchmark profile's scale.
+VC_COUNTS = (1, 2, 4, 8)
+OFFERED_RATES = (1.0, 2.5, 5.0)
+WARMUP_CYCLES = 200
+MEASUREMENT_CYCLES = 1_000
+
+
+def build_point_inputs():
+    from repro.routing.registry import create_router
+    from repro.topology import Mesh2D
+    from repro.traffic import synthetic_by_name
+
+    mesh = Mesh2D(8)
+    flows = synthetic_by_name("transpose", mesh.num_nodes, demand=25.0)
+    routes = create_router("dor").compute_routes(mesh, flows)
+    return mesh, routes
+
+
+def run_backend(backend: str, mesh, routes):
+    """Simulate every sweep point on *backend*; returns (seconds, stats)."""
+    from repro.simulator import SimulationConfig, simulate_route_set
+
+    collected = []
+    started = time.perf_counter()
+    for num_vcs in VC_COUNTS:
+        config = SimulationConfig(
+            num_vcs=num_vcs, warmup_cycles=WARMUP_CYCLES,
+            measurement_cycles=MEASUREMENT_CYCLES, backend=backend,
+        )
+        for rate in OFFERED_RATES:
+            collected.append(simulate_route_set(mesh, routes, config, rate))
+    return time.perf_counter() - started, collected
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_simkernel.json"),
+                        help="where to write the JSON record "
+                             "(default: %(default)s)")
+    parser.add_argument("--passes", type=int, default=2,
+                        help="timed passes per backend; the best is recorded "
+                             "(default: %(default)s)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero when the fast backend's speedup "
+                             "falls below --min-speedup")
+    parser.add_argument("--min-speedup", type=float, default=0.9,
+                        help="lowest acceptable fast/reference speedup for "
+                             "--check; deliberately generous so the CI smoke "
+                             "never flakes on a noisy runner "
+                             "(default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    from repro.simulator import available_backends
+
+    mesh, routes = build_point_inputs()
+    num_points = len(VC_COUNTS) * len(OFFERED_RATES)
+    backends = available_backends()
+
+    best_seconds = {}
+    statistics = {}
+    for _ in range(max(1, args.passes)):
+        for backend in backends:
+            seconds, collected = run_backend(backend, mesh, routes)
+            if backend not in best_seconds or seconds < best_seconds[backend]:
+                best_seconds[backend] = seconds
+            statistics[backend] = collected
+
+    reference_stats = statistics["reference"]
+    for backend, collected in statistics.items():
+        if collected != reference_stats:
+            print(f"FAIL: backend {backend!r} is not bit-identical to "
+                  f"reference on the bench sweep", file=sys.stderr)
+            return 2
+
+    speedup = best_seconds["reference"] / best_seconds["fast"]
+    record = {
+        "benchmark": "simkernel-smoke",
+        "workload": "bench_figure_6_7 (8x8 transpose, XY routes, "
+                    f"VCs {list(VC_COUNTS)}, rates {list(OFFERED_RATES)}, "
+                    f"{WARMUP_CYCLES}+{MEASUREMENT_CYCLES} cycles/point)",
+        "points": num_points,
+        "passes": max(1, args.passes),
+        "python": platform.python_version(),
+        "backends": {
+            backend: {
+                "seconds_total": round(seconds, 3),
+                "seconds_per_point": round(seconds / num_points, 4),
+            }
+            for backend, seconds in best_seconds.items()
+        },
+        "speedup_fast_over_reference": round(speedup, 2),
+        "bit_identical": True,
+    }
+    Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
+    print(json.dumps(record, indent=2))
+    print(f"wrote {args.output}")
+
+    if args.check and speedup < args.min_speedup:
+        print(f"FAIL: fast backend speedup {speedup:.2f}x is below the "
+              f"--min-speedup floor {args.min_speedup}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

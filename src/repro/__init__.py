@@ -112,7 +112,15 @@ from .routing import (
     router_spec,
 )
 from .runner import ExperimentRunner, ResultCache, simulation_cache_key
-from .simulator import NetworkSimulator, SimulationConfig
+from .simulator import (
+    FastSimulator,
+    NetworkSimulator,
+    SimulationConfig,
+    available_backends,
+    backend_spec,
+    create_simulator,
+    register_backend,
+)
 from .workloads import (
     AppGraph,
     BurstyInjection,
@@ -159,6 +167,7 @@ __all__ = [
     "Direction",
     "ExperimentError",
     "ExperimentRunner",
+    "FastSimulator",
     "Flow",
     "FlowGraph",
     "FlowSet",
@@ -198,9 +207,11 @@ __all__ = [
     "XYRouting",
     "YXRouting",
     "ad_hoc_cdg",
+    "available_backends",
     "available_routers",
     "available_workloads",
     "application_by_name",
+    "backend_spec",
     "bit_complement",
     "bsor_dijkstra",
     "bsor_milp",
@@ -208,6 +219,7 @@ __all__ = [
     "check_deadlock_freedom",
     "compare_routers",
     "create_router",
+    "create_simulator",
     "create_workload",
     "dor_cdg",
     "find_saturation",
@@ -217,6 +229,7 @@ __all__ = [
     "maximum_channel_load",
     "paper_strategies",
     "performance_modeling",
+    "register_backend",
     "register_router",
     "register_workload",
     "replay_simulation",

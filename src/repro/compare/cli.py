@@ -84,6 +84,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: %(default)s)")
     parser.add_argument("--profile", choices=PROFILES, default="default",
                         help="experiment scale (default: %(default)s)")
+    parser.add_argument("--backend", default=None,
+                        help="simulator kernel (fast or reference; backends "
+                             "are bit-identical, so this changes speed only)")
     parser.add_argument("--workers", type=int, default=0,
                         help="worker processes (0 = $REPRO_WORKERS or CPU "
                              "count)")
@@ -167,6 +170,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     config = dataclasses.replace(
         ExperimentConfig.from_profile(args.profile), **overrides
     )
+    if args.backend:
+        # resolve eagerly so a typo fails with the registry's did-you-mean
+        # error even when every sweep point would be a warm-cache hit
+        from ..simulator.backends import backend_spec
+
+        try:
+            config = config.with_backend(backend_spec(args.backend).name)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
     started = time.time()
     try:
         matrix = CompareMatrix(config=config, criteria=_criteria(args),

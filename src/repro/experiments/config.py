@@ -85,6 +85,14 @@ class ExperimentConfig:
     def with_variation(self, fraction: float) -> "ExperimentConfig":
         return replace(self, simulation=self.simulation.with_variation(fraction))
 
+    def with_backend(self, backend: str) -> "ExperimentConfig":
+        """A copy running on a different simulator backend.
+
+        Backends are bit-identical, so this changes wall-clock time only —
+        results, figures and cache keys are unaffected.
+        """
+        return replace(self, simulation=self.simulation.with_backend(backend))
+
     def with_rates(self, rates: Sequence[float]) -> "ExperimentConfig":
         return replace(self, offered_rates=tuple(rates))
 

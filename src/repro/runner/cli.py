@@ -8,16 +8,25 @@ on-disk result cache::
     python -m repro.runner table 6-3 --profile quick
     python -m repro.runner sweep --workload transpose \\
         --algorithms XY,BSOR-Dijkstra --rates 0.5,1.0,2.0,4.0
+    python -m repro.runner profile --workload transpose --rate 2.5
     python -m repro.runner cache info
     python -m repro.runner cache clear
 
 The ``--profile`` option selects the experiment scale (``quick`` for a 4x4
 smoke run, ``default`` for the paper's mesh with trimmed cycle counts,
-``paper`` for the full 20k + 100k methodology).  Caching of simulation
-sweep points is on by default; ``--no-cache`` forces fresh simulation and
-``--cache-dir`` relocates the store (also settable via
+``paper`` for the full 20k + 100k methodology).  ``--backend`` selects the
+simulator kernel (``fast``, the default, or ``reference``; see
+``repro.simulator.backends``) — backends are bit-identical, so the choice
+affects wall-clock time only and never invalidates the cache.  Caching of
+simulation sweep points is on by default; ``--no-cache`` forces fresh
+simulation and ``--cache-dir`` relocates the store (also settable via
 ``$REPRO_CACHE_DIR``).  Table runs perform route exploration, not
 simulation, so they fan out across workers but are not cached.
+
+The ``profile`` *subcommand* (named after the tool, not to be confused
+with the ``--profile`` scale option) runs a single uncached simulation
+point under :mod:`cProfile` and prints the top-20 functions by cumulative
+time — the starting dataset for any simulator-kernel optimisation work.
 
 For saturation-throughput comparisons across routers, patterns and
 topologies, use the comparison engine instead: ``python -m repro.compare``
@@ -45,6 +54,7 @@ PROFILES = ("quick", "default", "paper")
 COMMON_DEFAULTS = {
     "workers": 0,
     "profile": "default",
+    "backend": None,
     "no_cache": False,
     "cache_dir": None,
 }
@@ -56,6 +66,9 @@ def _common_options() -> argparse.ArgumentParser:
                         help="worker processes (0 = $REPRO_WORKERS or CPU count)")
     common.add_argument("--profile", choices=PROFILES, default=argparse.SUPPRESS,
                         help="experiment scale (default: default)")
+    common.add_argument("--backend", default=argparse.SUPPRESS,
+                        help="simulator kernel (fast or reference; backends "
+                             "are bit-identical, so this changes speed only)")
     common.add_argument("--no-cache", action="store_true",
                         default=argparse.SUPPRESS,
                         help="simulate every point even when cached")
@@ -103,18 +116,40 @@ def _build_parser() -> argparse.ArgumentParser:
                                 parents=[common])
     cache.add_argument("action", choices=("info", "clear"))
 
+    prof = commands.add_parser(
+        "profile", parents=[common],
+        help="cProfile one simulation point (top-20 by cumulative time)")
+    prof.add_argument("--workload", default="transpose",
+                      help="one of "
+                           f"{', '.join(extended_workload_names())} "
+                           "(default: %(default)s)")
+    prof.add_argument("--algorithm", default="XY",
+                      help="routing-registry name (default: %(default)s)")
+    prof.add_argument("--rate", type=float, default=2.5,
+                      help="offered injection rate, packets/cycle "
+                           "(default: %(default)s)")
+    prof.add_argument("--top", type=int, default=20,
+                      help="rows of the profile table (default: %(default)s)")
+
     return parser
 
 
 def _experiment_config(args: argparse.Namespace):
     from ..experiments import ExperimentConfig
 
-    return dataclasses.replace(
+    config = dataclasses.replace(
         ExperimentConfig.from_profile(args.profile),
         workers=args.workers,
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
     )
+    if args.backend:
+        # resolve eagerly so a typo fails with the registry's did-you-mean
+        # error even when every sweep point would be a warm-cache hit
+        from ..simulator.backends import backend_spec
+
+        config = config.with_backend(backend_spec(args.backend).name)
+    return config
 
 
 def _run_figure(args: argparse.Namespace, runner: ExperimentRunner) -> str:
@@ -197,6 +232,47 @@ def _run_sweep(args: argparse.Namespace, runner: ExperimentRunner) -> str:
     ])
 
 
+def _run_profile(args: argparse.Namespace) -> str:
+    """cProfile one uncached simulation point; returns the top-N table."""
+    import cProfile
+    import io
+    import pstats
+
+    from ..experiments import build_mesh, workload_flow_set
+    from ..routing.registry import router_spec
+    from ..simulator.backends import backend_spec
+    from ..simulator.simulation import phase_boundaries_for, simulate_route_set
+
+    config = _experiment_config(args)
+    backend = backend_spec(args.backend or config.simulation.backend)
+    mesh = build_mesh(config)
+    flow_set = workload_flow_set(args.workload, mesh, config)
+    algorithm = router_spec(args.algorithm).create(
+        seed=config.seed,
+        hop_slack=config.hop_slack,
+        milp_time_limit=config.milp_time_limit,
+    )
+    route_set = algorithm.compute_routes(mesh, flow_set)
+    boundaries = phase_boundaries_for(algorithm, route_set)
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    stats = simulate_route_set(mesh, route_set, config.simulation, args.rate,
+                               phase_boundaries=boundaries,
+                               backend=backend.name)
+    profiler.disable()
+    stream = io.StringIO()
+    pstats.Stats(profiler, stream=stream).strip_dirs() \
+        .sort_stats("cumulative").print_stats(args.top)
+    header = (
+        f"one point: workload={args.workload} algorithm={args.algorithm} "
+        f"rate={args.rate:g} backend={backend.name} profile={args.profile}\n"
+        f"throughput {stats.throughput:.3f} packets/cycle, "
+        f"average latency {stats.average_latency:.1f} cycles\n"
+    )
+    return header + stream.getvalue().rstrip()
+
+
 def _run_cache(args: argparse.Namespace) -> str:
     cache = ResultCache(args.cache_dir or default_cache_dir())
     if args.action == "clear":
@@ -214,6 +290,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             setattr(args, name, default)
     if args.command == "cache":
         print(_run_cache(args))
+        return 0
+
+    if args.command == "profile":
+        try:
+            print(_run_profile(args))
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
         return 0
 
     started = time.time()

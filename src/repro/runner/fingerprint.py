@@ -84,8 +84,18 @@ def route_set_fingerprint(route_set: RouteSet) -> Dict[str, object]:
 
 
 def config_fingerprint(config: SimulationConfig) -> Dict[str, object]:
-    """Every field of the simulation configuration, by name."""
-    return dataclasses.asdict(config)
+    """Every *outcome-determining* field of the configuration, by name.
+
+    The ``backend`` field is deliberately excluded: every registered
+    simulator backend is bit-identical (enforced by the differential suite),
+    so the kernel choice cannot change the statistics — excluding it keeps
+    cache keys backend-invariant, meaning results simulated on one backend
+    are warm-cache hits for every other (and entries cached before the
+    backend field existed stay valid).
+    """
+    payload = dataclasses.asdict(config)
+    payload.pop("backend", None)
+    return payload
 
 
 def simulation_cache_key(topology: Topology, route_set: RouteSet,

@@ -1,0 +1,235 @@
+"""The simulator-backend registry: every kernel behind one named factory.
+
+The simulator is the system's innermost loop — every sweep point of every
+figure, saturation search and workload replay runs through it — so the
+kernel executing a run is a first-class, **pluggable** choice, exactly like
+the routing algorithm is in :mod:`repro.routing.registry` (whose design this
+module mirrors: canonical slugs, aliases, duplicate rejection, did-you-mean
+errors, docs metadata).
+
+The backend contract
+--------------------
+
+A backend is a factory (normally a class) with the constructor signature
+
+``factory(topology, route_set, config, injection, phase_boundaries=None)``
+
+returning a *kernel* object exposing
+
+* ``step() -> int`` — advance one cycle, return flits moved;
+* ``run(max_cycles=None) -> SimulationStatistics`` — warm-up + measurement
+  (or *max_cycles*), stopping early when ``deadlock_suspected`` trips;
+* ``statistics() -> SimulationStatistics`` — the aggregate counters, valid
+  at any cycle;
+* ``cycle`` / ``in_flight_flits`` / ``deadlock_suspected`` — read-only
+  progress properties;
+* ``flit_audit() -> dict`` / ``conservation_violations() -> list[str]`` —
+  the conservation ledger the invariant suite checks;
+* ``occupancy_snapshot() -> dict`` — flits buffered per channel label.
+
+**Every backend must be bit-identical**: same inputs (topology, routes,
+configuration, injection seed) must produce field-for-field identical
+statistics and audit ledgers, because simulation results are cached under a
+backend-*invariant* content key
+(:func:`repro.runner.fingerprint.simulation_cache_key` deliberately excludes
+``SimulationConfig.backend``).  A backend that changed results would poison
+the shared cache; the differential suite
+(``tests/test_backend_differential.py``) enforces the contract across every
+registered router, topology and workload family.
+
+Two kernels ship:
+
+* ``reference`` — :class:`~repro.simulator.network.NetworkSimulator`, the
+  staged structure-of-arrays kernel (semantic ground truth);
+* ``fast`` (default) — :class:`~repro.simulator.fastsim.FastSimulator`, the
+  event-skipping kernel with active-buffer worklists and int-encoded flits.
+
+New backends plug in with one decorator::
+
+    @register_backend("my-kernel", summary="...")
+    class MyKernel:
+        def __init__(self, topology, route_set, config, injection,
+                     phase_boundaries=None): ...
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import SimulationError
+from ..routing.base import RouteSet
+from ..topology.base import Topology
+from .config import SimulationConfig
+from .fastsim import FastSimulator
+from .injection import InjectionProcess
+from .network import NetworkSimulator
+
+#: A backend factory: the constructor signature shared by every kernel.
+BackendFactory = Callable[..., object]
+
+#: The backend used when neither the call site nor the configuration names
+#: one.  ``SimulationConfig.backend`` defaults to this value.
+DEFAULT_BACKEND = "fast"
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """One registered simulator backend: its factory plus its documentation.
+
+    Attributes
+    ----------
+    name:
+        Canonical registry slug (lower-case, dash-separated).
+    factory:
+        Callable with the backend constructor signature (see the module
+        docstring's contract).
+    display_name:
+        Human-facing name for CLI listings and benchmark reports.
+    aliases:
+        Alternative slugs accepted by the lookup functions.
+    summary:
+        One-line description for CLI listings and the API docs.
+    mechanism:
+        A paragraph describing how the kernel achieves its performance
+        (architecture-doc source).
+    """
+
+    name: str
+    factory: BackendFactory
+    display_name: str
+    aliases: Tuple[str, ...] = ()
+    summary: str = ""
+    mechanism: str = ""
+
+    def create(self, topology: Topology, route_set: RouteSet,
+               config: SimulationConfig, injection: InjectionProcess,
+               phase_boundaries: Optional[Dict[str, int]] = None):
+        """Instantiate the kernel for one simulation run."""
+        return self.factory(topology, route_set, config, injection,
+                            phase_boundaries=phase_boundaries)
+
+
+#: Canonical slug -> spec.  Module-level so every layer (simulation driver,
+#: runner, compare, CLIs, benchmarks, docs generator) sees the same kernels.
+_REGISTRY: Dict[str, BackendSpec] = {}
+
+#: Any accepted slug (canonical name, alias or display name) -> canonical.
+_ALIASES: Dict[str, str] = {}
+
+
+def normalize_backend_name(name: str) -> str:
+    """Canonical form of a backend name: lower-case, ``_`` folded to ``-``."""
+    return name.strip().lower().replace("_", "-")
+
+
+def register_backend(name: str, *, display_name: Optional[str] = None,
+                     aliases: Sequence[str] = (),
+                     summary: str = "", mechanism: str = "",
+                     ) -> Callable[[BackendFactory], BackendFactory]:
+    """Class/function decorator adding a kernel to the backend registry.
+
+    Raises :class:`SimulationError` when the name, an alias or the display
+    name collides with an already-registered backend — duplicate names would
+    make ``SimulationConfig.backend`` ambiguous.
+    """
+
+    def decorate(factory: BackendFactory) -> BackendFactory:
+        spec = BackendSpec(
+            name=normalize_backend_name(name),
+            factory=factory,
+            display_name=display_name or name,
+            aliases=tuple(normalize_backend_name(alias) for alias in aliases),
+            summary=summary,
+            mechanism=mechanism,
+        )
+        keys = [spec.name, *spec.aliases,
+                normalize_backend_name(spec.display_name)]
+        for key in dict.fromkeys(keys):
+            if key in _ALIASES:
+                raise SimulationError(
+                    f"simulator backend name {key!r} is already registered "
+                    f"(by {_ALIASES[key]!r}); duplicate names are rejected"
+                )
+        _REGISTRY[spec.name] = spec
+        for key in keys:
+            _ALIASES[key] = spec.name
+        return factory
+
+    return decorate
+
+
+def available_backends() -> List[str]:
+    """Canonical names of every registered backend, in registration order."""
+    return list(_REGISTRY)
+
+
+def backend_specs() -> List[BackendSpec]:
+    """Every registered spec, in registration order."""
+    return list(_REGISTRY.values())
+
+
+def backend_spec(name: str) -> BackendSpec:
+    """Look a spec up by canonical name, alias or display name."""
+    key = normalize_backend_name(name)
+    if key not in _ALIASES:
+        known = sorted(_REGISTRY)
+        suggestions = difflib.get_close_matches(key, sorted(_ALIASES), n=1)
+        hint = f" (did you mean {suggestions[0]!r}?)" if suggestions else ""
+        raise SimulationError(
+            f"unknown simulator backend {name!r}{hint}; "
+            f"registered backends: {known}"
+        )
+    return _REGISTRY[_ALIASES[key]]
+
+
+def create_simulator(topology: Topology, route_set: RouteSet,
+                     config: SimulationConfig, injection: InjectionProcess,
+                     phase_boundaries: Optional[Dict[str, int]] = None,
+                     backend: Optional[str] = None):
+    """Build the simulation kernel a run asks for.
+
+    The backend is resolved from the explicit *backend* argument when given,
+    otherwise from ``config.backend``; either accepts any registered name or
+    alias.  This is the single construction point the simulation driver,
+    the trace capture/replay helpers and the profiling CLI all go through,
+    so ``SimulationConfig.backend`` selects the kernel everywhere at once.
+    """
+    spec = backend_spec(backend if backend is not None else config.backend)
+    return spec.create(topology, route_set, config, injection,
+                       phase_boundaries=phase_boundaries)
+
+
+# ----------------------------------------------------------------------
+# the built-in kernels
+# ----------------------------------------------------------------------
+register_backend(
+    "reference",
+    display_name="Reference",
+    aliases=("ref", "staged"),
+    summary="The staged structure-of-arrays kernel; the semantic ground "
+            "truth every other backend is verified against.",
+    mechanism=(
+        "Explicit pipeline stages (inject, eject, VC-allocate, "
+        "switch-arbitrate, link-traverse) over a SimulatorState "
+        "structure-of-arrays object; per-cycle scans proportional to the "
+        "occupied-buffer set."
+    ),
+)(NetworkSimulator)
+
+register_backend(
+    "fast",
+    display_name="Fast",
+    aliases=("event-skipping", "worklist"),
+    summary="Event-skipping kernel: active-buffer worklists, int-encoded "
+            "flits and precomputed per-hop tables; bit-identical to "
+            "reference.",
+    mechanism=(
+        "Maintains incremental worklists of ejection-ready and "
+        "advance-ready buffers plus active source nodes, so idle "
+        "(channel, VC) slots and silent sources cost zero per cycle; flits "
+        "are single integers packing packet id, hop and flags instead of "
+        "objects."
+    ),
+)(FastSimulator)

@@ -51,25 +51,60 @@ class SimulationConfig:
     #: source and counted; when False the source stalls (no loss), which is
     #: the paper's assumption ("there is no packet loss").
     drop_when_source_full: bool = False
+    #: simulator kernel executing the run (``repro.simulator.backends``
+    #: registry name).  Every registered backend is bit-identical, so the
+    #: choice affects wall-clock time only — and is deliberately **excluded**
+    #: from the result-cache fingerprint.
+    backend: str = "fast"
 
     def __post_init__(self) -> None:
         if self.num_vcs < 1:
-            raise SimulationError(f"num_vcs must be >= 1: {self.num_vcs}")
+            raise SimulationError(
+                f"num_vcs must be a positive flit-buffer count, "
+                f"got {self.num_vcs}"
+            )
         if self.buffer_depth < 1:
-            raise SimulationError(f"buffer_depth must be >= 1: {self.buffer_depth}")
+            raise SimulationError(
+                f"buffer_depth must be a positive number of flits per "
+                f"virtual channel, got {self.buffer_depth}"
+            )
         if self.packet_size_flits < 1:
             raise SimulationError(
                 f"packet_size_flits must be >= 1: {self.packet_size_flits}"
             )
-        if self.warmup_cycles < 0 or self.measurement_cycles <= 0:
-            raise SimulationError("cycle counts must be positive")
+        if self.warmup_cycles < 0:
+            raise SimulationError(
+                f"warmup_cycles must be >= 0, got {self.warmup_cycles}"
+            )
+        if self.measurement_cycles <= 0:
+            raise SimulationError(
+                f"measurement_cycles must be >= 1, got "
+                f"{self.measurement_cycles}"
+            )
         if self.local_bandwidth < 1:
             raise SimulationError(
-                f"local_bandwidth must be >= 1: {self.local_bandwidth}"
+                f"local_bandwidth must be a positive flits-per-cycle "
+                f"ejection/injection bandwidth, got {self.local_bandwidth}"
+            )
+        if self.injection_buffer_depth < self.packet_size_flits:
+            raise SimulationError(
+                f"injection_buffer_depth ({self.injection_buffer_depth} "
+                f"flits) cannot hold even one {self.packet_size_flits}-flit "
+                f"packet; no packet could ever leave its source"
+            )
+        if self.variation_dwell_cycles < 1:
+            raise SimulationError(
+                f"variation_dwell_cycles must be >= 1, got "
+                f"{self.variation_dwell_cycles}"
             )
         if not 0.0 <= self.bandwidth_variation <= 1.0:
             raise SimulationError(
                 f"bandwidth_variation must be in [0, 1]: {self.bandwidth_variation}"
+            )
+        if not isinstance(self.backend, str) or not self.backend.strip():
+            raise SimulationError(
+                f"backend must be a non-empty simulator-backend name "
+                f"(see repro.simulator.backends), got {self.backend!r}"
             )
 
     @property
@@ -83,6 +118,14 @@ class SimulationConfig:
     def with_variation(self, fraction: float) -> "SimulationConfig":
         """A copy with run-time bandwidth variation enabled."""
         return replace(self, bandwidth_variation=fraction)
+
+    def with_backend(self, backend: str) -> "SimulationConfig":
+        """A copy running on a different simulator backend.
+
+        The backend does not change results (all registered backends are
+        bit-identical) or cache keys — only how fast the points simulate.
+        """
+        return replace(self, backend=backend)
 
     def scaled(self, factor: float) -> "SimulationConfig":
         """A copy with warm-up and measurement windows scaled by *factor*."""

@@ -19,8 +19,9 @@ Two processes are provided:
 
 from __future__ import annotations
 
+import math
 import random
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..exceptions import SimulationError
 from ..traffic.flow import Flow, FlowSet
@@ -32,6 +33,11 @@ class InjectionProcess:
 
     def __init__(self, flow_set: FlowSet, offered_rate: float,
                  seed: int = 0) -> None:
+        if not math.isfinite(offered_rate):
+            raise SimulationError(
+                f"offered rate must be a finite number of packets/cycle, "
+                f"got {offered_rate}"
+            )
         if offered_rate < 0:
             raise SimulationError(f"offered rate must be >= 0: {offered_rate}")
         self.flow_set = flow_set
@@ -71,6 +77,21 @@ class InjectionProcess:
         """
         return [self.packets_to_inject(flow, cycle) for flow in self.flow_set]
 
+    def injection_events(self, cycle: int) -> List[Tuple[int, int]]:
+        """Sparse form of :meth:`counts_for_cycle`: ``(flow index, count)``
+        pairs for the flows that inject this cycle, in flow-set order.
+
+        The default derives from :meth:`counts_for_cycle`, so wrappers that
+        intercept the dense call (e.g. the trace recorder) keep observing
+        every draw; subclasses override it when they can produce the sparse
+        form directly with the *same* random-draw sequence — the fast
+        simulator backend consumes this, and bit-identity across backends
+        requires the stream to be unchanged.
+        """
+        return [(index, count)
+                for index, count in enumerate(self.counts_for_cycle(cycle))
+                if count]
+
     def expected_rate(self, flow: Flow) -> float:
         """Long-run average packet rate of a flow."""
         return self.flow_rates[flow.name]
@@ -100,6 +121,17 @@ class BernoulliInjection(InjectionProcess):
             else:
                 counts.append(whole)
         return counts
+
+    def injection_events(self, cycle: int) -> List[Tuple[int, int]]:
+        """Sparse draws with the exact random sequence of the dense form."""
+        random = self._rng.random
+        events = []
+        for index, (whole, fraction) in enumerate(self._schedule):
+            if fraction > 0 and random() < fraction:
+                events.append((index, whole + 1))
+            elif whole:
+                events.append((index, whole))
+        return events
 
 
 class ModulatedInjection(InjectionProcess):

@@ -1,4 +1,4 @@
-"""Cycle-accurate wormhole virtual-channel network simulator.
+"""Cycle-accurate wormhole virtual-channel network simulator (reference).
 
 The simulator models the router microarchitecture of Chapter 4 at the level
 that determines relative routing-algorithm performance:
@@ -24,32 +24,28 @@ that determines relative routing-algorithm performance:
   hop, optionally restricted to a per-phase partition (ROMM / Valiant with
   one virtual network per phase).
 
-The simulator is deliberately network-centric rather than router-object
-centric, and the per-(channel, VC) state lives in **preallocated flat
-arrays** indexed by ``channel_id * num_vcs + vc``: one list of FIFOs, one
-list of wormhole owners, one list of ejection nodes.  Buffer identity is a
-single small integer, so the per-cycle scans sort machine ints instead of
-tuples, the arbitration loops are plain indexed loads, and packet injection
-is drawn in one batched call per cycle
-(:meth:`~repro.simulator.injection.InjectionProcess.counts_for_cycle`)
-instead of one call per flow.  This is what lets a pure-Python inner loop
-sweep injection rates on an 8x8 mesh — and what the parallel runner
-(:mod:`repro.runner`) multiplies across worker processes.
+Since the kernel refactor the per-cycle logic lives in the explicit pipeline
+stages of :mod:`repro.simulator.stages` (inject → eject → VC-allocate →
+switch-arbitrate → link-traverse) operating on the structure-of-arrays
+:class:`~repro.simulator.state.SimulatorState`; this class is the thin
+orchestrator that builds the state, runs the cycle loop and reports
+statistics.  :class:`NetworkSimulator` is registered as the ``reference``
+backend in :mod:`repro.simulator.backends` — the semantic ground truth every
+other backend (e.g. the event-skipping ``fast`` kernel) is differentially
+verified against.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
 
-from ..exceptions import SimulationError
 from ..metrics.statistics import SimulationStatistics
 from ..routing.base import RouteSet
 from ..topology.base import Topology
-from ..topology.links import physical, virtual_index
 from .config import SimulationConfig
 from .injection import InjectionProcess
-from .packet import Flit, Packet
+from .stages import collect_statistics, step_cycle
+from .state import SimulatorState, build_state
 
 
 class NetworkSimulator:
@@ -83,422 +79,43 @@ class NetworkSimulator:
         self.config = config
         self.injection = injection
         self.phase_boundaries = phase_boundaries or {}
-
-        self._channels = list(topology.channels)
-        self._channel_index = {channel: index
-                               for index, channel in enumerate(self._channels)}
-        self._num_channels = len(self._channels)
-        self._num_vcs = config.num_vcs
-
-        # flow routes compiled to channel-id / static-vc tuples
-        self._flow_routes: Dict[str, Tuple[Tuple[int, ...], Tuple[Optional[int], ...]]] = {}
-        self._compile_routes()
-
-        # flat per-(channel, vc) buffer state, indexed channel_id * V + vc
-        num_buffers = self._num_channels * self._num_vcs
-        self._fifos: List[deque] = [deque() for _ in range(num_buffers)]
-        self._owners: List[Optional[int]] = [None] * num_buffers
-        # ejection node of each buffer (the channel's downstream router)
-        self._buffer_dst: List[int] = [
-            self._channels[index // self._num_vcs].dst
-            for index in range(num_buffers)
-        ]
-        # flat indices of buffers that currently hold at least one flit;
-        # keeps the per-cycle scans proportional to live traffic rather
-        # than to network size
-        self._occupied: set = set()
-
-        # per-flow injection state, index-aligned with the flow set:
-        # (name, compiled route, compiled static VCs, injection FIFO)
-        self._flow_names: List[str] = []
-        self._flows: List = []
-        self._flow_compiled: List[Optional[Tuple]] = []
-        self._flow_queues: List[deque] = []
-        self._backlogs: List[deque] = []
-        for flow in route_set.flow_set:
-            self._flow_names.append(flow.name)
-            self._flows.append(flow)
-            self._flow_compiled.append(self._flow_routes.get(flow.name))
-            self._flow_queues.append(deque())
-            self._backlogs.append(deque())
-        # the batched injection call is only aligned when the injection
-        # process covers exactly the route set's flows, in order
-        self._batched_injection = (
-            [flow.name for flow in injection.flow_set] == self._flow_names
+        self.state: SimulatorState = build_state(
+            topology, route_set, config, injection,
+            phase_boundaries=phase_boundaries,
         )
-        # injection arbitration: per source node, the flow queues ordered by
-        # flow name (the per-cycle round robin rotates over the non-empty ones)
-        grouped: Dict[int, List[Tuple[str, int]]] = {}
-        for index, flow in enumerate(route_set.flow_set):
-            grouped.setdefault(flow.source, []).append((flow.name, index))
-        self._node_injection: List[Tuple[int, List[Tuple[int, deque]]]] = []
-        for node in sorted(grouped):
-            entries = [(index, self._flow_queues[index])
-                       for _, index in sorted(grouped[node])]
-            self._node_injection.append((node, entries))
-
-        # per-flow dynamic-VC partitions: (phase boundary, VCs allowed
-        # before it, VCs allowed at or after it); boundary None = any VC
-        full = tuple(range(self._num_vcs))
-        half = self._num_vcs // 2
-        self._allowed: Dict[str, Tuple[Optional[int], Tuple[int, ...], Tuple[int, ...]]] = {}
-        for name in self._flow_names:
-            boundary = self.phase_boundaries.get(name)
-            if boundary is None or self._num_vcs < 2:
-                self._allowed[name] = (None, full, full)
-            else:
-                self._allowed[name] = (boundary, full[:half], full[half:])
-
-        # round-robin pointers
-        self._output_rr: List[int] = [0] * self._num_channels
-        self._node_rr: Dict[int, int] = {node: 0 for node in topology.nodes}
-
-        # statistics
-        self._cycle = 0
-        self._next_packet_id = 0
-        self._packets_generated = 0
-        self._measured_generated = 0
-        self._packets_delivered = 0
-        self._flits_delivered = 0
-        self._total_latency = 0.0
-        self._per_flow_latency: Dict[str, float] = {}
-        self._per_flow_delivered: Dict[str, int] = {}
-        self._dropped = 0
-        self._in_flight_flits = 0
-        self._ejected_flits_total = 0
-        self._idle_cycles = 0
-        self.deadlock_suspected = False
-
-    # ------------------------------------------------------------------
-    # route compilation
-    # ------------------------------------------------------------------
-    def _compile_routes(self) -> None:
-        for route in self.route_set:
-            channel_ids: List[int] = []
-            static_vcs: List[Optional[int]] = []
-            for resource in route.resources:
-                channel = physical(resource)
-                if channel not in self._channel_index:
-                    raise SimulationError(
-                        f"route of flow {route.flow.name} uses channel "
-                        f"{channel} which is not in the topology"
-                    )
-                channel_ids.append(self._channel_index[channel])
-                vc = virtual_index(resource)
-                if vc is not None and vc >= self._num_vcs:
-                    raise SimulationError(
-                        f"route of flow {route.flow.name} statically allocates "
-                        f"VC {vc} but the simulator only has {self._num_vcs} VCs"
-                    )
-                static_vcs.append(vc)
-            self._flow_routes[route.flow.name] = (
-                tuple(channel_ids), tuple(static_vcs)
-            )
-
-    # ------------------------------------------------------------------
-    # helpers
-    # ------------------------------------------------------------------
-    def _allowed_vcs(self, flow_name: str, hop: int) -> Sequence[int]:
-        boundary, pre, post = self._allowed[flow_name]
-        if boundary is None or hop < boundary:
-            return pre
-        return post
-
-    def _generate_packets(self) -> None:
-        """Draw new packets from the injection process into the backlog."""
-        cycle = self._cycle
-        if self._batched_injection:
-            counts = self.injection.counts_for_cycle(cycle)
-        else:
-            counts = [self.injection.packets_to_inject(flow, cycle)
-                      for flow in self.route_set.flow_set]
-        measured = cycle >= self.config.warmup_cycles
-        backlogs = self._backlogs
-        for index, count in enumerate(counts):
-            if not count:
-                continue
-            backlog = backlogs[index]
-            for _ in range(count):
-                backlog.append(cycle)
-            self._packets_generated += count
-            if measured:
-                self._measured_generated += count
-
-    def _fill_injection_queues(self) -> None:
-        """Move backlog packets into the bounded per-(node, flow) queues."""
-        capacity = self.config.injection_buffer_depth
-        size_flits = self.config.packet_size_flits
-        drop = self.config.drop_when_source_full
-        flows = self._flows
-        for index, backlog in enumerate(self._backlogs):
-            if not backlog:
-                continue
-            compiled = self._flow_compiled[index]
-            if compiled is None:
-                raise SimulationError(
-                    f"flow {self._flow_names[index]} has traffic to inject "
-                    f"but no route"
-                )
-            channel_ids, static_vcs = compiled
-            flow = flows[index]
-            queue = self._flow_queues[index]
-            while backlog and len(queue) + size_flits <= capacity:
-                generated_cycle = backlog.popleft()
-                packet = Packet(
-                    packet_id=self._next_packet_id,
-                    flow_name=flow.name,
-                    source=flow.source,
-                    destination=flow.destination,
-                    route_channels=channel_ids,
-                    static_vcs=static_vcs,
-                    size_flits=size_flits,
-                    injected_cycle=generated_cycle,
-                )
-                self._next_packet_id += 1
-                queue.extend(packet.make_flits())
-                self._in_flight_flits += size_flits
-            if drop and backlog:
-                self._dropped += len(backlog)
-                backlog.clear()
-
-    # ------------------------------------------------------------------
-    # per-cycle phases
-    # ------------------------------------------------------------------
-    def _eject(self, departed_buffers: set) -> int:
-        """Consume flits that reached their destination; returns flits moved."""
-        moved = 0
-        measuring = self._cycle >= self.config.warmup_cycles
-        fifos = self._fifos
-        buffer_dst = self._buffer_dst
-        # Group ejection candidates (head flits at their last hop) by node so
-        # the per-node local-port bandwidth can be enforced.
-        per_node: Dict[int, List[int]] = {}
-        for index in self._occupied:
-            flit = fifos[index][0]
-            if flit.hop == flit.last_hop:
-                node = buffer_dst[index]
-                slots = per_node.get(node)
-                if slots is None:
-                    per_node[node] = [index]
-                else:
-                    slots.append(index)
-        local_bandwidth = self.config.local_bandwidth
-        for node, slots in per_node.items():
-            slots.sort()
-            for index in slots[:local_bandwidth]:
-                fifo = fifos[index]
-                flit = fifo.popleft()
-                if not fifo:
-                    self._occupied.discard(index)
-                departed_buffers.add(index)
-                self._in_flight_flits -= 1
-                self._ejected_flits_total += 1
-                moved += 1
-                if flit.is_tail:
-                    self._owners[index] = None
-                    packet = flit.packet
-                    packet.delivered_cycle = self._cycle
-                    if measuring:
-                        self._flits_delivered += packet.size_flits
-                        self._packets_delivered += 1
-                        if packet.injected_cycle >= self.config.warmup_cycles:
-                            latency = packet.latency or 0
-                            self._total_latency += latency
-                            self._per_flow_latency[packet.flow_name] = \
-                                self._per_flow_latency.get(packet.flow_name, 0.0) \
-                                + latency
-                            self._per_flow_delivered[packet.flow_name] = \
-                                self._per_flow_delivered.get(packet.flow_name, 0) + 1
-        return moved
-
-    def _collect_candidates(self, departed_buffers: set):
-        """Group head flits by the output channel they want to enter.
-
-        Returns ``{output channel id: [(from buffer?, source key, flit), ...]}``
-        where the source key is a flat buffer index for network buffers and a
-        flow index for injection queues.
-        """
-        candidates: Dict[int, List[Tuple[bool, int, Flit]]] = {}
-
-        # network input buffers (only those holding flits), in buffer order
-        fifos = self._fifos
-        for index in sorted(self._occupied):
-            if index in departed_buffers:
-                continue  # already sent its head flit (ejection) this cycle
-            flit = fifos[index][0]
-            nxt = flit.hop + 1
-            if nxt > flit.last_hop:
-                continue  # waits for ejection bandwidth
-            target = flit.route[nxt]
-            entry = candidates.get(target)
-            if entry is None:
-                candidates[target] = [(True, index, flit)]
-            else:
-                entry.append((True, index, flit))
-
-        # injection queues (up to local_bandwidth flow queues per node per cycle)
-        local_bandwidth = self.config.local_bandwidth
-        node_rr = self._node_rr
-        for node, entries in self._node_injection:
-            live = [entry for entry in entries if entry[1]]
-            if not live:
-                continue
-            rr = node_rr[node]
-            node_rr[node] = rr + 1
-            count = len(live)
-            start = rr % count
-            for offset in range(min(local_bandwidth, count)):
-                flow_index, queue = live[(start + offset) % count]
-                flit = queue[0]
-                target = flit.route[0]
-                entry = candidates.get(target)
-                if entry is None:
-                    candidates[target] = [(False, flow_index, flit)]
-                else:
-                    entry.append((False, flow_index, flit))
-        return candidates
-
-    def _transfer(self, departed_buffers: set) -> int:
-        """Move at most one flit onto every physical channel; returns moves."""
-        candidates = self._collect_candidates(departed_buffers)
-        scheduled_in: Dict[int, int] = {}
-        moves: List[Tuple[bool, int, Flit, int, int]] = []
-
-        fifos = self._fifos
-        owners = self._owners
-        num_vcs = self._num_vcs
-        depth = self.config.buffer_depth
-        allowed = self._allowed
-        scheduled_get = scheduled_in.get
-        for target_channel, contenders in candidates.items():
-            rr = self._output_rr[target_channel]
-            self._output_rr[target_channel] = rr + 1
-            count = len(contenders)
-            base = target_channel * num_vcs
-            for offset in range(count):
-                from_buffer, key, flit = contenders[(rr + offset) % count]
-                packet = flit.packet
-                hop = flit.hop + 1
-                # virtual-channel allocation at the target buffer, inlined:
-                # body/tail flits follow the head's VC, heads claim a free
-                # statically-named or least-occupied allowed VC
-                if not flit.is_head:
-                    vc = packet.static_vcs[hop]
-                    if vc is None:
-                        vc = packet.allocated_vcs[hop]
-                        if vc is None:
-                            continue  # head has not allocated this hop yet
-                    buffer_index = base + vc
-                    if len(fifos[buffer_index]) + \
-                            scheduled_get(buffer_index, 0) >= depth:
-                        continue
-                else:
-                    static = packet.static_vcs[hop]
-                    if static is not None:
-                        buffer_index = base + static
-                        if owners[buffer_index] is not None or \
-                                len(fifos[buffer_index]) + \
-                                scheduled_get(buffer_index, 0) >= depth:
-                            continue
-                        vc = static
-                    else:
-                        boundary, pre, post = allowed[packet.flow_name]
-                        vc_choices = pre if boundary is None or hop < boundary \
-                            else post
-                        vc = -1
-                        best_occupancy = 0
-                        for choice in vc_choices:
-                            buffer_index = base + choice
-                            if owners[buffer_index] is not None:
-                                continue
-                            occupancy = len(fifos[buffer_index])
-                            if occupancy + scheduled_get(buffer_index, 0) >= depth:
-                                continue
-                            if vc < 0 or occupancy < best_occupancy:
-                                vc = choice
-                                best_occupancy = occupancy
-                        if vc < 0:
-                            continue
-                        buffer_index = base + vc
-                scheduled_in[buffer_index] = \
-                    scheduled_get(buffer_index, 0) + 1
-                moves.append((from_buffer, key, flit, vc, buffer_index))
-                break  # one flit per physical channel per cycle
-
-        # commit all moves simultaneously
-        occupied = self._occupied
-        for from_buffer, key, flit, vc, buffer_index in moves:
-            if from_buffer:
-                fifo = fifos[key]
-                fifo.popleft()
-                if not fifo:
-                    occupied.discard(key)
-                if flit.is_tail:
-                    owners[key] = None
-            else:
-                self._flow_queues[key].popleft()
-            hop = flit.hop + 1
-            flit.hop = hop
-            if flit.is_head:
-                packet = flit.packet
-                packet.allocated_vcs[hop] = vc
-                owners[buffer_index] = packet.packet_id
-            fifos[buffer_index].append(flit)
-            occupied.add(buffer_index)
-        return len(moves)
 
     # ------------------------------------------------------------------
     # main loop
     # ------------------------------------------------------------------
     def step(self) -> int:
         """Advance the simulation by one cycle; returns flits moved."""
-        self._generate_packets()
-        self._fill_injection_queues()
-        departed_buffers: set = set()
-        moved = self._eject(departed_buffers)
-        moved += self._transfer(departed_buffers)
-        if moved == 0 and self._in_flight_flits > 0:
-            self._idle_cycles += 1
-            # A long stretch with flits in flight but no movement means the
-            # network is wedged (only possible for deadlock-prone route sets,
-            # e.g. ROMM/Valiant forced onto a single virtual channel).
-            if self._idle_cycles > 4 * self.config.buffer_depth * 8:
-                self.deadlock_suspected = True
-        else:
-            self._idle_cycles = 0
-        self._cycle += 1
-        return moved
+        return step_cycle(self.state)
 
     def run(self, max_cycles: Optional[int] = None) -> SimulationStatistics:
         """Run warm-up plus measurement and return the collected statistics."""
         total = max_cycles if max_cycles is not None else self.config.total_cycles
+        state = self.state
         for _ in range(total):
-            self.step()
-            if self.deadlock_suspected:
+            step_cycle(state)
+            if state.deadlock_suspected:
                 break
         return self.statistics()
 
     # ------------------------------------------------------------------
     def statistics(self) -> SimulationStatistics:
-        return SimulationStatistics(
-            cycles=self._cycle,
-            warmup_cycles=min(self.config.warmup_cycles, self._cycle),
-            packets_injected=self._measured_generated,
-            packets_delivered=self._packets_delivered,
-            flits_delivered=self._flits_delivered,
-            total_latency=self._total_latency,
-            per_flow_latency=dict(self._per_flow_latency),
-            per_flow_delivered=dict(self._per_flow_delivered),
-            dropped_at_source=self._dropped,
-        )
+        return collect_statistics(self.state)
 
     @property
     def cycle(self) -> int:
-        return self._cycle
+        return self.state.cycle
 
     @property
     def in_flight_flits(self) -> int:
-        return self._in_flight_flits
+        return self.state.in_flight_flits
+
+    @property
+    def deadlock_suspected(self) -> bool:
+        return self.state.deadlock_suspected
 
     def flit_audit(self) -> Dict[str, int]:
         """Conservation ledger of the simulation, valid at any cycle.
@@ -520,63 +137,37 @@ class NetworkSimulator:
         counter and reality is also caught: ``in_flight_flits ==
         flits_in_network + flits_in_source_queues``.
         """
-        flits_in_network = sum(len(fifo) for fifo in self._fifos)
-        flits_in_source_queues = sum(len(queue) for queue in self._flow_queues)
+        state = self.state
+        flits_in_network = sum(len(fifo) for fifo in state.fifos)
+        flits_in_source_queues = sum(len(queue) for queue in state.flow_queues)
         return {
-            "cycle": self._cycle,
-            "packets_generated": self._packets_generated,
-            "packets_built": self._next_packet_id,
+            "cycle": state.cycle,
+            "packets_generated": state.packets_generated,
+            "packets_built": state.next_packet_id,
             "packets_in_backlog": sum(len(backlog)
-                                      for backlog in self._backlogs),
-            "packets_dropped": self._dropped,
-            "flits_built": self._next_packet_id * self.config.packet_size_flits,
-            "flits_ejected": self._ejected_flits_total,
+                                      for backlog in state.backlogs),
+            "packets_dropped": state.dropped,
+            "flits_built": state.next_packet_id * self.config.packet_size_flits,
+            "flits_ejected": state.ejected_flits_total,
             "flits_in_network": flits_in_network,
             "flits_in_source_queues": flits_in_source_queues,
-            "in_flight_flits": self._in_flight_flits,
+            "in_flight_flits": state.in_flight_flits,
         }
 
     def conservation_violations(self) -> List[str]:
         """Human-readable list of broken conservation invariants (empty = ok)."""
-        audit = self.flit_audit()
-        violations: List[str] = []
-        if audit["flits_built"] != (audit["flits_ejected"] +
-                                    audit["flits_in_network"] +
-                                    audit["flits_in_source_queues"]):
-            violations.append(
-                f"flit conservation broken at cycle {audit['cycle']}: "
-                f"built {audit['flits_built']} != ejected "
-                f"{audit['flits_ejected']} + in-network "
-                f"{audit['flits_in_network']} + queued "
-                f"{audit['flits_in_source_queues']}"
-            )
-        if audit["in_flight_flits"] != (audit["flits_in_network"] +
-                                        audit["flits_in_source_queues"]):
-            violations.append(
-                f"in-flight counter drifted at cycle {audit['cycle']}: "
-                f"{audit['in_flight_flits']} != "
-                f"{audit['flits_in_network']} + "
-                f"{audit['flits_in_source_queues']}"
-            )
-        if audit["packets_generated"] != (audit["packets_built"] +
-                                          audit["packets_in_backlog"] +
-                                          audit["packets_dropped"]):
-            violations.append(
-                f"packet conservation broken at cycle {audit['cycle']}: "
-                f"generated {audit['packets_generated']} != built "
-                f"{audit['packets_built']} + backlog "
-                f"{audit['packets_in_backlog']} + dropped "
-                f"{audit['packets_dropped']}"
-            )
-        return violations
+        from .stages import audit_violations
+
+        return audit_violations(self.flit_audit())
 
     def occupancy_snapshot(self) -> Dict[str, int]:
         """Flits buffered per channel label (debugging / test aid)."""
+        state = self.state
         snapshot: Dict[str, int] = {}
-        num_vcs = self._num_vcs
-        for cid, channel in enumerate(self._channels):
+        num_vcs = state.num_vcs
+        for cid, channel in enumerate(state.channels):
             base = cid * num_vcs
-            count = sum(len(self._fifos[base + vc]) for vc in range(num_vcs))
+            count = sum(len(state.fifos[base + vc]) for vc in range(num_vcs))
             if count:
                 snapshot[self.topology.channel_label(channel)] = count
         return snapshot

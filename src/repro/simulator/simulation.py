@@ -20,9 +20,9 @@ from ..routing.valiant import ValiantRouting
 from ..topology.base import Topology
 from ..topology.links import physical
 from ..traffic.flow import FlowSet
+from .backends import create_simulator
 from .config import SimulationConfig
 from .injection import make_injection_process
-from .network import NetworkSimulator
 
 
 def phase_boundaries_from_intermediates(route_set: RouteSet,
@@ -75,8 +75,14 @@ def phase_boundaries_for(algorithm: RoutingAlgorithm,
 def simulate_route_set(topology: Topology, route_set: RouteSet,
                        config: SimulationConfig, offered_rate: float,
                        phase_boundaries: Optional[Dict[str, int]] = None,
+                       backend: Optional[str] = None,
                        ) -> SimulationStatistics:
-    """Simulate one route set at one offered injection rate."""
+    """Simulate one route set at one offered injection rate.
+
+    The kernel executing the run comes from ``config.backend`` (or the
+    explicit *backend* override); every registered backend is bit-identical,
+    so the choice affects wall-clock time only.
+    """
     if not route_set.is_complete():
         missing = [flow.name for flow in route_set.missing_flows()]
         raise SimulationError(f"route set is missing routes for flows: {missing}")
@@ -86,9 +92,9 @@ def simulate_route_set(topology: Topology, route_set: RouteSet,
         mean_dwell_cycles=config.variation_dwell_cycles,
         seed=config.seed,
     )
-    simulator = NetworkSimulator(
+    simulator = create_simulator(
         topology, route_set, config, injection,
-        phase_boundaries=phase_boundaries,
+        phase_boundaries=phase_boundaries, backend=backend,
     )
     return simulator.run()
 

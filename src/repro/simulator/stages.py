@@ -1,0 +1,407 @@
+"""The reference simulator kernel as explicit pipeline stages.
+
+Each function is one stage of the router pipeline, operating on a
+:class:`~repro.simulator.state.SimulatorState`:
+
+* :func:`stage_inject` — draw new packets from the injection process and
+  fill the bounded per-(node, flow) source queues;
+* :func:`stage_eject` — consume flits that reached their destination,
+  bounded by the per-node local-port bandwidth;
+* :func:`stage_vc_allocate` — group the head flits that want to advance by
+  the output channel they request (route lookup + candidate formation);
+* :func:`stage_switch_arbitrate` — per-output round-robin arbitration with
+  inlined virtual-channel allocation (a combined VA/SA stage: a contender
+  wins the switch only if it can also claim a virtual channel with a free
+  buffer slot downstream);
+* :func:`stage_link_traverse` — commit every granted flit onto its physical
+  channel simultaneously (at most one flit per switch-to-switch link per
+  cycle, the wormhole ownership and credit bookkeeping updated as flits
+  land).
+
+:func:`step_cycle` sequences the stages exactly as the monolithic simulator
+always did — inject, eject, allocate, arbitrate, traverse — so the staged
+kernel is **bit-identical** to the pre-refactor loop; the differential
+backend suite (``tests/test_backend_differential.py``) holds every backend
+to the same contract.
+
+The stages read buffer occupancy as it stands at the start of the transfer
+(slots freed by this cycle's ejections are visible, slots freed by this
+cycle's transfers are not, because all transfers commit simultaneously in
+:func:`stage_link_traverse`) — the credit round-trip model of the module
+docstring of :mod:`repro.simulator.network`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..exceptions import SimulationError
+from ..metrics.statistics import SimulationStatistics
+from .packet import Flit, Packet
+from .state import SimulatorState
+
+#: A transfer candidate: (comes from a network buffer?, flat buffer index or
+#: flow index, the head flit itself).
+Candidate = Tuple[bool, int, Flit]
+
+#: A granted move: (from buffer?, source key, flit, virtual channel, target
+#: flat buffer index).
+Move = Tuple[bool, int, Flit, int, int]
+
+
+# ----------------------------------------------------------------------
+# stage 1: injection
+# ----------------------------------------------------------------------
+def stage_inject(state: SimulatorState) -> None:
+    """Draw new packets into the backlogs, then fill the source queues."""
+    _generate_packets(state)
+    _fill_injection_queues(state)
+
+
+def _generate_packets(state: SimulatorState) -> None:
+    """Draw new packets from the injection process into the backlog."""
+    cycle = state.cycle
+    if state.batched_injection:
+        counts = state.injection.counts_for_cycle(cycle)
+    else:
+        counts = [state.injection.packets_to_inject(flow, cycle)
+                  for flow in state.route_set.flow_set]
+    measured = cycle >= state.warmup_cycles
+    backlogs = state.backlogs
+    for index, count in enumerate(counts):
+        if not count:
+            continue
+        backlog = backlogs[index]
+        for _ in range(count):
+            backlog.append(cycle)
+        state.packets_generated += count
+        if measured:
+            state.measured_generated += count
+
+
+def _fill_injection_queues(state: SimulatorState) -> None:
+    """Move backlog packets into the bounded per-(node, flow) queues."""
+    capacity = state.injection_capacity
+    size_flits = state.packet_size_flits
+    drop = state.drop_when_source_full
+    flows = state.flows
+    for index, backlog in enumerate(state.backlogs):
+        if not backlog:
+            continue
+        compiled = state.flow_compiled[index]
+        if compiled is None:
+            raise SimulationError(
+                f"flow {state.flow_names[index]} has traffic to inject "
+                f"but no route"
+            )
+        channel_ids, static_vcs = compiled
+        flow = flows[index]
+        queue = state.flow_queues[index]
+        while backlog and len(queue) + size_flits <= capacity:
+            generated_cycle = backlog.popleft()
+            packet = Packet(
+                packet_id=state.next_packet_id,
+                flow_name=flow.name,
+                source=flow.source,
+                destination=flow.destination,
+                route_channels=channel_ids,
+                static_vcs=static_vcs,
+                size_flits=size_flits,
+                injected_cycle=generated_cycle,
+            )
+            state.next_packet_id += 1
+            queue.extend(packet.make_flits())
+            state.in_flight_flits += size_flits
+        if drop and backlog:
+            state.dropped += len(backlog)
+            backlog.clear()
+
+
+# ----------------------------------------------------------------------
+# stage 2: ejection
+# ----------------------------------------------------------------------
+def stage_eject(state: SimulatorState, departed_buffers: set) -> int:
+    """Consume flits that reached their destination; returns flits moved."""
+    moved = 0
+    measuring = state.cycle >= state.warmup_cycles
+    fifos = state.fifos
+    buffer_dst = state.buffer_dst
+    # Group ejection candidates (head flits at their last hop) by node so
+    # the per-node local-port bandwidth can be enforced.
+    per_node: Dict[int, List[int]] = {}
+    for index in state.occupied:
+        flit = fifos[index][0]
+        if flit.hop == flit.last_hop:
+            node = buffer_dst[index]
+            slots = per_node.get(node)
+            if slots is None:
+                per_node[node] = [index]
+            else:
+                slots.append(index)
+    local_bandwidth = state.local_bandwidth
+    for node, slots in per_node.items():
+        slots.sort()
+        for index in slots[:local_bandwidth]:
+            fifo = fifos[index]
+            flit = fifo.popleft()
+            if not fifo:
+                state.occupied.discard(index)
+            departed_buffers.add(index)
+            state.in_flight_flits -= 1
+            state.ejected_flits_total += 1
+            moved += 1
+            if flit.is_tail:
+                state.owners[index] = None
+                packet = flit.packet
+                packet.delivered_cycle = state.cycle
+                if measuring:
+                    state.flits_delivered += packet.size_flits
+                    state.packets_delivered += 1
+                    if packet.injected_cycle >= state.warmup_cycles:
+                        latency = packet.latency or 0
+                        state.total_latency += latency
+                        state.per_flow_latency[packet.flow_name] = \
+                            state.per_flow_latency.get(packet.flow_name, 0.0) \
+                            + latency
+                        state.per_flow_delivered[packet.flow_name] = \
+                            state.per_flow_delivered.get(packet.flow_name, 0) + 1
+    return moved
+
+
+# ----------------------------------------------------------------------
+# stage 3: virtual-channel candidate formation
+# ----------------------------------------------------------------------
+def stage_vc_allocate(state: SimulatorState,
+                      departed_buffers: set) -> Dict[int, List[Candidate]]:
+    """Group head flits by the output channel they want to enter.
+
+    Returns ``{output channel id: [(from buffer?, source key, flit), ...]}``
+    where the source key is a flat buffer index for network buffers and a
+    flow index for injection queues.  Network buffers are scanned in flat
+    buffer-index order, then each node offers up to ``local_bandwidth`` of
+    its non-empty injection queues in round-robin order — the contention
+    order :func:`stage_switch_arbitrate` resolves.
+    """
+    candidates: Dict[int, List[Candidate]] = {}
+
+    # network input buffers (only those holding flits), in buffer order
+    fifos = state.fifos
+    for index in sorted(state.occupied):
+        if index in departed_buffers:
+            continue  # already sent its head flit (ejection) this cycle
+        flit = fifos[index][0]
+        nxt = flit.hop + 1
+        if nxt > flit.last_hop:
+            continue  # waits for ejection bandwidth
+        target = flit.route[nxt]
+        entry = candidates.get(target)
+        if entry is None:
+            candidates[target] = [(True, index, flit)]
+        else:
+            entry.append((True, index, flit))
+
+    # injection queues (up to local_bandwidth flow queues per node per cycle)
+    local_bandwidth = state.local_bandwidth
+    node_rr = state.node_rr
+    for node, entries in state.node_injection:
+        live = [entry for entry in entries if entry[1]]
+        if not live:
+            continue
+        rr = node_rr[node]
+        node_rr[node] = rr + 1
+        count = len(live)
+        start = rr % count
+        for offset in range(min(local_bandwidth, count)):
+            flow_index, queue = live[(start + offset) % count]
+            flit = queue[0]
+            target = flit.route[0]
+            entry = candidates.get(target)
+            if entry is None:
+                candidates[target] = [(False, flow_index, flit)]
+            else:
+                entry.append((False, flow_index, flit))
+    return candidates
+
+
+# ----------------------------------------------------------------------
+# stage 4: switch arbitration (with inlined VC allocation)
+# ----------------------------------------------------------------------
+def stage_switch_arbitrate(state: SimulatorState,
+                           candidates: Dict[int, List[Candidate]],
+                           ) -> List[Move]:
+    """Grant at most one contender per output channel; returns the moves.
+
+    Round-robin over each output's contenders; a contender wins only when
+    it can claim a virtual channel at the target buffer: body/tail flits
+    follow the head's VC, heads claim a free statically-named or
+    least-occupied allowed VC (the combined VA/SA stage).
+    """
+    scheduled_in: Dict[int, int] = {}
+    moves: List[Move] = []
+
+    fifos = state.fifos
+    owners = state.owners
+    num_vcs = state.num_vcs
+    depth = state.buffer_depth
+    allowed = state.allowed
+    scheduled_get = scheduled_in.get
+    for target_channel, contenders in candidates.items():
+        rr = state.output_rr[target_channel]
+        state.output_rr[target_channel] = rr + 1
+        count = len(contenders)
+        base = target_channel * num_vcs
+        for offset in range(count):
+            from_buffer, key, flit = contenders[(rr + offset) % count]
+            packet = flit.packet
+            hop = flit.hop + 1
+            if not flit.is_head:
+                vc = packet.static_vcs[hop]
+                if vc is None:
+                    vc = packet.allocated_vcs[hop]
+                    if vc is None:
+                        continue  # head has not allocated this hop yet
+                buffer_index = base + vc
+                if len(fifos[buffer_index]) + \
+                        scheduled_get(buffer_index, 0) >= depth:
+                    continue
+            else:
+                static = packet.static_vcs[hop]
+                if static is not None:
+                    buffer_index = base + static
+                    if owners[buffer_index] is not None or \
+                            len(fifos[buffer_index]) + \
+                            scheduled_get(buffer_index, 0) >= depth:
+                        continue
+                    vc = static
+                else:
+                    boundary, pre, post = allowed[packet.flow_name]
+                    vc_choices = pre if boundary is None or hop < boundary \
+                        else post
+                    vc = -1
+                    best_occupancy = 0
+                    for choice in vc_choices:
+                        buffer_index = base + choice
+                        if owners[buffer_index] is not None:
+                            continue
+                        occupancy = len(fifos[buffer_index])
+                        if occupancy + scheduled_get(buffer_index, 0) >= depth:
+                            continue
+                        if vc < 0 or occupancy < best_occupancy:
+                            vc = choice
+                            best_occupancy = occupancy
+                    if vc < 0:
+                        continue
+                    buffer_index = base + vc
+            scheduled_in[buffer_index] = \
+                scheduled_get(buffer_index, 0) + 1
+            moves.append((from_buffer, key, flit, vc, buffer_index))
+            break  # one flit per physical channel per cycle
+    return moves
+
+
+# ----------------------------------------------------------------------
+# stage 5: link traversal
+# ----------------------------------------------------------------------
+def stage_link_traverse(state: SimulatorState, moves: List[Move]) -> int:
+    """Commit all granted moves simultaneously; returns flits moved."""
+    fifos = state.fifos
+    owners = state.owners
+    occupied = state.occupied
+    for from_buffer, key, flit, vc, buffer_index in moves:
+        if from_buffer:
+            fifo = fifos[key]
+            fifo.popleft()
+            if not fifo:
+                occupied.discard(key)
+            if flit.is_tail:
+                owners[key] = None
+        else:
+            state.flow_queues[key].popleft()
+        hop = flit.hop + 1
+        flit.hop = hop
+        if flit.is_head:
+            packet = flit.packet
+            packet.allocated_vcs[hop] = vc
+            owners[buffer_index] = packet.packet_id
+        fifos[buffer_index].append(flit)
+        occupied.add(buffer_index)
+    return len(moves)
+
+
+# ----------------------------------------------------------------------
+# the cycle loop
+# ----------------------------------------------------------------------
+def step_cycle(state: SimulatorState) -> int:
+    """Advance the state by one cycle through all five stages."""
+    stage_inject(state)
+    departed_buffers: set = set()
+    moved = stage_eject(state, departed_buffers)
+    candidates = stage_vc_allocate(state, departed_buffers)
+    moves = stage_switch_arbitrate(state, candidates)
+    moved += stage_link_traverse(state, moves)
+    if moved == 0 and state.in_flight_flits > 0:
+        state.idle_cycles += 1
+        # A long stretch with flits in flight but no movement means the
+        # network is wedged (only possible for deadlock-prone route sets,
+        # e.g. ROMM/Valiant forced onto a single virtual channel).
+        if state.idle_cycles > state.deadlock_idle_threshold:
+            state.deadlock_suspected = True
+    else:
+        state.idle_cycles = 0
+    state.cycle += 1
+    return moved
+
+
+def audit_violations(audit: Dict[str, int]) -> List[str]:
+    """Broken conservation invariants of a ``flit_audit`` ledger (empty = ok).
+
+    Shared by every backend so the differential suite can hold them to one
+    set of invariants: flit conservation, in-flight counter consistency and
+    packet conservation (see
+    :meth:`~repro.simulator.network.NetworkSimulator.flit_audit`).
+    """
+    violations: List[str] = []
+    if audit["flits_built"] != (audit["flits_ejected"] +
+                                audit["flits_in_network"] +
+                                audit["flits_in_source_queues"]):
+        violations.append(
+            f"flit conservation broken at cycle {audit['cycle']}: "
+            f"built {audit['flits_built']} != ejected "
+            f"{audit['flits_ejected']} + in-network "
+            f"{audit['flits_in_network']} + queued "
+            f"{audit['flits_in_source_queues']}"
+        )
+    if audit["in_flight_flits"] != (audit["flits_in_network"] +
+                                    audit["flits_in_source_queues"]):
+        violations.append(
+            f"in-flight counter drifted at cycle {audit['cycle']}: "
+            f"{audit['in_flight_flits']} != "
+            f"{audit['flits_in_network']} + "
+            f"{audit['flits_in_source_queues']}"
+        )
+    if audit["packets_generated"] != (audit["packets_built"] +
+                                      audit["packets_in_backlog"] +
+                                      audit["packets_dropped"]):
+        violations.append(
+            f"packet conservation broken at cycle {audit['cycle']}: "
+            f"generated {audit['packets_generated']} != built "
+            f"{audit['packets_built']} + backlog "
+            f"{audit['packets_in_backlog']} + dropped "
+            f"{audit['packets_dropped']}"
+        )
+    return violations
+
+
+def collect_statistics(state: SimulatorState) -> SimulationStatistics:
+    """The aggregate statistics of a state, at any cycle."""
+    return SimulationStatistics(
+        cycles=state.cycle,
+        warmup_cycles=min(state.warmup_cycles, state.cycle),
+        packets_injected=state.measured_generated,
+        packets_delivered=state.packets_delivered,
+        flits_delivered=state.flits_delivered,
+        total_latency=state.total_latency,
+        per_flow_latency=dict(state.per_flow_latency),
+        per_flow_delivered=dict(state.per_flow_delivered),
+        dropped_at_source=state.dropped,
+    )

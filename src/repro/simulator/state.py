@@ -1,0 +1,226 @@
+"""The simulator's structure-of-arrays state.
+
+:class:`SimulatorState` is the single mutable object the pipeline stages of
+:mod:`repro.simulator.stages` operate on.  It is deliberately *not* a router
+object model: all per-(channel, virtual channel) quantities live in
+**preallocated flat lists indexed by** ``channel_id * num_vcs + vc`` — one
+list of FIFOs, one list of wormhole owners, one list of ejection nodes — so
+buffer identity is a single small integer, the per-cycle scans sort machine
+ints instead of tuples, and the arbitration loops are plain indexed loads.
+
+Hot configuration scalars (buffer depth, local bandwidth, warm-up horizon,
+packet size) are copied onto the state once at build time so the inner loops
+never chase ``state.config.<field>`` attribute chains.
+
+:func:`build_state` compiles a (topology, route set, configuration,
+injection process) quadruple into a fresh state; it performs the same input
+validation the monolithic simulator always did (routes over channels the
+topology does not have, static VCs beyond the configured count).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from ..exceptions import SimulationError
+from ..routing.base import RouteSet
+from ..topology.base import Topology
+from ..topology.links import physical, virtual_index
+from .config import SimulationConfig
+from .injection import InjectionProcess
+
+
+class SimulatorState:
+    """All mutable state of one simulation run, structure-of-arrays style.
+
+    Grouped by role:
+
+    * **static inventory** — the topology's channel table, the compiled
+      per-flow routes, the per-buffer ejection nodes, the per-flow
+      dynamic-VC partitions;
+    * **buffer state** — ``fifos`` / ``owners`` flat lists plus the
+      ``occupied`` worklist of buffers currently holding at least one flit
+      (the per-cycle scans are proportional to live traffic, not network
+      size);
+    * **source state** — per-flow backlogs and bounded injection queues,
+      plus the per-node round-robin injection order;
+    * **arbitration state** — per-output-channel and per-node round-robin
+      pointers;
+    * **statistics counters** — everything
+      :meth:`~repro.simulator.network.NetworkSimulator.statistics` reports.
+    """
+
+    __slots__ = (
+        # construction inputs
+        "topology", "route_set", "config", "injection", "phase_boundaries",
+        # static inventory
+        "channels", "channel_index", "num_channels", "num_vcs",
+        "flow_routes", "buffer_dst", "allowed",
+        # hot configuration scalars
+        "warmup_cycles", "buffer_depth", "local_bandwidth",
+        "packet_size_flits", "injection_capacity", "drop_when_source_full",
+        "deadlock_idle_threshold",
+        # buffer state
+        "fifos", "owners", "occupied",
+        # source state
+        "flow_names", "flows", "flow_compiled", "flow_queues", "backlogs",
+        "batched_injection", "node_injection",
+        # arbitration state
+        "output_rr", "node_rr",
+        # statistics counters
+        "cycle", "next_packet_id", "packets_generated", "measured_generated",
+        "packets_delivered", "flits_delivered", "total_latency",
+        "per_flow_latency", "per_flow_delivered", "dropped",
+        "in_flight_flits", "ejected_flits_total", "idle_cycles",
+        "deadlock_suspected",
+    )
+
+
+def compile_routes(route_set: RouteSet,
+                   channel_index: Dict, num_vcs: int,
+                   ) -> Dict[str, Tuple[Tuple[int, ...], Tuple[Optional[int], ...]]]:
+    """Compile every route to (channel ids, static VCs) tuples.
+
+    Raises :class:`SimulationError` for routes over channels the topology
+    does not have and for static VC indices beyond the configured count —
+    the errors every backend must surface at construction time rather than
+    as index errors mid-simulation.
+    """
+    compiled: Dict[str, Tuple[Tuple[int, ...], Tuple[Optional[int], ...]]] = {}
+    for route in route_set:
+        channel_ids: List[int] = []
+        static_vcs: List[Optional[int]] = []
+        for resource in route.resources:
+            channel = physical(resource)
+            if channel not in channel_index:
+                raise SimulationError(
+                    f"route of flow {route.flow.name} uses channel "
+                    f"{channel} which is not in the topology"
+                )
+            channel_ids.append(channel_index[channel])
+            vc = virtual_index(resource)
+            if vc is not None and vc >= num_vcs:
+                raise SimulationError(
+                    f"route of flow {route.flow.name} statically allocates "
+                    f"VC {vc} but the simulator only has {num_vcs} VCs"
+                )
+            static_vcs.append(vc)
+        compiled[route.flow.name] = (tuple(channel_ids), tuple(static_vcs))
+    return compiled
+
+
+def vc_partitions(flow_names, phase_boundaries: Dict[str, int], num_vcs: int,
+                  ) -> Dict[str, Tuple[Optional[int], Tuple[int, ...], Tuple[int, ...]]]:
+    """Per-flow dynamic-VC partitions.
+
+    Each entry is ``(phase boundary, VCs allowed before it, VCs allowed at
+    or after it)``; a ``None`` boundary means any VC at any hop.  This is
+    how ROMM / Valiant / O1TURN obtain their disjoint virtual networks.
+    """
+    full = tuple(range(num_vcs))
+    half = num_vcs // 2
+    allowed: Dict[str, Tuple[Optional[int], Tuple[int, ...], Tuple[int, ...]]] = {}
+    for name in flow_names:
+        boundary = phase_boundaries.get(name)
+        if boundary is None or num_vcs < 2:
+            allowed[name] = (None, full, full)
+        else:
+            allowed[name] = (boundary, full[:half], full[half:])
+    return allowed
+
+
+def build_state(topology: Topology, route_set: RouteSet,
+                config: SimulationConfig, injection: InjectionProcess,
+                phase_boundaries: Optional[Dict[str, int]] = None,
+                ) -> SimulatorState:
+    """Compile the simulation inputs into a fresh :class:`SimulatorState`."""
+    state = SimulatorState()
+    state.topology = topology
+    state.route_set = route_set
+    state.config = config
+    state.injection = injection
+    state.phase_boundaries = phase_boundaries or {}
+
+    state.channels = list(topology.channels)
+    state.channel_index = {channel: index
+                           for index, channel in enumerate(state.channels)}
+    state.num_channels = len(state.channels)
+    state.num_vcs = config.num_vcs
+
+    state.flow_routes = compile_routes(route_set, state.channel_index,
+                                       state.num_vcs)
+
+    # hot configuration scalars, copied once
+    state.warmup_cycles = config.warmup_cycles
+    state.buffer_depth = config.buffer_depth
+    state.local_bandwidth = config.local_bandwidth
+    state.packet_size_flits = config.packet_size_flits
+    state.injection_capacity = config.injection_buffer_depth
+    state.drop_when_source_full = config.drop_when_source_full
+    state.deadlock_idle_threshold = 4 * config.buffer_depth * 8
+
+    # flat per-(channel, vc) buffer state, indexed channel_id * V + vc
+    num_buffers = state.num_channels * state.num_vcs
+    state.fifos = [deque() for _ in range(num_buffers)]
+    state.owners = [None] * num_buffers
+    # ejection node of each buffer (the channel's downstream router)
+    state.buffer_dst = [
+        state.channels[index // state.num_vcs].dst
+        for index in range(num_buffers)
+    ]
+    # flat indices of buffers that currently hold at least one flit
+    state.occupied = set()
+
+    # per-flow injection state, index-aligned with the flow set:
+    # (name, compiled route, compiled static VCs, injection FIFO)
+    state.flow_names = []
+    state.flows = []
+    state.flow_compiled = []
+    state.flow_queues = []
+    state.backlogs = []
+    for flow in route_set.flow_set:
+        state.flow_names.append(flow.name)
+        state.flows.append(flow)
+        state.flow_compiled.append(state.flow_routes.get(flow.name))
+        state.flow_queues.append(deque())
+        state.backlogs.append(deque())
+    # the batched injection call is only aligned when the injection
+    # process covers exactly the route set's flows, in order
+    state.batched_injection = (
+        [flow.name for flow in injection.flow_set] == state.flow_names
+    )
+    # injection arbitration: per source node, the flow queues ordered by
+    # flow name (the per-cycle round robin rotates over the non-empty ones)
+    grouped: Dict[int, List[Tuple[str, int]]] = {}
+    for index, flow in enumerate(route_set.flow_set):
+        grouped.setdefault(flow.source, []).append((flow.name, index))
+    state.node_injection = []
+    for node in sorted(grouped):
+        entries = [(index, state.flow_queues[index])
+                   for _, index in sorted(grouped[node])]
+        state.node_injection.append((node, entries))
+
+    state.allowed = vc_partitions(state.flow_names, state.phase_boundaries,
+                                  state.num_vcs)
+
+    # round-robin pointers
+    state.output_rr = [0] * state.num_channels
+    state.node_rr = {node: 0 for node in topology.nodes}
+
+    # statistics
+    state.cycle = 0
+    state.next_packet_id = 0
+    state.packets_generated = 0
+    state.measured_generated = 0
+    state.packets_delivered = 0
+    state.flits_delivered = 0
+    state.total_latency = 0.0
+    state.per_flow_latency = {}
+    state.per_flow_delivered = {}
+    state.dropped = 0
+    state.in_flight_flits = 0
+    state.ejected_flits_total = 0
+    state.idle_cycles = 0
+    state.deadlock_suspected = False
+    return state

@@ -35,9 +35,9 @@ from typing import Dict, List, Optional, Tuple, Union
 from ..exceptions import SimulationError
 from ..metrics.statistics import SimulationStatistics
 from ..routing.base import RouteSet
+from ..simulator.backends import create_simulator
 from ..simulator.config import SimulationConfig
 from ..simulator.injection import InjectionProcess, make_injection_process
-from ..simulator.network import NetworkSimulator
 from ..topology.base import Topology
 from ..traffic.flow import Flow, FlowSet
 
@@ -262,6 +262,11 @@ class TraceInjectionProcess(InjectionProcess):
                 counts[index] = count
         return counts
 
+    def injection_events(self, cycle: int):
+        """Sparse injections straight from the trace's native sparse rows."""
+        row = self.trace_data.counts.get(cycle)
+        return list(row) if row else []
+
     def packets_to_inject(self, flow: Flow, cycle: int) -> int:
         row = self.trace_data.counts.get(cycle)
         if not row:
@@ -307,7 +312,7 @@ def capture_simulation(topology: Topology, route_set: RouteSet,
         seed=config.seed,
     )
     recorder = RecordingInjection(inner)
-    simulator = NetworkSimulator(
+    simulator = create_simulator(
         topology, route_set, config, recorder,
         phase_boundaries=phase_boundaries,
     )
@@ -329,7 +334,7 @@ def replay_simulation(topology: Topology, route_set: RouteSet,
     """
     _check_complete(route_set)
     process = TraceInjectionProcess(route_set.flow_set, trace)
-    simulator = NetworkSimulator(
+    simulator = create_simulator(
         topology, route_set, config, process,
         phase_boundaries=phase_boundaries,
     )

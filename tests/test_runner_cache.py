@@ -95,7 +95,12 @@ class TestKeyStability:
 
 class TestKeyInvalidation:
     def test_every_config_field_invalidates(self, mesh4, xy_routes, sim_config):
-        """Changing any simulation-config field produces a new key."""
+        """Changing any outcome-determining config field produces a new key.
+
+        ``backend`` is the one deliberate exception: backends are
+        bit-identical, so the kernel choice must *not* invalidate cached
+        results (asserted separately below).
+        """
         base_key = simulation_cache_key(mesh4, xy_routes, sim_config, 0.5)
         changed = dict(
             num_vcs=4,
@@ -110,12 +115,27 @@ class TestKeyInvalidation:
             variation_dwell_cycles=100,
             drop_when_source_full=True,
         )
-        assert set(changed) == {field.name for field in
-                                dataclasses.fields(SimulationConfig)}
+        assert set(changed) | {"backend"} == {
+            field.name for field in dataclasses.fields(SimulationConfig)
+        }
         for field_name, new_value in changed.items():
             varied = dataclasses.replace(sim_config, **{field_name: new_value})
             assert simulation_cache_key(mesh4, xy_routes, varied, 0.5) \
                 != base_key, f"field {field_name} did not invalidate the key"
+
+    def test_backend_choice_keeps_the_key(self, mesh4, xy_routes, sim_config):
+        """Cache keys are backend-invariant: warm caches survive a backend
+        switch (and entries written before the backend field existed stay
+        valid)."""
+        from repro.simulator import available_backends
+
+        keys = {
+            simulation_cache_key(
+                mesh4, xy_routes,
+                dataclasses.replace(sim_config, backend=backend), 0.5)
+            for backend in available_backends()
+        }
+        assert len(keys) == 1
 
     def test_rate_topology_routes_and_boundaries_invalidate(
             self, mesh4, transpose4, xy_routes, sim_config):
@@ -211,21 +231,19 @@ class TestRunnerCacheBehaviour:
 
     def test_warm_cache_never_invokes_the_simulator(
             self, tmp_path, mesh4, xy_routes, sim_config, monkeypatch):
-        """Acceptance: a warm re-run must not construct NetworkSimulator."""
+        """Acceptance: a warm re-run must not construct any backend kernel."""
+        from repro.simulator import available_backends, backend_spec
+
         runner = ExperimentRunner(workers=1, cache=tmp_path)
         cold = runner.sweep(mesh4, xy_routes, sim_config, [0.3, 0.9])
 
-        import repro.simulator.network as network_module
-        import repro.simulator.simulation as simulation_module
-
         def _forbidden(*args, **kwargs):
             raise AssertionError(
-                "NetworkSimulator invoked despite a warm cache")
+                "simulator kernel invoked despite a warm cache")
 
-        monkeypatch.setattr(network_module.NetworkSimulator,
-                            "__init__", _forbidden)
-        monkeypatch.setattr(simulation_module.NetworkSimulator,
-                            "__init__", _forbidden)
+        for name in available_backends():
+            monkeypatch.setattr(backend_spec(name).factory,
+                                "__init__", _forbidden)
         warm = runner.sweep(mesh4, xy_routes, sim_config, [0.3, 0.9])
         assert warm.curve.throughputs == cold.curve.throughputs
         assert runner.last_report.points_simulated == 0

@@ -5,6 +5,9 @@
 #   make coverage   - full suite under coverage with the CI coverage floor
 #                     (needs pytest-cov: pip install pytest-cov)
 #   make smoke      - one fast figure benchmark through the parallel runner
+#   make smoke-cli  - exercise the unified CLI end to end: help, a registry
+#                     listing, schema validation of every bundled study
+#                     spec, and the smoke study on a tiny mesh
 #   make bench-smoke - time both simulator backends on a small fixed sweep,
 #                     write BENCH_simkernel.json, and fail if the fast
 #                     backend regresses below parity (generous margin)
@@ -22,7 +25,7 @@ export PYTHONPATH := src:$(PYTHONPATH)
 #: Minimum line coverage (percent) the full CI job enforces.
 COVERAGE_FLOOR ?= 70
 
-.PHONY: test test-fast coverage smoke bench-smoke links docs docs-check check clean-cache
+.PHONY: test test-fast coverage smoke smoke-cli bench-smoke links docs docs-check check clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -38,6 +41,12 @@ smoke:
 	REPRO_BENCH_PROFILE=quick $(PYTHON) -m pytest benchmarks/bench_figure_6_1.py \
 		--benchmark-only -x -q -p no:cacheprovider
 
+smoke-cli:
+	$(PYTHON) -m repro --help > /dev/null
+	$(PYTHON) -m repro list routers
+	$(PYTHON) -m repro validate examples/studies/*.yaml
+	$(PYTHON) -m repro run examples/studies/smoke.yaml --backend fast --no-cache
+
 bench-smoke:
 	$(PYTHON) scripts/bench_smoke.py --check
 
@@ -50,7 +59,7 @@ docs:
 docs-check:
 	$(PYTHON) scripts/gen_api_docs.py --check
 
-check: test smoke docs-check links
+check: test smoke smoke-cli docs-check links
 
 clean-cache:
-	$(PYTHON) -m repro.runner cache clear
+	$(PYTHON) -m repro cache clear

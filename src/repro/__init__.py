@@ -20,15 +20,20 @@ pipeline of layers, each importable on its own:
   simulator with a flat-array fast path;
 * :mod:`repro.runner` — the parallel experiment engine: multi-process
   injection-rate sweeps with a content-addressed on-disk result cache
-  (:class:`ExperimentRunner`, :class:`ResultCache`), also usable as a CLI
-  via ``python -m repro.runner``;
+  (:class:`ExperimentRunner`, :class:`ResultCache`);
 * :mod:`repro.compare` — the unified routing comparison: adaptive
   saturation-throughput search over a (topology x pattern x router)
-  matrix, driven by the routing registry and the runner; CLI via
-  ``python -m repro.compare``;
+  matrix, driven by the routing registry and the runner
+  (``python -m repro compare``);
 * :mod:`repro.experiments` / :mod:`repro.metrics` — the harness that
   regenerates every table and figure of the evaluation chapter, and the
-  statistics containers it reports.
+  statistics containers it reports;
+* :mod:`repro.study` — the declarative front door: serializable
+  :class:`Study` specs (YAML/JSON or fluent Python) executed through one
+  path into a tagged, queryable :class:`ResultSet`;
+* :mod:`repro.cli` — the unified command line, ``python -m repro``
+  (``run`` / ``compare`` / ``figure`` / ``table`` / ``sweep`` /
+  ``saturate`` / ``cache`` / ``profile`` / ``list`` / ``validate``).
 
 Quick start::
 
@@ -41,7 +46,18 @@ Quick start::
     print("BSOR MCL:", routes.max_channel_load())
     print("XY   MCL:", XYRouting().compute_routes(mesh, flows).max_channel_load())
 
-Sweeping with the parallel runner::
+Running a declarative study (the same thing ``python -m repro run`` does)::
+
+    from repro import Study
+
+    study = (Study("saturation")
+             .grid(routers=["dor", "o1turn", "bsor-dijkstra"],
+                   patterns=["transpose"])
+             .saturate(max_rate=8.0))
+    result = study.run(workers=4)
+    print(result.results.to_markdown())
+
+Sweeping with the parallel runner directly::
 
     from repro import ExperimentRunner, SimulationConfig
 
@@ -68,6 +84,7 @@ from .exceptions import (
     RoutingError,
     SimulationError,
     SolverError,
+    StudyError,
     TableError,
     TopologyError,
     TrafficError,
@@ -112,6 +129,14 @@ from .routing import (
     router_spec,
 )
 from .runner import ExperimentRunner, ResultCache, simulation_cache_key
+from .study import (
+    ExecutionPolicy,
+    ResultSet,
+    Scenario,
+    Study,
+    StudyResult,
+    run_study,
+)
 from .simulator import (
     FastSimulator,
     NetworkSimulator,
@@ -165,6 +190,7 @@ __all__ = [
     "DeadlockError",
     "DijkstraSelector",
     "Direction",
+    "ExecutionPolicy",
     "ExperimentError",
     "ExperimentRunner",
     "FastSimulator",
@@ -180,6 +206,7 @@ __all__ = [
     "ROMMRouting",
     "ReproError",
     "ResultCache",
+    "ResultSet",
     "Ring",
     "Route",
     "RouteSet",
@@ -188,10 +215,14 @@ __all__ = [
     "RoutingError",
     "SaturationCriteria",
     "SaturationSearch",
+    "Scenario",
     "SimulationConfig",
     "SimulationError",
     "SimulationStatistics",
     "SolverError",
+    "Study",
+    "StudyError",
+    "StudyResult",
     "SweepCurve",
     "SweepPoint",
     "TableError",
@@ -234,6 +265,7 @@ __all__ = [
     "register_workload",
     "replay_simulation",
     "router_spec",
+    "run_study",
     "shuffle",
     "simulation_cache_key",
     "synthetic_by_name",

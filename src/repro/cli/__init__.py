@@ -1,0 +1,187 @@
+"""``python -m repro`` — the one front door to the whole evaluation plane.
+
+Every way of running the reproduction goes through this CLI::
+
+    python -m repro run examples/studies/figure_6_7.yaml
+    python -m repro compare --topology mesh8x8 --routers dor,bsor-dijkstra
+    python -m repro figure 6.7 --workers 4
+    python -m repro table 6-1
+    python -m repro sweep --workload transpose --algorithms XY,BSOR-Dijkstra
+    python -m repro saturate --topology mesh8x8 --patterns transpose
+    python -m repro cache info
+    python -m repro profile --workload transpose --rate 2.5
+    python -m repro list routers
+    python -m repro validate examples/studies/*.yaml
+
+``run`` executes a declarative :class:`~repro.study.spec.Study` file;
+``figure`` / ``table`` / ``sweep`` / ``cache`` / ``profile`` are the
+reproduction commands that used to live in ``python -m repro.runner``, and
+``compare`` is the matrix engine that used to live in ``python -m
+repro.compare`` — both old entry points keep working as deprecation shims
+that forward here.  ``list`` enumerates every registered vocabulary
+(routers, workloads, backends, patterns) from the shared
+:mod:`repro.registry` machinery.
+
+Exit codes are uniform across every subcommand: ``0`` on success, ``2`` for
+usage errors (unknown options, malformed values), ``1`` for execution
+failures (unknown names, unroutable flows, simulator faults) — failures
+print ``error: ...`` with a did-you-mean hint to stderr.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from ..exceptions import ReproError
+from .common import (
+    COMMON_DEFAULTS,
+    EXIT_FAILURE,
+    EXIT_OK,
+    EXIT_USAGE,
+    PROFILES,
+    UsageError,
+    apply_common_defaults,
+    common_options,
+)
+from .compare_command import add_compare_options, run_compare
+from .listing import LIST_KINDS, render_listing
+from .runner_commands import (
+    add_runner_subcommands,
+    run_cache,
+    run_figure,
+    run_profile,
+    run_sweep,
+    run_table,
+)
+from .study_commands import (
+    add_study_subcommands,
+    run_saturate_command,
+    run_study_command,
+    run_validate_command,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    common = common_options()
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduction of the BSOR evaluation: declarative "
+                    "studies, figure/table regeneration and routing "
+                    "comparisons through one parallel, cached engine.",
+        parents=[common],
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    add_study_subcommands(commands, common)
+    add_runner_subcommands(commands, common)
+
+    compare = commands.add_parser(
+        "compare", parents=[common],
+        help="compare routers across a (topology x pattern x router) matrix")
+    add_compare_options(compare)
+
+    listing = commands.add_parser(
+        "list", help="list a registered vocabulary")
+    listing.add_argument("kind", choices=LIST_KINDS,
+                         help="which vocabulary to list")
+
+    return parser
+
+
+def _maybe_list(args: argparse.Namespace) -> Optional[str]:
+    """The listing a ``--list-*`` flag asks for, if any."""
+    for flag, kind in (("list_routers", "routers"),
+                       ("list_workloads", "workloads"),
+                       ("list_backends", "backends"),
+                       ("list_patterns", "patterns")):
+        if getattr(args, flag, False):
+            return render_listing(kind)
+    return None
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "list":
+        print(render_listing(args.kind))
+        return EXIT_OK
+    if args.command == "validate":
+        return run_validate_command(args)
+
+    apply_common_defaults(args)
+    if args.command == "compare":
+        return run_compare(args)
+    if args.command == "run":
+        return run_study_command(args)
+    if args.command == "saturate":
+        return run_saturate_command(args)
+
+    listing = _maybe_list(args)
+    if listing is not None:
+        print(listing)
+        return EXIT_OK
+    # the figure/table/cache positionals are optional so that a bare
+    # `figure --list-workloads` works; without a list flag they are needed
+    if args.command in ("figure", "table") and args.number is None:
+        raise UsageError(f"{args.command}: missing the number argument "
+                         f"(e.g. `python -m repro {args.command} 6-1`)")
+    if args.command == "cache":
+        if args.action is None:
+            raise UsageError("cache: missing the action argument "
+                             "(info or clear)")
+        print(run_cache(args))
+        return EXIT_OK
+    if args.command == "profile":
+        print(run_profile(args))
+        return EXIT_OK
+
+    from ..runner.engine import runner_for
+    from .runner_commands import experiment_config
+
+    started = time.time()
+    runner = runner_for(experiment_config(args))
+    if args.command == "figure":
+        output = run_figure(args, runner)
+    elif args.command == "table":
+        output = run_table(args, runner)
+    else:
+        output = run_sweep(args, runner)
+    elapsed = time.time() - started
+    print(output)
+    from ..experiments.report import runner_summary
+
+    print(f"\n[{runner_summary(runner)}; {elapsed:.1f}s]")
+    return EXIT_OK
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exit_code:
+        # argparse exits 0 for --help and 2 for usage errors; surface the
+        # code instead of letting SystemExit escape so embedding callers
+        # (tests, the deprecation shims) get a plain return value
+        code = exit_code.code
+        return code if isinstance(code, int) else EXIT_USAGE
+    try:
+        return _dispatch(args)
+    except UsageError as error:
+        print(f"usage error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_FAILURE
+
+
+__all__ = [
+    "COMMON_DEFAULTS",
+    "EXIT_FAILURE",
+    "EXIT_OK",
+    "EXIT_USAGE",
+    "PROFILES",
+    "UsageError",
+    "build_parser",
+    "main",
+]

@@ -1,0 +1,71 @@
+"""Shared option plumbing of the unified CLI.
+
+One definition of the worker/profile/backend/cache option set (accepted both
+before and after a subcommand), the exit-code policy constants, and the
+:class:`UsageError` type mapping bad option *values* to the usage exit code.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+#: Accepted experiment scales (mirrors ``ExperimentConfig.from_profile``).
+PROFILES = ("quick", "default", "paper")
+
+#: Exit codes of every CLI path: success / hard failure / usage error.
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_USAGE = 2
+
+
+class UsageError(Exception):
+    """A malformed option value (exit code 2, like an argparse error)."""
+
+
+#: Defaults of the options shared by every subcommand; the options carry
+#: ``SUPPRESS`` defaults so they can be accepted both before and after the
+#: subcommand without the subparser default clobbering a root-parsed value.
+COMMON_DEFAULTS = {
+    "workers": 0,
+    "profile": "default",
+    "backend": None,
+    "no_cache": False,
+    "cache_dir": None,
+    "list_backends": False,
+}
+
+
+def common_options() -> argparse.ArgumentParser:
+    """The option set shared by every execution subcommand."""
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--workers", type=int, default=argparse.SUPPRESS,
+                        help="worker processes (0 = $REPRO_WORKERS or CPU count)")
+    common.add_argument("--profile", choices=PROFILES, default=argparse.SUPPRESS,
+                        help="experiment scale (default: default)")
+    common.add_argument("--backend", default=argparse.SUPPRESS,
+                        help="simulator kernel (fast or reference; backends "
+                             "are bit-identical, so this changes speed only)")
+    common.add_argument("--no-cache", action="store_true",
+                        default=argparse.SUPPRESS,
+                        help="simulate every point even when cached")
+    common.add_argument("--cache-dir", default=argparse.SUPPRESS,
+                        help="result cache directory (default: $REPRO_CACHE_DIR "
+                             "or ~/.cache/repro-bsor)")
+    common.add_argument("--list-backends", action="store_true",
+                        default=argparse.SUPPRESS,
+                        help="list registered simulator backends and exit")
+    return common
+
+
+def apply_common_defaults(args: argparse.Namespace) -> argparse.Namespace:
+    """Fill in any common option the parse did not see.
+
+    Also records whether ``--profile`` was given explicitly
+    (``args.profile_explicit``) so the study commands can distinguish "use
+    the spec file's profile" from "the user asked for this profile".
+    """
+    args.profile_explicit = hasattr(args, "profile")
+    for name, default in COMMON_DEFAULTS.items():
+        if not hasattr(args, name):
+            setattr(args, name, default)
+    return args

@@ -1,0 +1,139 @@
+"""The ``compare`` subcommand: the routing-comparison engine's CLI face.
+
+Moved here from ``repro.compare.cli`` (which now forwards); the option set
+and output are unchanged: an adaptive saturation search over the
+(topology x pattern x router) matrix, rendered as markdown or JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+import time
+
+from ..experiments.config import ExperimentConfig
+
+
+def _split(text: str):
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def add_compare_options(parser: argparse.ArgumentParser) -> None:
+    """Add the comparison-specific option set to *parser*.
+
+    The shared worker/profile/backend/cache options are NOT defined here —
+    both callers (the unified CLI's subparser and the legacy shim's parser)
+    attach :func:`repro.cli.common.common_options` as a parent, so those
+    options keep their SUPPRESS defaults and survive being given before
+    the ``compare`` subcommand.
+    """
+    parser.add_argument("--topology", "--topologies", dest="topologies",
+                        default="mesh8x8",
+                        help="comma-separated topology specs, e.g. "
+                             "mesh8x8,torus4x4,ring16 (default: %(default)s)")
+    parser.add_argument("--patterns", default=None,
+                        help="comma-separated traffic patterns "
+                             "(default: transpose,bit_complement unless "
+                             "--workloads is given)")
+    parser.add_argument("--workload", "--workloads", dest="workloads",
+                        default=None,
+                        help="comma-separated application workloads from "
+                             "the repro.workloads registry (see "
+                             "--list-workloads); adds a workload axis "
+                             "alongside --patterns")
+    parser.add_argument("--mapping", default=None,
+                        choices=("block", "row-major", "spread", "random"),
+                        help="task placement strategy for application "
+                             "workloads (default: block)")
+    parser.add_argument("--routers", default="dor,o1turn,bsor-dijkstra",
+                        help="comma-separated registry names "
+                             "(default: %(default)s)")
+    parser.add_argument("--min-rate", type=float, default=None,
+                        help="lowest offered rate / latency reference point")
+    parser.add_argument("--max-rate", type=float, default=None,
+                        help="highest offered rate to probe")
+    parser.add_argument("--resolution", type=float, default=None,
+                        help="target width of the saturation bracket")
+    parser.add_argument("--json", action="store_true",
+                        help="emit JSON instead of markdown")
+    parser.add_argument("--output", default=None,
+                        help="write the report to a file instead of stdout")
+    parser.add_argument("--list-routers", action="store_true",
+                        help="list registered routing algorithms and exit")
+    parser.add_argument("--list-workloads", action="store_true",
+                        help="list registered application workloads and exit")
+    parser.add_argument("--list-patterns", action="store_true",
+                        help="list accepted traffic patterns and exit")
+
+
+def _criteria(args: argparse.Namespace):
+    from ..compare.saturation import SaturationCriteria
+
+    overrides = {}
+    if args.min_rate is not None:
+        overrides["min_rate"] = args.min_rate
+    if args.max_rate is not None:
+        overrides["max_rate"] = args.max_rate
+    if args.resolution is not None:
+        overrides["resolution"] = args.resolution
+    return dataclasses.replace(SaturationCriteria(), **overrides) \
+        if overrides else SaturationCriteria()
+
+
+def run_compare(args: argparse.Namespace) -> int:
+    """Execute the comparison described by parsed *args*."""
+    from ..compare.matrix import CompareMatrix
+    from ..compare.report import render_json, render_markdown
+    from ..runner.engine import runner_for
+    from .listing import render_listing
+
+    for flag, kind in (("list_routers", "routers"),
+                       ("list_workloads", "workloads"),
+                       ("list_backends", "backends"),
+                       ("list_patterns", "patterns")):
+        if getattr(args, flag, False):
+            print(render_listing(kind))
+            return 0
+
+    # the pattern axis is the concatenation of --patterns and --workloads;
+    # the default synthetic pair applies only when neither axis was given
+    patterns = _split(args.patterns) if args.patterns else []
+    patterns += _split(args.workloads) if args.workloads else []
+    if not patterns:
+        patterns = ["transpose", "bit_complement"]
+
+    overrides = {
+        "workers": args.workers,
+        "use_cache": not args.no_cache,
+        "cache_dir": args.cache_dir,
+    }
+    if args.mapping:
+        overrides["mapping_strategy"] = args.mapping
+    config = dataclasses.replace(
+        ExperimentConfig.from_profile(args.profile), **overrides
+    )
+    if args.backend:
+        # resolve eagerly so a typo fails with the registry's did-you-mean
+        # error even when every sweep point would be a warm-cache hit
+        from ..simulator.backends import backend_spec
+
+        config = config.with_backend(backend_spec(args.backend).name)
+    started = time.time()
+    matrix = CompareMatrix(config=config, criteria=_criteria(args),
+                           runner=runner_for(config))
+    result = matrix.run(
+        _split(args.topologies), patterns, _split(args.routers),
+    )
+    output = render_json(result) if args.json else render_markdown(result)
+    if args.output:
+        with open(args.output, "w") as stream:
+            stream.write(output if output.endswith("\n") else output + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(output)
+    elapsed = time.time() - started
+    print(f"[{result.total_invocations()} rate point(s) across "
+          f"{len(result.cells)} cell(s); {result.report.describe()}; "
+          f"{elapsed:.1f}s]", file=sys.stderr)
+    return 0

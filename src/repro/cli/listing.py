@@ -1,0 +1,97 @@
+"""Registry listings shared by ``python -m repro list`` and ``--list-*``.
+
+Every listable vocabulary — routing algorithms, application workloads,
+simulator backends, synthetic traffic patterns — is rendered here, from the
+same registries the execution paths resolve names through, so a listing can
+never drift from what the engines accept.  The comparison CLI's historical
+``--list-routers`` / ``--list-workloads`` flags and the unified CLI's
+``list`` subcommand print byte-identical output because both call these
+functions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..exceptions import ExperimentError
+
+#: The listable vocabularies, in help order.
+LIST_KINDS = ("routers", "workloads", "backends", "patterns")
+
+
+def list_routers() -> str:
+    from ..routing.registry import router_specs
+
+    lines = ["registered routing algorithms:"]
+    for spec in router_specs():
+        aliases = f" (aliases: {', '.join(spec.aliases)})" if spec.aliases \
+            else ""
+        lines.append(f"  {spec.name:<14} {spec.display_name:<14} "
+                     f"{spec.summary}{aliases}")
+    return "\n".join(lines)
+
+
+def list_workloads() -> str:
+    from ..workloads.registry import workload_specs
+
+    lines = ["registered application workloads:"]
+    for spec in workload_specs():
+        aliases = f" (aliases: {', '.join(spec.aliases)})" if spec.aliases \
+            else ""
+        lines.append(f"  {spec.name:<18} {spec.display_name:<22} "
+                     f"{spec.summary}{aliases}")
+    return "\n".join(lines)
+
+
+def list_backends() -> str:
+    from ..simulator.backends import DEFAULT_BACKEND, backend_specs
+
+    lines = ["registered simulator backends (all bit-identical; the choice "
+             "affects speed only):"]
+    for spec in backend_specs():
+        aliases = f" (aliases: {', '.join(spec.aliases)})" if spec.aliases \
+            else ""
+        marker = " [default]" if spec.name == DEFAULT_BACKEND else ""
+        lines.append(f"  {spec.name:<14} {spec.display_name:<14} "
+                     f"{spec.summary}{aliases}{marker}")
+    return "\n".join(lines)
+
+
+def list_patterns() -> str:
+    from ..experiments.workloads import APPLICATION_WORKLOADS
+    from ..traffic.synthetic import (
+        SYNTHETIC_PATTERN_ALIASES,
+        available_pattern_names,
+    )
+
+    lines = ["synthetic traffic patterns:"]
+    for name in available_pattern_names():
+        aliases = sorted(alias for alias, target
+                         in SYNTHETIC_PATTERN_ALIASES.items()
+                         if target == name)
+        suffix = f" (aliases: {', '.join(aliases)})" if aliases else ""
+        lines.append(f"  {name}{suffix}")
+    lines.append("paper application workloads (task graphs on the mesh):")
+    for name in APPLICATION_WORKLOADS:
+        lines.append(f"  {name}")
+    lines.append("(application workloads from the registry also work as "
+                 "patterns; see `list workloads`)")
+    return "\n".join(lines)
+
+
+_RENDERERS: Dict[str, Callable[[], str]] = {
+    "routers": list_routers,
+    "workloads": list_workloads,
+    "backends": list_backends,
+    "patterns": list_patterns,
+}
+
+
+def render_listing(kind: str) -> str:
+    """The listing for one vocabulary; raises on unknown kinds."""
+    key = kind.strip().lower()
+    if key not in _RENDERERS:
+        raise ExperimentError(
+            f"unknown listing {kind!r}; accepted: {', '.join(LIST_KINDS)}"
+        )
+    return _RENDERERS[key]()

@@ -1,207 +1,62 @@
-"""Command-line interface of the routing-comparison engine.
+"""Deprecated entry point: ``python -m repro.compare`` forwards to the
+unified CLI.
 
-Compare any registered routers across topologies, traffic patterns and
-application workloads::
+The comparison engine's CLI now lives at ``python -m repro compare`` (see
+:mod:`repro.cli`); the option set and output are unchanged, so every
+historical invocation keeps working::
 
     python -m repro.compare --topology mesh8x8 \\
         --patterns transpose,bit_complement \\
         --routers dor,o1turn,bsor-dijkstra
 
-    python -m repro.compare --topology mesh8x8 \\
-        --workloads decoder-pipeline --routers dor,o1turn,bsor-dijkstra
+is equivalent to::
 
-    python -m repro.compare --topology mesh4x4 --profile quick \\
-        --routers dor,yx,romm --patterns shuffle --json
+    python -m repro compare --topology mesh8x8 \\
+        --patterns transpose,bit_complement \\
+        --routers dor,o1turn,bsor-dijkstra
 
-    python -m repro.compare --list-routers
-    python -m repro.compare --list-workloads
-
-Router names are registry slugs (see ``--list-routers`` or
-``docs/routing-guide.md``); pattern names accept the synthetic patterns
-(underscore or dash spelling, plus aliases) and the paper's application
-workloads (``h264``, ``perf-modeling``, ``transmitter``).  The
-``--workloads`` axis names application task graphs from the
-:mod:`repro.workloads` registry (``--list-workloads`` or
-``docs/workloads-guide.md``); their routers — BSOR included — are
-configured from the application's own flow graph, placed with
-``--mapping``.  The adaptive saturation search replaces a dense rate
-sweep, so each cell costs a handful of simulation points; ``--max-rate``
-/ ``--resolution`` tune its range and precision.  Simulated points land in
-the shared result cache (disable with ``--no-cache``), making warm
-re-runs near-free.
+This module only prints a one-line deprecation pointer to stderr and
+forwards ``argv`` (prefixed with the ``compare`` subcommand) verbatim;
+output and exit codes come from the unified CLI.
 """
 
 from __future__ import annotations
 
 import argparse
-import dataclasses
 import sys
-import time
 from typing import List, Optional
 
-from ..exceptions import ReproError
-from ..experiments.config import ExperimentConfig
-from ..routing.registry import router_specs
-from ..runner.engine import runner_for
-from ..workloads.registry import workload_specs
-from .matrix import CompareMatrix
-from .report import render_json, render_markdown
-from .saturation import SaturationCriteria
-
-PROFILES = ("quick", "default", "paper")
-
-
-def _split(text: str) -> List[str]:
-    return [item.strip() for item in text.split(",") if item.strip()]
+#: The pointer printed (to stderr) on every use of the deprecated path.
+DEPRECATION_NOTE = ("note: `python -m repro.compare` is deprecated; use "
+                    "`python -m repro compare` (same options)")
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The legacy stand-alone parser (kept for API compatibility)."""
+    from ..cli.common import COMMON_DEFAULTS, common_options
+    from ..cli.compare_command import add_compare_options
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.compare",
         description="Compare routing algorithms: adaptive saturation search "
                     "over a (topology x pattern x router) matrix.",
+        parents=[common_options()],
     )
-    parser.add_argument("--topology", "--topologies", dest="topologies",
-                        default="mesh8x8",
-                        help="comma-separated topology specs, e.g. "
-                             "mesh8x8,torus4x4,ring16 (default: %(default)s)")
-    parser.add_argument("--patterns", default=None,
-                        help="comma-separated traffic patterns "
-                             "(default: transpose,bit_complement unless "
-                             "--workloads is given)")
-    parser.add_argument("--workload", "--workloads", dest="workloads",
-                        default=None,
-                        help="comma-separated application workloads from "
-                             "the repro.workloads registry (see "
-                             "--list-workloads); adds a workload axis "
-                             "alongside --patterns")
-    parser.add_argument("--mapping", default=None,
-                        choices=("block", "row-major", "spread", "random"),
-                        help="task placement strategy for application "
-                             "workloads (default: block)")
-    parser.add_argument("--routers", default="dor,o1turn,bsor-dijkstra",
-                        help="comma-separated registry names "
-                             "(default: %(default)s)")
-    parser.add_argument("--profile", choices=PROFILES, default="default",
-                        help="experiment scale (default: %(default)s)")
-    parser.add_argument("--backend", default=None,
-                        help="simulator kernel (fast or reference; backends "
-                             "are bit-identical, so this changes speed only)")
-    parser.add_argument("--workers", type=int, default=0,
-                        help="worker processes (0 = $REPRO_WORKERS or CPU "
-                             "count)")
-    parser.add_argument("--no-cache", action="store_true",
-                        help="simulate every point even when cached")
-    parser.add_argument("--cache-dir", default=None,
-                        help="result cache directory (default: "
-                             "$REPRO_CACHE_DIR or ~/.cache/repro-bsor)")
-    parser.add_argument("--min-rate", type=float, default=None,
-                        help="lowest offered rate / latency reference point")
-    parser.add_argument("--max-rate", type=float, default=None,
-                        help="highest offered rate to probe")
-    parser.add_argument("--resolution", type=float, default=None,
-                        help="target width of the saturation bracket")
-    parser.add_argument("--json", action="store_true",
-                        help="emit JSON instead of markdown")
-    parser.add_argument("--output", default=None,
-                        help="write the report to a file instead of stdout")
-    parser.add_argument("--list-routers", action="store_true",
-                        help="list registered routing algorithms and exit")
-    parser.add_argument("--list-workloads", action="store_true",
-                        help="list registered application workloads and exit")
+    add_compare_options(parser)
+    # the shared options carry SUPPRESS defaults (so the unified CLI can
+    # accept them before the subcommand); this stand-alone parser restores
+    # the historical explicit defaults so parsed namespaces keep their
+    # .workers/.profile/.no_cache/... attributes
+    parser.set_defaults(**COMMON_DEFAULTS)
     return parser
 
 
-def _list_routers() -> str:
-    lines = ["registered routing algorithms:"]
-    for spec in router_specs():
-        aliases = f" (aliases: {', '.join(spec.aliases)})" if spec.aliases \
-            else ""
-        lines.append(f"  {spec.name:<14} {spec.display_name:<14} "
-                     f"{spec.summary}{aliases}")
-    return "\n".join(lines)
-
-
-def _list_workloads() -> str:
-    lines = ["registered application workloads:"]
-    for spec in workload_specs():
-        aliases = f" (aliases: {', '.join(spec.aliases)})" if spec.aliases \
-            else ""
-        lines.append(f"  {spec.name:<18} {spec.display_name:<22} "
-                     f"{spec.summary}{aliases}")
-    return "\n".join(lines)
-
-
-def _criteria(args: argparse.Namespace) -> SaturationCriteria:
-    overrides = {}
-    if args.min_rate is not None:
-        overrides["min_rate"] = args.min_rate
-    if args.max_rate is not None:
-        overrides["max_rate"] = args.max_rate
-    if args.resolution is not None:
-        overrides["resolution"] = args.resolution
-    return dataclasses.replace(SaturationCriteria(), **overrides) \
-        if overrides else SaturationCriteria()
-
-
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-    if args.list_routers:
-        print(_list_routers())
-        return 0
-    if args.list_workloads:
-        print(_list_workloads())
-        return 0
+    from ..cli import main as unified_main
 
-    # the pattern axis is the concatenation of --patterns and --workloads;
-    # the default synthetic pair applies only when neither axis was given
-    patterns = _split(args.patterns) if args.patterns else []
-    patterns += _split(args.workloads) if args.workloads else []
-    if not patterns:
-        patterns = ["transpose", "bit_complement"]
-
-    overrides = {
-        "workers": args.workers,
-        "use_cache": not args.no_cache,
-        "cache_dir": args.cache_dir,
-    }
-    if args.mapping:
-        overrides["mapping_strategy"] = args.mapping
-    config = dataclasses.replace(
-        ExperimentConfig.from_profile(args.profile), **overrides
-    )
-    if args.backend:
-        # resolve eagerly so a typo fails with the registry's did-you-mean
-        # error even when every sweep point would be a warm-cache hit
-        from ..simulator.backends import backend_spec
-
-        try:
-            config = config.with_backend(backend_spec(args.backend).name)
-        except ReproError as error:
-            print(f"error: {error}", file=sys.stderr)
-            return 1
-    started = time.time()
-    try:
-        matrix = CompareMatrix(config=config, criteria=_criteria(args),
-                               runner=runner_for(config))
-        result = matrix.run(
-            _split(args.topologies), patterns, _split(args.routers),
-        )
-    except ReproError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 1
-    output = render_json(result) if args.json else render_markdown(result)
-    if args.output:
-        with open(args.output, "w") as stream:
-            stream.write(output if output.endswith("\n") else output + "\n")
-        print(f"wrote {args.output}")
-    else:
-        print(output)
-    elapsed = time.time() - started
-    print(f"[{result.total_invocations()} rate point(s) across "
-          f"{len(result.cells)} cell(s); {result.report.describe()}; "
-          f"{elapsed:.1f}s]", file=sys.stderr)
-    return 0
+    print(DEPRECATION_NOTE, file=sys.stderr)
+    forwarded = list(sys.argv[1:] if argv is None else argv)
+    return unified_main(["compare", *forwarded])
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

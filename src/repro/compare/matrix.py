@@ -142,6 +142,39 @@ class CompareCell:
     def saturation_throughput(self) -> float:
         return self.saturation.throughput
 
+    def to_row(self) -> Dict:
+        """This cell as one flat, JSON-able result row.
+
+        The row shape is shared by :meth:`CompareResult.result_set`, the
+        JSON report and the study engine's saturate scenarios.
+        """
+        return {
+            "topology": self.topology,
+            "pattern": self.pattern,
+            "router": self.router,
+            "display_name": self.display_name,
+            "saturation_rate": self.saturation_rate,
+            "saturated_within_range": self.saturation.saturated_within_range,
+            "last_stable_rate": self.saturation.last_stable_rate,
+            "saturation_throughput": self.saturation_throughput,
+            "max_throughput": self.saturation.max_throughput,
+            "low_load_latency": self.low_load_latency,
+            "p99_latency": self.p99_latency,
+            "max_channel_load": self.max_channel_load,
+            "average_hops": self.average_hops,
+            "invocations": self.saturation.invocations,
+            "observations": [
+                {
+                    "offered_rate": observation.offered_rate,
+                    "throughput": observation.throughput,
+                    "average_latency": observation.average_latency,
+                    "delivery_ratio": observation.delivery_ratio,
+                    "saturated": observation.saturated,
+                }
+                for observation in self.saturation.observations
+            ],
+        }
+
 
 @dataclass
 class CompareResult:
@@ -172,6 +205,17 @@ class CompareResult:
 
     def total_invocations(self) -> int:
         return sum(cell.saturation.invocations for cell in self.cells)
+
+    def result_set(self):
+        """The cells as a tagged :class:`~repro.study.resultset.ResultSet`.
+
+        One row per cell (see :meth:`CompareCell.to_row`); this is the shape
+        :mod:`repro.compare.report` renders and the study engine tags into
+        its combined result set.
+        """
+        from ..study.resultset import ResultSet
+
+        return ResultSet([cell.to_row() for cell in self.cells])
 
 
 def _canonical_pattern(pattern: str) -> str:

@@ -1,12 +1,13 @@
 """Markdown / JSON rendering of comparison results.
 
 The comparison engine produces structured :class:`~repro.compare.matrix.CompareCell`
-rows; this module turns them into
+rows, exposed as a tagged :class:`~repro.study.resultset.ResultSet` via
+:meth:`CompareResult.result_set`; this module renders that result set as
 
 * **markdown** — one table per (topology, pattern) group with per-router
   saturation throughput, saturation rate, latency columns and max channel
   load, ready to paste into EXPERIMENTS.md or a PR description;
-* **JSON** — the same data as plain dictionaries for downstream tooling.
+* **JSON** — the same rows as plain dictionaries for downstream tooling.
 """
 
 from __future__ import annotations
@@ -16,30 +17,37 @@ from typing import Dict, List
 
 from .matrix import CompareCell, CompareResult
 
-#: Column layout of the markdown tables: (header, cell -> formatted value).
+#: Column layout of the markdown tables: (header, result row -> formatted).
 _COLUMNS = (
-    ("router", lambda cell: cell.display_name),
-    ("saturation rate (pkt/cycle)", lambda cell: _rate(cell)),
+    ("router", lambda row: row["display_name"]),
+    ("saturation rate (pkt/cycle)", lambda row: _format_rate(row)),
     ("saturation throughput (pkt/cycle)",
-     lambda cell: f"{cell.saturation_throughput:.3f}"),
-    ("low-load latency (cycles)", lambda cell: f"{cell.low_load_latency:.1f}"),
-    ("p99 flow latency (cycles)", lambda cell: f"{cell.p99_latency:.1f}"),
-    ("max channel load", lambda cell: f"{cell.max_channel_load:g}"),
-    ("avg hops", lambda cell: f"{cell.average_hops:.2f}"),
-    ("sim points", lambda cell: str(cell.saturation.invocations)),
+     lambda row: f"{row['saturation_throughput']:.3f}"),
+    ("low-load latency (cycles)",
+     lambda row: f"{row['low_load_latency']:.1f}"),
+    ("p99 flow latency (cycles)", lambda row: f"{row['p99_latency']:.1f}"),
+    ("max channel load", lambda row: f"{row['max_channel_load']:g}"),
+    ("avg hops", lambda row: f"{row['average_hops']:.2f}"),
+    ("sim points", lambda row: str(row["invocations"])),
 )
 
 
-def _rate(cell: CompareCell) -> str:
-    rate = f"{cell.saturation_rate:g}"
-    if not cell.saturation.saturated_within_range:
+def _format_rate(row: Dict) -> str:
+    rate = f"{row['saturation_rate']:g}"
+    if not row["saturated_within_range"]:
         return f">= {rate}"
     return rate
+
+
+def _rate(cell: CompareCell) -> str:
+    """Saturation-rate column of one cell (">= x" when unsaturated)."""
+    return _format_rate(cell.to_row())
 
 
 def render_markdown(result: CompareResult) -> str:
     """The full comparison as a markdown document."""
     criteria = result.criteria
+    rows = result.result_set()
     lines: List[str] = ["# Routing comparison", ""]
     lines.append(
         f"Adaptive saturation search over offered rates "
@@ -48,17 +56,17 @@ def render_markdown(result: CompareResult) -> str:
         f"{criteria.latency_blowup:g}x low-load latency or delivery ratio < "
         f"{criteria.delivery_floor:g})."
     )
-    for (topology, pattern), cells in result.groups():
+    for (topology, pattern), group in rows.group("topology", "pattern"):
         lines.extend(["", f"## {topology} / {pattern}", ""])
         headers = [header for header, _ in _COLUMNS]
         lines.append("| " + " | ".join(headers) + " |")
         lines.append("|" + "|".join(" --- " for _ in headers) + "|")
-        for cell in cells:
-            values = [render(cell) for _, render in _COLUMNS]
+        for row in group:
+            values = [render(row) for _, render in _COLUMNS]
             lines.append("| " + " | ".join(values) + " |")
     lines.extend([
         "",
-        f"_{len(result.cells)} cell(s), "
+        f"_{len(rows)} cell(s), "
         f"{result.total_invocations()} rate point(s) evaluated; runner: "
         f"{result.report.describe()}._",
         "",
@@ -68,32 +76,7 @@ def render_markdown(result: CompareResult) -> str:
 
 def cell_to_dict(cell: CompareCell) -> Dict:
     """Plain-JSON rendering of one comparison cell."""
-    return {
-        "topology": cell.topology,
-        "pattern": cell.pattern,
-        "router": cell.router,
-        "display_name": cell.display_name,
-        "saturation_rate": cell.saturation_rate,
-        "saturated_within_range": cell.saturation.saturated_within_range,
-        "last_stable_rate": cell.saturation.last_stable_rate,
-        "saturation_throughput": cell.saturation_throughput,
-        "max_throughput": cell.saturation.max_throughput,
-        "low_load_latency": cell.low_load_latency,
-        "p99_latency": cell.p99_latency,
-        "max_channel_load": cell.max_channel_load,
-        "average_hops": cell.average_hops,
-        "invocations": cell.saturation.invocations,
-        "observations": [
-            {
-                "offered_rate": observation.offered_rate,
-                "throughput": observation.throughput,
-                "average_latency": observation.average_latency,
-                "delivery_ratio": observation.delivery_ratio,
-                "saturated": observation.saturated,
-            }
-            for observation in cell.saturation.observations
-        ],
-    }
+    return cell.to_row()
 
 
 def result_to_dict(result: CompareResult) -> Dict:
@@ -107,7 +90,7 @@ def result_to_dict(result: CompareResult) -> Dict:
             "latency_blowup": result.criteria.latency_blowup,
             "delivery_floor": result.criteria.delivery_floor,
         },
-        "cells": [cell_to_dict(cell) for cell in result.cells],
+        "cells": result.result_set().rows,
         "total_invocations": result.total_invocations(),
     }
 

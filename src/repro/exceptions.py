@@ -83,3 +83,13 @@ class TableError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised for invalid experiment configuration."""
+
+
+class StudyError(ReproError):
+    """Raised for invalid study specifications.
+
+    Examples: a YAML/JSON study file with an unknown key (the error carries
+    a did-you-mean hint), a scenario naming an unregistered router or
+    workload, an invalid injection-rate schedule, or an unknown execution
+    profile or mode.
+    """

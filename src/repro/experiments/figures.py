@@ -29,7 +29,7 @@ from ..runner.engine import ExperimentRunner, SweepSpec, runner_for
 from ..simulator.config import SimulationConfig
 from ..simulator.simulation import SweepResult, phase_boundaries_for
 from .config import ExperimentConfig
-from .report import improvement_summary, render_series
+from .report import improvement_summary, render_pivot
 from .workloads import build_mesh, workload_flow_set
 
 #: Figure number -> workload, for Figures 6-1 .. 6-6.
@@ -92,15 +92,44 @@ class FigureResult:
             self.saturation_throughputs(), subject, higher_is_better=True
         )
 
+    def result_set(self):
+        """The figure's points as a tagged
+        :class:`~repro.study.resultset.ResultSet` (one row per simulated
+        point), the shape :func:`repro.experiments.report.render_pivot`
+        renders and the study engine aggregates."""
+        from ..study.resultset import ResultSet
+
+        rows = []
+        for algorithm in self.throughput:
+            throughputs = self.throughput.get(algorithm, [])
+            latencies = self.latency.get(algorithm, [])
+            for index, rate in enumerate(self.offered_rates):
+                rows.append({
+                    "figure": self.name,
+                    "workload": self.workload,
+                    "algorithm": algorithm,
+                    "offered_rate": rate,
+                    "throughput": throughputs[index]
+                    if index < len(throughputs) else None,
+                    "average_latency": latencies[index]
+                    if index < len(latencies) else None,
+                    "max_channel_load": self.route_mcl.get(algorithm),
+                })
+        return ResultSet(rows)
+
     def render(self) -> str:
+        results = self.result_set()
         parts = [
-            render_series("offered rate", self.offered_rates, self.throughput,
-                          title=f"{self.name} ({self.workload}) - throughput "
-                                f"(packets/cycle)"),
+            render_pivot(results, "offered_rate", "algorithm", "throughput",
+                         x_label="offered rate",
+                         title=f"{self.name} ({self.workload}) - throughput "
+                               f"(packets/cycle)"),
             "",
-            render_series("offered rate", self.offered_rates, self.latency,
-                          title=f"{self.name} ({self.workload}) - average "
-                                f"latency (cycles)"),
+            render_pivot(results, "offered_rate", "algorithm",
+                         "average_latency",
+                         x_label="offered rate",
+                         title=f"{self.name} ({self.workload}) - average "
+                               f"latency (cycles)"),
             "",
             "route MCLs: " + ", ".join(
                 f"{algorithm}={mcl:g}" for algorithm, mcl in self.route_mcl.items()
@@ -189,8 +218,12 @@ def figure_throughput_latency(workload: str,
 
 
 def normalize_figure_key(figure: str) -> str:
-    """Normalise a figure reference ("Figure 6-1", "6-1", "1") to "6-1"."""
-    key = figure.replace("Figure", "").strip().strip("-")
+    """Normalise a figure reference to "6-1" form.
+
+    Accepts "Figure 6-1", "6-1", "1", and the dotted spelling the paper's
+    text uses ("6.7", "Figure 6.7").
+    """
+    key = figure.replace("Figure", "").strip().replace(".", "-").strip("-")
     return key if "-" in key else f"6-{key}"
 
 
@@ -232,15 +265,29 @@ class VCSweepResult:
             return 0.0
         return (target - base) / base
 
-    def render(self) -> str:
-        headers = ["algorithm"] + [f"{vcs} VCs" for vcs in self.vc_counts]
+    def result_set(self):
+        """One row per (algorithm, VC count) as a tagged
+        :class:`~repro.study.resultset.ResultSet`."""
+        from ..study.resultset import ResultSet
+
         rows = []
         for algorithm, by_vc in self.saturation.items():
-            rows.append([algorithm] + [by_vc.get(vcs) for vcs in self.vc_counts])
-        from .report import render_table
+            for vcs in self.vc_counts:
+                rows.append({
+                    "workload": self.workload,
+                    "algorithm": algorithm,
+                    "vcs": vcs,
+                    "vc_label": f"{vcs} VCs",
+                    "saturation_throughput": by_vc.get(vcs),
+                })
+        return ResultSet(rows)
 
-        return render_table(
-            headers, rows,
+    def render(self) -> str:
+        from .report import render_pivot
+
+        return render_pivot(
+            self.result_set(), "algorithm", "vc_label",
+            "saturation_throughput",
             title=f"Figure 6-7 ({self.workload}) - saturation throughput "
                   f"(packets/cycle) by VC count",
             precision=3,

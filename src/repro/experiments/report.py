@@ -83,6 +83,23 @@ def render_series(x_label: str, x_values: Sequence[float],
     return render_table(headers, rows, title=title, precision=precision)
 
 
+def render_pivot(results, index: str, series: str, value: str,
+                 x_label: Optional[str] = None,
+                 title: Optional[str] = None, precision: int = 3) -> str:
+    """Render a :class:`~repro.study.resultset.ResultSet` as a series table.
+
+    Pivots long result rows (one per simulated point) into the figure shape
+    — one *index* column plus one column per *series* value — and renders
+    it with :func:`render_table`, so the figure harnesses and the study CLI
+    print tagged result sets instead of private dict shapes.
+    """
+    pivoted = results.pivot(index, series, value,
+                            index_label=x_label or index)
+    headers = pivoted.columns
+    rows = [[row.get(column) for column in headers] for row in pivoted]
+    return render_table(headers, rows, title=title, precision=precision)
+
+
 def runner_summary(runner) -> str:
     """One-line account of what the experiment runner actually did.
 

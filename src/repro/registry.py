@@ -1,0 +1,125 @@
+"""The shared registry core behind every named-extension point.
+
+Three subsystems expose a "register once, resolve anywhere" surface — routing
+algorithms (:mod:`repro.routing.registry`), application workloads
+(:mod:`repro.workloads.registry`) and simulator backends
+(:mod:`repro.simulator.backends`).  They grew as copy-alikes; this module is
+the single implementation they now share:
+
+* **canonical names** — lower-case, dash-separated slugs, with ``_`` folded
+  to ``-`` (:func:`normalize_name`);
+* **aliases** — any accepted spelling (canonical name, alias, display name)
+  resolves to the same spec, case-insensitively;
+* **duplicate rejection** — registering a name, alias or display name that
+  any earlier registration already claimed raises the subsystem's error
+  type, because duplicate names would make results ambiguous;
+* **did-you-mean lookup errors** — an unknown name fails with the closest
+  registered spelling and the full list of canonical names, so CLI and
+  spec-file typos are self-explanatory.
+
+Each subsystem keeps its own spec dataclass (the docs metadata the generated
+guides render) and its own decorator; only the name bookkeeping lives here.
+The unified CLI's ``python -m repro list <kind>`` subcommand enumerates
+these registries through :func:`repro.cli.listing.render_listing`.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Dict, Generic, List, Sequence, Type, TypeVar
+
+SpecT = TypeVar("SpecT")
+
+
+def normalize_name(name: str) -> str:
+    """Canonical form of a registry name: lower-case, ``_`` folded to ``-``."""
+    return name.strip().lower().replace("_", "-")
+
+
+class Registry(Generic[SpecT]):
+    """Name -> spec registry with aliases and did-you-mean errors.
+
+    Parameters
+    ----------
+    kind:
+        What one entry is, for lookup errors ("routing algorithm",
+        "workload", "simulator backend").
+    plural:
+        The collection noun for lookup errors ("algorithms", "workloads",
+        "backends").
+    noun:
+        The phrase duplicate-registration errors use for a clashing key
+        ("router name", "workload name", "simulator backend name").
+    error:
+        The subsystem's :class:`~repro.exceptions.ReproError` subclass; every
+        failure this registry raises uses it.
+
+    The two internal mappings are deliberately plain dicts exposed to the
+    owning module (as its historical ``_REGISTRY`` / ``_ALIASES`` globals) so
+    test fixtures can register-and-unregister entries.
+    """
+
+    def __init__(self, *, kind: str, plural: str, noun: str,
+                 error: Type[Exception]) -> None:
+        self.kind = kind
+        self.plural = plural
+        self.noun = noun
+        self.error = error
+        #: Canonical slug -> spec, in registration order.
+        self.specs_by_name: Dict[str, SpecT] = {}
+        #: Any accepted slug (canonical name, alias, display name) -> canonical.
+        self.alias_map: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    def add(self, name: str, spec: SpecT,
+            extra_keys: Sequence[str] = ()) -> None:
+        """Register *spec* under *name* plus already-normalized *extra_keys*.
+
+        Raises the registry's error type when any key collides with an
+        earlier registration.  Keys repeated within one registration (for
+        example a display name that normalizes to the canonical name) are
+        folded, not rejected.
+        """
+        keys = list(dict.fromkeys([name, *extra_keys]))
+        for key in keys:
+            if key in self.alias_map:
+                raise self.error(
+                    f"{self.noun} {key!r} is already registered "
+                    f"(by {self.alias_map[key]!r}); duplicate names are "
+                    f"rejected"
+                )
+        self.specs_by_name[name] = spec
+        for key in keys:
+            self.alias_map[key] = name
+
+    # ------------------------------------------------------------------
+    def names(self) -> List[str]:
+        """Canonical names of every registered spec, in registration order."""
+        return list(self.specs_by_name)
+
+    def specs(self) -> List[SpecT]:
+        """Every registered spec, in registration order."""
+        return list(self.specs_by_name.values())
+
+    def is_registered(self, name: str) -> bool:
+        """Whether *name* resolves to a registered spec (aliases included)."""
+        return normalize_name(name) in self.alias_map
+
+    def lookup(self, name: str) -> SpecT:
+        """Look a spec up by canonical name, alias or display name.
+
+        Unknown names raise the registry's error type with a did-you-mean
+        hint (closest accepted spelling) and the full canonical name list.
+        """
+        key = normalize_name(name)
+        if key not in self.alias_map:
+            known = sorted(self.specs_by_name)
+            suggestions = difflib.get_close_matches(
+                key, sorted(self.alias_map), n=1)
+            hint = f" (did you mean {suggestions[0]!r}?)" if suggestions \
+                else ""
+            raise self.error(
+                f"unknown {self.kind} {name!r}{hint}; "
+                f"registered {self.plural}: {known}"
+            )
+        return self.specs_by_name[self.alias_map[key]]

@@ -30,12 +30,12 @@ New algorithms plug in with one decorator::
 
 from __future__ import annotations
 
-import difflib
 import inspect
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..exceptions import RoutingError
+from ..registry import Registry, normalize_name
 from .base import RoutingAlgorithm
 from .bsor.framework import BSORRouting
 from .dor import XYRouting, YXRouting
@@ -101,17 +101,23 @@ class RouterSpec:
         return self.factory(**kwargs)
 
 
-#: Canonical slug -> spec.  Module-level so every layer (experiments,
-#: compare, CLI, docs generator) sees the same set of algorithms.
-_REGISTRY: Dict[str, RouterSpec] = {}
+#: The registry instance, on the shared :class:`repro.registry.Registry`
+#: core.  Module-level so every layer (experiments, compare, CLI, docs
+#: generator) sees the same set of algorithms.
+_ROUTERS: Registry[RouterSpec] = Registry(
+    kind="routing algorithm", plural="algorithms", noun="router name",
+    error=RoutingError,
+)
 
-#: Any accepted slug (canonical name, alias or display name) -> canonical.
-_ALIASES: Dict[str, str] = {}
+#: Canonical slug -> spec and any-accepted-slug -> canonical, aliased for
+#: test fixtures that register and unregister algorithms.
+_REGISTRY = _ROUTERS.specs_by_name
+_ALIASES = _ROUTERS.alias_map
 
 
 def normalize_router_name(name: str) -> str:
     """Canonical form of a router name: lower-case, ``_`` folded to ``-``."""
-    return name.strip().lower().replace("_", "-")
+    return normalize_name(name)
 
 
 def register_router(name: str, *, display_name: str,
@@ -129,25 +135,17 @@ def register_router(name: str, *, display_name: str,
 
     def decorate(factory: RouterFactory) -> RouterFactory:
         spec = RouterSpec(
-            name=normalize_router_name(name),
+            name=normalize_name(name),
             factory=factory,
             display_name=display_name,
-            aliases=tuple(normalize_router_name(alias) for alias in aliases),
+            aliases=tuple(normalize_name(alias) for alias in aliases),
             summary=summary,
             mechanism=mechanism,
             deadlock_freedom=deadlock_freedom,
             paper_section=paper_section,
         )
-        keys = [spec.name, *spec.aliases, normalize_router_name(display_name)]
-        for key in keys:
-            if key in _ALIASES:
-                raise RoutingError(
-                    f"router name {key!r} is already registered "
-                    f"(by {_ALIASES[key]!r}); duplicate names are rejected"
-                )
-        _REGISTRY[spec.name] = spec
-        for key in keys:
-            _ALIASES[key] = spec.name
+        _ROUTERS.add(spec.name, spec,
+                     extra_keys=[*spec.aliases, normalize_name(display_name)])
         return factory
 
     return decorate
@@ -155,26 +153,17 @@ def register_router(name: str, *, display_name: str,
 
 def available_routers() -> List[str]:
     """Canonical names of every registered algorithm, in registration order."""
-    return list(_REGISTRY)
+    return _ROUTERS.names()
 
 
 def router_specs() -> List[RouterSpec]:
     """Every registered spec, in registration order."""
-    return list(_REGISTRY.values())
+    return _ROUTERS.specs()
 
 
 def router_spec(name: str) -> RouterSpec:
     """Look a spec up by canonical name, alias or display name."""
-    key = normalize_router_name(name)
-    if key not in _ALIASES:
-        known = sorted(_REGISTRY)
-        suggestions = difflib.get_close_matches(key, sorted(_ALIASES), n=1)
-        hint = f" (did you mean {suggestions[0]!r}?)" if suggestions else ""
-        raise RoutingError(
-            f"unknown routing algorithm {name!r}{hint}; "
-            f"registered algorithms: {known}"
-        )
-    return _REGISTRY[_ALIASES[key]]
+    return _ROUTERS.lookup(name)
 
 
 def create_router(name: str, **options) -> RoutingAlgorithm:

@@ -1,323 +1,40 @@
-"""Command-line interface of the experiment runner.
+"""Deprecated entry point: ``python -m repro.runner`` forwards to the
+unified CLI.
 
-Regenerate any figure or table of the paper with parallel workers and the
-on-disk result cache::
+The runner's subcommands — ``figure``, ``table``, ``sweep``, ``cache``,
+``profile`` — now live in ``python -m repro`` (see :mod:`repro.cli`), which
+adds declarative study execution (``run``), the comparison matrix
+(``compare``), saturation search (``saturate``) and registry listings
+(``list``).  Every historical invocation keeps working unchanged::
 
-    python -m repro.runner figure 6-1 --workers 4
-    python -m repro.runner figure 6-7 --workload transpose
-    python -m repro.runner table 6-3 --profile quick
-    python -m repro.runner sweep --workload transpose \\
-        --algorithms XY,BSOR-Dijkstra --rates 0.5,1.0,2.0,4.0
-    python -m repro.runner profile --workload transpose --rate 2.5
+    python -m repro.runner figure 6-7 --workers 4
     python -m repro.runner cache info
-    python -m repro.runner cache clear
 
-The ``--profile`` option selects the experiment scale (``quick`` for a 4x4
-smoke run, ``default`` for the paper's mesh with trimmed cycle counts,
-``paper`` for the full 20k + 100k methodology).  ``--backend`` selects the
-simulator kernel (``fast``, the default, or ``reference``; see
-``repro.simulator.backends``) — backends are bit-identical, so the choice
-affects wall-clock time only and never invalidates the cache.  Caching of
-simulation sweep points is on by default; ``--no-cache`` forces fresh
-simulation and ``--cache-dir`` relocates the store (also settable via
-``$REPRO_CACHE_DIR``).  Table runs perform route exploration, not
-simulation, so they fan out across workers but are not cached.
+is equivalent to::
 
-The ``profile`` *subcommand* (named after the tool, not to be confused
-with the ``--profile`` scale option) runs a single uncached simulation
-point under :mod:`cProfile` and prints the top-20 functions by cumulative
-time — the starting dataset for any simulator-kernel optimisation work.
+    python -m repro figure 6-7 --workers 4
+    python -m repro cache info
 
-For saturation-throughput comparisons across routers, patterns and
-topologies, use the comparison engine instead: ``python -m repro.compare``
-(see :mod:`repro.compare`), which shares this runner and its cache.
+This module only prints a one-line deprecation pointer to stderr and
+forwards ``argv`` verbatim; output and exit codes come from the unified
+CLI.
 """
 
 from __future__ import annotations
 
-import argparse
-import dataclasses
 import sys
-import time
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
-from ..experiments.workloads import extended_workload_names
-from .cache import ResultCache, default_cache_dir
-from .engine import ExperimentRunner, runner_for
-
-PROFILES = ("quick", "default", "paper")
-
-
-#: Defaults of the options shared by every subcommand; the options carry
-#: ``SUPPRESS`` defaults so they can be accepted both before and after the
-#: subcommand without the subparser default clobbering a root-parsed value.
-COMMON_DEFAULTS = {
-    "workers": 0,
-    "profile": "default",
-    "backend": None,
-    "no_cache": False,
-    "cache_dir": None,
-}
-
-
-def _common_options() -> argparse.ArgumentParser:
-    common = argparse.ArgumentParser(add_help=False)
-    common.add_argument("--workers", type=int, default=argparse.SUPPRESS,
-                        help="worker processes (0 = $REPRO_WORKERS or CPU count)")
-    common.add_argument("--profile", choices=PROFILES, default=argparse.SUPPRESS,
-                        help="experiment scale (default: default)")
-    common.add_argument("--backend", default=argparse.SUPPRESS,
-                        help="simulator kernel (fast or reference; backends "
-                             "are bit-identical, so this changes speed only)")
-    common.add_argument("--no-cache", action="store_true",
-                        default=argparse.SUPPRESS,
-                        help="simulate every point even when cached")
-    common.add_argument("--cache-dir", default=argparse.SUPPRESS,
-                        help="result cache directory (default: $REPRO_CACHE_DIR "
-                             "or ~/.cache/repro-bsor)")
-    return common
-
-
-def _build_parser() -> argparse.ArgumentParser:
-    common = _common_options()
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.runner",
-        description="Parallel, cached reproduction of the BSOR evaluation.",
-        parents=[common],
-    )
-    commands = parser.add_subparsers(dest="command", required=True)
-
-    figure = commands.add_parser("figure", help="regenerate one figure",
-                                 parents=[common])
-    figure.add_argument("number", help="figure number, e.g. 6-1 or 6-7")
-    figure.add_argument("--workload", default="transpose",
-                        help="workload for figures 6-7..6-10: one of "
-                             f"{', '.join(extended_workload_names())} "
-                             "(default: %(default)s)")
-
-    table = commands.add_parser("table", help="regenerate one MCL table",
-                                parents=[common])
-    table.add_argument("number", choices=("6-1", "6-2", "6-3"))
-
-    sweep = commands.add_parser("sweep", help="sweep chosen algorithms",
-                                parents=[common])
-    sweep.add_argument("--workload", default="transpose",
-                       help="one of "
-                            f"{', '.join(extended_workload_names())} "
-                            "(default: %(default)s)")
-    sweep.add_argument("--algorithms", default="XY,BSOR-Dijkstra",
-                       help="comma-separated routing-registry names or "
-                            "aliases (dor/XY, yx, romm, valiant, o1turn, "
-                            "bsor-milp, bsor-dijkstra)")
-    sweep.add_argument("--rates", default=None,
-                       help="comma-separated offered rates (packets/cycle)")
-
-    cache = commands.add_parser("cache", help="inspect or clear the cache",
-                                parents=[common])
-    cache.add_argument("action", choices=("info", "clear"))
-
-    prof = commands.add_parser(
-        "profile", parents=[common],
-        help="cProfile one simulation point (top-20 by cumulative time)")
-    prof.add_argument("--workload", default="transpose",
-                      help="one of "
-                           f"{', '.join(extended_workload_names())} "
-                           "(default: %(default)s)")
-    prof.add_argument("--algorithm", default="XY",
-                      help="routing-registry name (default: %(default)s)")
-    prof.add_argument("--rate", type=float, default=2.5,
-                      help="offered injection rate, packets/cycle "
-                           "(default: %(default)s)")
-    prof.add_argument("--top", type=int, default=20,
-                      help="rows of the profile table (default: %(default)s)")
-
-    return parser
-
-
-def _experiment_config(args: argparse.Namespace):
-    from ..experiments import ExperimentConfig
-
-    config = dataclasses.replace(
-        ExperimentConfig.from_profile(args.profile),
-        workers=args.workers,
-        use_cache=not args.no_cache,
-        cache_dir=args.cache_dir,
-    )
-    if args.backend:
-        # resolve eagerly so a typo fails with the registry's did-you-mean
-        # error even when every sweep point would be a warm-cache hit
-        from ..simulator.backends import backend_spec
-
-        config = config.with_backend(backend_spec(args.backend).name)
-    return config
-
-
-def _run_figure(args: argparse.Namespace, runner: ExperimentRunner) -> str:
-    from ..experiments import (
-        figure_by_number,
-        figure_variation_sweep,
-        figure_vc_sweep,
-    )
-    from ..experiments.figures import normalize_figure_key
-    from ..traffic import PAPER_VARIATION_LEVELS
-
-    key = normalize_figure_key(args.number)
-    if key == "6-7":
-        result = figure_vc_sweep(args.workload, _experiment_config(args),
-                                 runner=runner)
-        return result.render()
-    # Figures 6-8 / 6-9 / 6-10 are the paper's variation levels, in order.
-    variation = {f"6-{8 + index}": level
-                 for index, level in enumerate(PAPER_VARIATION_LEVELS)}.get(key)
-    if variation is not None:
-        figure = figure_variation_sweep(args.workload, variation,
-                                        _experiment_config(args), runner=runner)
-        return figure.render()
-    figure = figure_by_number(key, _experiment_config(args), runner=runner)
-    return figure.render()
-
-
-def _run_table(args: argparse.Namespace, runner: ExperimentRunner) -> str:
-    from ..experiments import table_6_1, table_6_2, table_6_3
-
-    harness = {"6-1": table_6_1, "6-2": table_6_2, "6-3": table_6_3}[args.number]
-    return harness(_experiment_config(args), runner=runner).render_against_paper()
-
-
-def _run_sweep(args: argparse.Namespace, runner: ExperimentRunner) -> str:
-    from ..experiments import build_mesh, workload_flow_set
-    from ..experiments.report import render_series
-    from ..routing.bsor.framework import full_strategy_set, paper_strategies
-    from ..routing.registry import router_spec
-
-    config = _experiment_config(args)
-    mesh = build_mesh(config)
-    flow_set = workload_flow_set(args.workload, mesh, config)
-    wanted = [name.strip() for name in args.algorithms.split(",") if name.strip()]
-    # Resolve through the routing registry: canonical slugs ("bsor-dijkstra"),
-    # aliases ("xy") and display names ("BSOR-Dijkstra") all work, and an
-    # unknown name fails with the full list of registered algorithms.
-    strategies = (full_strategy_set(mesh) if config.explore_full_cdg_set
-                  else paper_strategies())
-    algorithms = [
-        router_spec(name).create(
-            seed=config.seed,
-            strategies=strategies,
-            hop_slack=config.hop_slack,
-            milp_time_limit=config.milp_time_limit,
-        )
-        for name in wanted
-    ]
-    rates: Sequence[float] = config.offered_rates
-    if args.rates:
-        try:
-            rates = [float(rate) for rate in args.rates.split(",")]
-        except ValueError:
-            raise SystemExit(
-                f"--rates must be comma-separated numbers, got {args.rates!r}"
-            )
-    results = runner.compare_algorithms(
-        algorithms, mesh, flow_set, config.simulation, rates,
-        workload=args.workload,
-    )
-    throughput = {name: result.curve.throughputs
-                  for name, result in results.items()}
-    latency = {name: result.curve.latencies
-               for name, result in results.items()}
-    return "\n\n".join([
-        render_series("offered rate", list(rates), throughput,
-                      title=f"{args.workload} - throughput (packets/cycle)"),
-        render_series("offered rate", list(rates), latency,
-                      title=f"{args.workload} - average latency (cycles)"),
-    ])
-
-
-def _run_profile(args: argparse.Namespace) -> str:
-    """cProfile one uncached simulation point; returns the top-N table."""
-    import cProfile
-    import io
-    import pstats
-
-    from ..experiments import build_mesh, workload_flow_set
-    from ..routing.registry import router_spec
-    from ..simulator.backends import backend_spec
-    from ..simulator.simulation import phase_boundaries_for, simulate_route_set
-
-    config = _experiment_config(args)
-    backend = backend_spec(args.backend or config.simulation.backend)
-    mesh = build_mesh(config)
-    flow_set = workload_flow_set(args.workload, mesh, config)
-    algorithm = router_spec(args.algorithm).create(
-        seed=config.seed,
-        hop_slack=config.hop_slack,
-        milp_time_limit=config.milp_time_limit,
-    )
-    route_set = algorithm.compute_routes(mesh, flow_set)
-    boundaries = phase_boundaries_for(algorithm, route_set)
-
-    profiler = cProfile.Profile()
-    profiler.enable()
-    stats = simulate_route_set(mesh, route_set, config.simulation, args.rate,
-                               phase_boundaries=boundaries,
-                               backend=backend.name)
-    profiler.disable()
-    stream = io.StringIO()
-    pstats.Stats(profiler, stream=stream).strip_dirs() \
-        .sort_stats("cumulative").print_stats(args.top)
-    header = (
-        f"one point: workload={args.workload} algorithm={args.algorithm} "
-        f"rate={args.rate:g} backend={backend.name} profile={args.profile}\n"
-        f"throughput {stats.throughput:.3f} packets/cycle, "
-        f"average latency {stats.average_latency:.1f} cycles\n"
-    )
-    return header + stream.getvalue().rstrip()
-
-
-def _run_cache(args: argparse.Namespace) -> str:
-    cache = ResultCache(args.cache_dir or default_cache_dir())
-    if args.action == "clear":
-        removed = cache.clear()
-        return f"removed {removed} cached result(s) from {cache.directory}"
-    return f"{cache.directory}: {len(cache)} cached result(s)"
+#: The pointer printed (to stderr) on every use of the deprecated path.
+DEPRECATION_NOTE = ("note: `python -m repro.runner` is deprecated; use "
+                    "`python -m repro` (same subcommands and options)")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    from ..exceptions import ReproError
+    from ..cli import main as unified_main
 
-    args = _build_parser().parse_args(argv)
-    for name, default in COMMON_DEFAULTS.items():
-        if not hasattr(args, name):
-            setattr(args, name, default)
-    if args.command == "cache":
-        print(_run_cache(args))
-        return 0
-
-    if args.command == "profile":
-        try:
-            print(_run_profile(args))
-        except ReproError as error:
-            print(f"error: {error}", file=sys.stderr)
-            return 1
-        return 0
-
-    started = time.time()
-    try:
-        runner = runner_for(_experiment_config(args))
-        if args.command == "figure":
-            output = _run_figure(args, runner)
-        elif args.command == "table":
-            output = _run_table(args, runner)
-        else:
-            output = _run_sweep(args, runner)
-    except ReproError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 1
-    elapsed = time.time() - started
-    print(output)
-    from ..experiments.report import runner_summary
-
-    print(f"\n[{runner_summary(runner)}; {elapsed:.1f}s]")
-    return 0
+    print(DEPRECATION_NOTE, file=sys.stderr)
+    return unified_main(list(sys.argv[1:] if argv is None else argv))
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

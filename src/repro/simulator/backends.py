@@ -54,11 +54,11 @@ New backends plug in with one decorator::
 
 from __future__ import annotations
 
-import difflib
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..exceptions import SimulationError
+from ..registry import Registry, normalize_name
 from ..routing.base import RouteSet
 from ..topology.base import Topology
 from .config import SimulationConfig
@@ -111,17 +111,23 @@ class BackendSpec:
                             phase_boundaries=phase_boundaries)
 
 
-#: Canonical slug -> spec.  Module-level so every layer (simulation driver,
-#: runner, compare, CLIs, benchmarks, docs generator) sees the same kernels.
-_REGISTRY: Dict[str, BackendSpec] = {}
+#: The registry instance, on the shared :class:`repro.registry.Registry`
+#: core.  Module-level so every layer (simulation driver, runner, compare,
+#: CLIs, benchmarks, docs generator) sees the same kernels.
+_BACKENDS: Registry[BackendSpec] = Registry(
+    kind="simulator backend", plural="backends",
+    noun="simulator backend name", error=SimulationError,
+)
 
-#: Any accepted slug (canonical name, alias or display name) -> canonical.
-_ALIASES: Dict[str, str] = {}
+#: Canonical slug -> spec and any-accepted-slug -> canonical, aliased for
+#: test fixtures that register and unregister kernels.
+_REGISTRY = _BACKENDS.specs_by_name
+_ALIASES = _BACKENDS.alias_map
 
 
 def normalize_backend_name(name: str) -> str:
     """Canonical form of a backend name: lower-case, ``_`` folded to ``-``."""
-    return name.strip().lower().replace("_", "-")
+    return normalize_name(name)
 
 
 def register_backend(name: str, *, display_name: Optional[str] = None,
@@ -137,24 +143,16 @@ def register_backend(name: str, *, display_name: Optional[str] = None,
 
     def decorate(factory: BackendFactory) -> BackendFactory:
         spec = BackendSpec(
-            name=normalize_backend_name(name),
+            name=normalize_name(name),
             factory=factory,
             display_name=display_name or name,
-            aliases=tuple(normalize_backend_name(alias) for alias in aliases),
+            aliases=tuple(normalize_name(alias) for alias in aliases),
             summary=summary,
             mechanism=mechanism,
         )
-        keys = [spec.name, *spec.aliases,
-                normalize_backend_name(spec.display_name)]
-        for key in dict.fromkeys(keys):
-            if key in _ALIASES:
-                raise SimulationError(
-                    f"simulator backend name {key!r} is already registered "
-                    f"(by {_ALIASES[key]!r}); duplicate names are rejected"
-                )
-        _REGISTRY[spec.name] = spec
-        for key in keys:
-            _ALIASES[key] = spec.name
+        _BACKENDS.add(spec.name, spec,
+                      extra_keys=[*spec.aliases,
+                                  normalize_name(spec.display_name)])
         return factory
 
     return decorate
@@ -162,26 +160,17 @@ def register_backend(name: str, *, display_name: Optional[str] = None,
 
 def available_backends() -> List[str]:
     """Canonical names of every registered backend, in registration order."""
-    return list(_REGISTRY)
+    return _BACKENDS.names()
 
 
 def backend_specs() -> List[BackendSpec]:
     """Every registered spec, in registration order."""
-    return list(_REGISTRY.values())
+    return _BACKENDS.specs()
 
 
 def backend_spec(name: str) -> BackendSpec:
     """Look a spec up by canonical name, alias or display name."""
-    key = normalize_backend_name(name)
-    if key not in _ALIASES:
-        known = sorted(_REGISTRY)
-        suggestions = difflib.get_close_matches(key, sorted(_ALIASES), n=1)
-        hint = f" (did you mean {suggestions[0]!r}?)" if suggestions else ""
-        raise SimulationError(
-            f"unknown simulator backend {name!r}{hint}; "
-            f"registered backends: {known}"
-        )
-    return _REGISTRY[_ALIASES[key]]
+    return _BACKENDS.lookup(name)
 
 
 def create_simulator(topology: Topology, route_set: RouteSet,

@@ -1,0 +1,337 @@
+"""Study execution: one path from a declarative spec to a :class:`ResultSet`.
+
+:func:`run_study` is the single execution funnel behind
+:meth:`repro.study.spec.Study.run` and the ``python -m repro run`` CLI.  It
+resolves the study's :class:`~repro.study.spec.ExecutionPolicy` into an
+:class:`~repro.experiments.config.ExperimentConfig`, builds one shared
+:class:`~repro.runner.engine.ExperimentRunner` (worker pool + result cache),
+and executes every scenario through the existing engines:
+
+* ``sweep`` scenarios fan (topology x pattern x router x VC count x rate)
+  points through :meth:`ExperimentRunner.sweep_many` — deliberately the same
+  construction as the figure harnesses (routes computed once per router and
+  reused across VC counts, ``SimulationConfig.with_vcs`` per count), so a
+  study that describes Figure 6-7 produces byte-identical cache keys to
+  ``python -m repro figure 6-7`` and the two paths share warm results;
+* ``saturate`` scenarios drive the :class:`~repro.compare.matrix.CompareMatrix`
+  adaptive saturation search per cell.
+
+Both produce tagged rows in one :class:`~repro.study.resultset.ResultSet`,
+which is what the reports render and the CLI exports.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..compare.matrix import CompareMatrix, parse_topology, pattern_flow_set
+from ..compare.saturation import SaturationCriteria
+from ..exceptions import ReproError, StudyError
+from ..experiments.config import ExperimentConfig
+from ..experiments.workloads import APPLICATION_WORKLOADS
+from ..routing.bsor.framework import full_strategy_set, paper_strategies
+from ..routing.registry import router_spec
+from ..runner.engine import ExperimentRunner, RunnerReport, SweepSpec, runner_for
+from ..simulator.simulation import phase_boundaries_for
+from ..topology.mesh import Mesh2D
+from ..traffic.synthetic import normalize_pattern_name
+from ..workloads.registry import is_registered_workload, workload_spec
+from .resultset import ResultSet
+from .spec import Scenario, Study
+
+#: Column order of sweep-mode result rows.
+SWEEP_COLUMNS = (
+    "scenario", "mode", "topology", "pattern", "router", "display_name",
+    "vcs", "offered_rate", "throughput", "average_latency",
+    "delivery_ratio", "p99_latency", "max_channel_load", "average_hops",
+)
+
+#: Column order of saturate-mode result rows.
+SATURATE_COLUMNS = (
+    "scenario", "mode", "topology", "pattern", "router", "display_name",
+    "saturation_rate", "saturated_within_range", "saturation_throughput",
+    "low_load_latency", "p99_latency", "max_channel_load", "average_hops",
+    "sim_points",
+)
+
+
+def validate_pattern(name: str) -> str:
+    """Resolve a pattern/workload name to its canonical form, or raise.
+
+    Accepts the same vocabulary as
+    :func:`repro.compare.matrix.pattern_flow_set`: the paper's application
+    workloads, any registered :mod:`repro.workloads` entry, and the
+    synthetic patterns (aliases included).  Raises a did-you-mean carrying
+    :class:`~repro.exceptions.ReproError` for anything else.
+    """
+    key = name.strip().lower()
+    if key in APPLICATION_WORKLOADS:
+        return key
+    if is_registered_workload(key):
+        return workload_spec(key).name
+    return normalize_pattern_name(name)
+
+
+@dataclass
+class StudyResult:
+    """Everything one :meth:`Study.run` produced."""
+
+    study: Study
+    results: ResultSet
+    report: RunnerReport
+    config: ExperimentConfig
+    #: The profile actually executed (policy profile unless overridden).
+    profile: str = "default"
+
+    # ------------------------------------------------------------------
+    def render_markdown(self) -> str:
+        """The study's results as a markdown document.
+
+        Deliberately free of wall-clock times, worker counts and cache-hit
+        ratios so the rendering is deterministic — run bookkeeping goes to
+        stderr in the CLI (and lives in :attr:`report`).
+        """
+        lines: List[str] = [f"# Study: {self.study.name}", ""]
+        if self.study.description:
+            lines.extend([self.study.description, ""])
+        lines.append(f"Profile `{self.config_profile()}`, "
+                     f"{len(self.study.scenarios)} scenario(s), "
+                     f"{len(self.results)} result row(s).")
+        for (scenario, mode, topology, pattern), group in \
+                self.results.group("scenario", "mode", "topology", "pattern"):
+            lines.extend(["", f"## {scenario}: {topology} / {pattern} "
+                              f"({mode})", ""])
+            if mode == "saturate":
+                columns = [column for column in SATURATE_COLUMNS
+                           if column not in ("scenario", "mode", "topology",
+                                             "pattern", "router")]
+            else:
+                columns = [column for column in SWEEP_COLUMNS
+                           if column not in ("scenario", "mode", "topology",
+                                             "pattern", "router")]
+                if len(group.distinct("vcs")) == 1:
+                    columns.remove("vcs")
+            lines.append(group.to_markdown(columns=["display_name"] + [
+                column for column in columns if column != "display_name"
+            ]))
+        lines.append("")
+        return "\n".join(lines)
+
+    def config_profile(self) -> str:
+        return self.profile
+
+    def to_json(self, indent: int = 2) -> str:
+        """Study spec + result rows as one JSON document."""
+        import json
+
+        return json.dumps(
+            {"study": self.study.to_dict(),
+             "rows": self.results.rows},
+            indent=indent, sort_keys=True,
+        )
+
+    def to_csv(self) -> str:
+        return self.results.to_csv()
+
+
+def resolve_config(study: Study, *, workers: Optional[int] = None,
+                   cache: Optional[bool] = None,
+                   cache_dir: Optional[str] = None,
+                   backend: Optional[str] = None,
+                   profile: Optional[str] = None) -> ExperimentConfig:
+    """The :class:`ExperimentConfig` a study (plus overrides) asks for."""
+    policy = study.policy
+    chosen_profile = profile if profile is not None else policy.profile
+    try:
+        config = ExperimentConfig.from_profile(chosen_profile)
+    except ReproError as error:
+        raise StudyError(str(error)) from error
+    config = dataclasses.replace(
+        config,
+        workers=workers if workers is not None else policy.workers,
+        use_cache=cache if cache is not None else policy.cache,
+        cache_dir=cache_dir if cache_dir is not None else policy.cache_dir,
+    )
+    chosen_backend = backend if backend is not None else policy.backend
+    if chosen_backend:
+        from ..simulator.backends import backend_spec
+
+        config = config.with_backend(backend_spec(chosen_backend).name)
+    return config
+
+
+def _scenario_config(scenario: Scenario,
+                     config: ExperimentConfig) -> ExperimentConfig:
+    updates: Dict = {}
+    if scenario.mapping is not None:
+        updates["mapping_strategy"] = scenario.mapping
+    if scenario.seed is not None:
+        updates["seed"] = scenario.seed
+    return dataclasses.replace(config, **updates) if updates else config
+
+
+def _scenario_topologies(scenario: Scenario,
+                         config: ExperimentConfig) -> List[str]:
+    if scenario.topologies:
+        return list(scenario.topologies)
+    return [f"mesh{config.mesh_size}x{config.mesh_size}"]
+
+
+def _canonical_pattern(pattern: str) -> str:
+    return validate_pattern(pattern)
+
+
+def _run_sweep_scenario(scenario: Scenario, config: ExperimentConfig,
+                        runner: ExperimentRunner
+                        ) -> Tuple[List[Dict], RunnerReport]:
+    """Simulate every scenario point through one ``sweep_many`` batch.
+
+    Mirrors the figure harnesses point for point: one route set per
+    (topology, pattern, router) reused across VC counts, the profile's rate
+    schedule when the scenario does not pin one, and
+    ``SimulationConfig.with_vcs`` per VC count — which is what keeps the
+    cache keys identical to the legacy figure path.
+    """
+    rates = list(scenario.rates) if scenario.rates else \
+        list(config.offered_rates)
+    vc_counts: Tuple[Optional[int], ...] = scenario.vcs or (None,)
+
+    specs: Dict[str, SweepSpec] = {}
+    meta: Dict[str, Dict] = {}
+    for topology_name in _scenario_topologies(scenario, config):
+        topology = parse_topology(topology_name)
+        strategies = (
+            full_strategy_set(topology)
+            if config.explore_full_cdg_set and isinstance(topology, Mesh2D)
+            else paper_strategies()
+        )
+        for pattern in scenario.patterns:
+            flow_set = pattern_flow_set(pattern, topology, config)
+            for router_name in scenario.routers:
+                spec = router_spec(router_name)
+                router = spec.create(
+                    seed=config.seed,
+                    strategies=strategies,
+                    hop_slack=config.hop_slack,
+                    milp_time_limit=config.milp_time_limit,
+                )
+                route_set = router.compute_routes(topology, flow_set)
+                boundaries = phase_boundaries_for(router, route_set)
+                for vcs in vc_counts:
+                    simulation = config.simulation if vcs is None \
+                        else config.simulation.with_vcs(vcs)
+                    key = f"{topology_name}|{pattern}|{spec.name}|{vcs}"
+                    specs[key] = SweepSpec(
+                        topology, route_set, simulation, rates,
+                        workload=pattern,
+                        phase_boundaries=boundaries or None,
+                    )
+                    meta[key] = {
+                        "topology": topology_name.strip().lower(),
+                        "pattern": _canonical_pattern(pattern),
+                        "router": spec.name,
+                        "display_name": spec.display_name,
+                        "vcs": vcs if vcs is not None
+                        else simulation.num_vcs,
+                        "max_channel_load": route_set.max_channel_load(),
+                        "average_hops": route_set.average_hop_count(),
+                    }
+    results = runner.sweep_many(specs)
+
+    rows: List[Dict] = []
+    for key, sweep in results.items():
+        tags = meta[key]
+        for rate, stats in zip(rates, sweep.statistics):
+            rows.append({
+                "scenario": scenario.name,
+                "mode": "sweep",
+                **{column: tags[column]
+                   for column in ("topology", "pattern", "router",
+                                  "display_name", "vcs")},
+                "offered_rate": rate,
+                "throughput": stats.throughput,
+                "average_latency": stats.average_latency,
+                "delivery_ratio": stats.delivery_ratio,
+                "p99_latency": stats.latency_percentile(0.99),
+                "max_channel_load": tags["max_channel_load"],
+                "average_hops": tags["average_hops"],
+            })
+    return rows, runner.last_report
+
+
+def _run_saturate_scenario(scenario: Scenario, config: ExperimentConfig,
+                           runner: ExperimentRunner
+                           ) -> Tuple[List[Dict], RunnerReport]:
+    """Adaptive saturation search per cell, through the comparison engine."""
+    overrides = {}
+    if scenario.min_rate is not None:
+        overrides["min_rate"] = scenario.min_rate
+    if scenario.max_rate is not None:
+        overrides["max_rate"] = scenario.max_rate
+    if scenario.resolution is not None:
+        overrides["resolution"] = scenario.resolution
+    criteria = dataclasses.replace(SaturationCriteria(), **overrides) \
+        if overrides else SaturationCriteria()
+    matrix = CompareMatrix(config=config, criteria=criteria, runner=runner)
+    result = matrix.run(_scenario_topologies(scenario, config),
+                        list(scenario.patterns), list(scenario.routers))
+    rows: List[Dict] = []
+    for row in result.result_set():
+        rows.append({
+            "scenario": scenario.name,
+            "mode": "saturate",
+            "topology": row["topology"],
+            "pattern": row["pattern"],
+            "router": row["router"],
+            "display_name": row["display_name"],
+            "saturation_rate": row["saturation_rate"],
+            "saturated_within_range": row["saturated_within_range"],
+            "saturation_throughput": row["saturation_throughput"],
+            "low_load_latency": row["low_load_latency"],
+            "p99_latency": row["p99_latency"],
+            "max_channel_load": row["max_channel_load"],
+            "average_hops": row["average_hops"],
+            "sim_points": row["invocations"],
+        })
+    return rows, result.report
+
+
+def run_study(study: Study, *, workers: Optional[int] = None,
+              cache: Optional[bool] = None,
+              cache_dir: Optional[str] = None,
+              backend: Optional[str] = None,
+              profile: Optional[str] = None,
+              runner: Optional[ExperimentRunner] = None) -> StudyResult:
+    """Validate and execute *study*; the engine behind :meth:`Study.run`."""
+    study.validate()
+    config = resolve_config(study, workers=workers, cache=cache,
+                            cache_dir=cache_dir, backend=backend,
+                            profile=profile)
+    runner = runner or runner_for(config)
+    report = RunnerReport(workers=runner.workers)
+    rows: List[Dict] = []
+    columns: List[str] = []
+    for scenario in study.scenarios:
+        scenario_config = _scenario_config(scenario, config)
+        if scenario.mode == "saturate":
+            scenario_rows, scenario_report = _run_saturate_scenario(
+                scenario, scenario_config, runner)
+            new_columns = SATURATE_COLUMNS
+        else:
+            scenario_rows, scenario_report = _run_sweep_scenario(
+                scenario, scenario_config, runner)
+            new_columns = SWEEP_COLUMNS
+        rows.extend(scenario_rows)
+        report.merge(scenario_report)
+        for column in new_columns:
+            if column not in columns:
+                columns.append(column)
+    return StudyResult(
+        study=study,
+        results=ResultSet(rows, columns=columns),
+        report=report,
+        config=config,
+        profile=profile if profile is not None else study.policy.profile,
+    )

@@ -19,12 +19,12 @@ onto a topology, which is the form the route selectors consume.
 
 from __future__ import annotations
 
-import difflib
 import inspect
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..exceptions import TrafficError
+from ..registry import Registry, normalize_name
 from ..topology.base import Topology
 from ..traffic.flow import FlowSet
 from .appgraph import AppGraph
@@ -85,16 +85,21 @@ class WorkloadSpec:
         return self.factory(**kwargs)
 
 
-#: Canonical slug -> spec, in registration order.
-_REGISTRY: Dict[str, WorkloadSpec] = {}
+#: The registry instance, on the shared :class:`repro.registry.Registry` core.
+_WORKLOADS: Registry[WorkloadSpec] = Registry(
+    kind="workload", plural="workloads", noun="workload name",
+    error=TrafficError,
+)
 
-#: Any accepted slug (canonical name, alias or display name) -> canonical.
-_ALIASES: Dict[str, str] = {}
+#: Canonical slug -> spec and any-accepted-slug -> canonical, aliased for
+#: test fixtures that register and unregister workloads.
+_REGISTRY = _WORKLOADS.specs_by_name
+_ALIASES = _WORKLOADS.alias_map
 
 
 def normalize_workload_name(name: str) -> str:
     """Canonical form of a workload name: lower-case, ``_`` folded to ``-``."""
-    return name.strip().lower().replace("_", "-")
+    return normalize_name(name)
 
 
 def register_workload(name: str, *, display_name: str,
@@ -110,27 +115,17 @@ def register_workload(name: str, *, display_name: str,
 
     def decorate(factory: WorkloadFactory) -> WorkloadFactory:
         spec = WorkloadSpec(
-            name=normalize_workload_name(name),
+            name=normalize_name(name),
             factory=factory,
             display_name=display_name,
-            aliases=tuple(normalize_workload_name(alias) for alias in aliases),
+            aliases=tuple(normalize_name(alias) for alias in aliases),
             summary=summary,
             description=description,
             default_mapping=default_mapping,
         )
-        keys = [spec.name, *spec.aliases]
-        display_key = normalize_workload_name(display_name)
-        if display_key not in keys:
-            keys.append(display_key)
-        for key in keys:
-            if key in _ALIASES:
-                raise TrafficError(
-                    f"workload name {key!r} is already registered "
-                    f"(by {_ALIASES[key]!r}); duplicate names are rejected"
-                )
-        _REGISTRY[spec.name] = spec
-        for key in keys:
-            _ALIASES[key] = spec.name
+        _WORKLOADS.add(spec.name, spec,
+                       extra_keys=[*spec.aliases,
+                                   normalize_name(display_name)])
         return factory
 
     return decorate
@@ -138,30 +133,22 @@ def register_workload(name: str, *, display_name: str,
 
 def available_workloads() -> List[str]:
     """Canonical names of every registered workload, in registration order."""
-    return list(_REGISTRY)
+    return _WORKLOADS.names()
 
 
 def workload_specs() -> List[WorkloadSpec]:
     """Every registered spec, in registration order."""
-    return list(_REGISTRY.values())
+    return _WORKLOADS.specs()
 
 
 def is_registered_workload(name: str) -> bool:
     """Whether *name* resolves to a registered workload (aliases included)."""
-    return normalize_workload_name(name) in _ALIASES
+    return _WORKLOADS.is_registered(name)
 
 
 def workload_spec(name: str) -> WorkloadSpec:
     """Look a spec up by canonical name, alias or display name."""
-    key = normalize_workload_name(name)
-    if key not in _ALIASES:
-        known = sorted(_REGISTRY)
-        suggestions = difflib.get_close_matches(key, sorted(_ALIASES), n=1)
-        hint = f" (did you mean {suggestions[0]!r}?)" if suggestions else ""
-        raise TrafficError(
-            f"unknown workload {name!r}{hint}; registered workloads: {known}"
-        )
-    return _REGISTRY[_ALIASES[key]]
+    return _WORKLOADS.lookup(name)
 
 
 def create_workload(name: str, **options) -> AppGraph:

@@ -1,0 +1,282 @@
+"""Tests for the unified CLI (:mod:`repro.cli`) and its deprecation shims.
+
+Covers the golden help text, the uniform exit-code policy (0 ok / 2 usage /
+1 failure), the ``list`` and ``validate`` subcommands, an end-to-end
+``run examples/studies/smoke.yaml``, and shim forwarding: the legacy
+``python -m repro.runner`` / ``python -m repro.compare`` entry points must
+produce byte-identical stdout to the unified CLI (plus one deprecation
+pointer on stderr).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.compare.cli import DEPRECATION_NOTE as COMPARE_NOTE
+from repro.compare.cli import main as compare_main
+from repro.runner.cli import DEPRECATION_NOTE as RUNNER_NOTE
+from repro.runner.cli import main as runner_main
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+EXAMPLES = Path(__file__).parent.parent / "examples" / "studies"
+
+yaml = pytest.importorskip("yaml")
+
+
+def _normalize(text: str) -> str:
+    """Collapse whitespace so argparse wrapping differences don't matter."""
+    return " ".join(text.split())
+
+
+class TestHelpGolden:
+    def test_top_level_help_matches_golden(self, capsys):
+        assert repro_main(["--help"]) == 0
+        rendered = capsys.readouterr().out
+        golden = GOLDEN_DIR / "repro_help.txt"
+        if os.environ.get("REPRO_UPDATE_GOLDEN") == "1":
+            golden.write_text(rendered)
+        assert golden.exists(), (
+            f"golden fixture {golden} missing; regenerate with "
+            f"REPRO_UPDATE_GOLDEN=1"
+        )
+        assert _normalize(rendered) == _normalize(golden.read_text())
+
+    def test_every_subcommand_is_advertised(self, capsys):
+        repro_main(["--help"])
+        out = capsys.readouterr().out
+        for command in ("run", "compare", "figure", "table", "sweep",
+                        "saturate", "cache", "profile", "list", "validate"):
+            assert command in out
+
+
+class TestExitCodes:
+    def test_success_is_zero(self, capsys):
+        assert repro_main(["list", "routers"]) == 0
+        capsys.readouterr()
+
+    def test_usage_error_is_two(self, capsys):
+        assert repro_main(["no-such-command"]) == 2
+        assert repro_main([]) == 2
+        assert repro_main(["list", "gadgets"]) == 2  # bad choice
+        assert repro_main(["figure"]) == 2  # missing argument
+        capsys.readouterr()
+
+    def test_bad_option_value_is_two(self, capsys):
+        code = repro_main(["sweep", "--workload", "transpose",
+                           "--algorithms", "XY", "--rates", "fast",
+                           "--profile", "quick"])
+        assert code == 2
+        assert "usage error" in capsys.readouterr().err
+
+    def test_execution_failure_is_one_with_hint(self, capsys):
+        assert repro_main(["sweep", "--workload", "transposs",
+                           "--profile", "quick", "--no-cache"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "unknown workload" in err
+        assert repro_main(["run", str(EXAMPLES / "missing.yaml")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_backend_is_one_with_did_you_mean(self, capsys):
+        code = repro_main(["sweep", "--backend", "fsat", "--no-cache",
+                           "--profile", "quick", "--rates", "0.5"])
+        assert code == 1
+        assert "did you mean 'fast'" in capsys.readouterr().err
+
+
+class TestListSubcommand:
+    @pytest.mark.parametrize("kind, needle", [
+        ("routers", "bsor-dijkstra"),
+        ("workloads", "decoder-pipeline"),
+        ("backends", "[default]"),
+        ("patterns", "bit-complement"),
+    ])
+    def test_kinds(self, capsys, kind, needle):
+        assert repro_main(["list", kind]) == 0
+        assert needle in capsys.readouterr().out
+
+    def test_list_flags_match_list_subcommand(self, capsys):
+        repro_main(["list", "routers"])
+        via_subcommand = capsys.readouterr().out
+        repro_main(["compare", "--list-routers"])
+        via_flag = capsys.readouterr().out
+        assert via_subcommand == via_flag
+
+    def test_sweep_list_workloads_flag(self, capsys):
+        assert repro_main(["sweep", "--list-workloads"]) == 0
+        assert "registered application workloads" in capsys.readouterr().out
+
+    def test_common_list_backends_flag(self, capsys):
+        assert repro_main(["figure", "6-1", "--list-backends"]) == 0
+        assert "reference" in capsys.readouterr().out
+
+    def test_list_flags_work_without_positionals(self, capsys):
+        # the figure/table/cache positionals are optional so the advertised
+        # --list-* flags work on their own ...
+        assert repro_main(["figure", "--list-workloads"]) == 0
+        assert "registered application workloads" in capsys.readouterr().out
+        # ... but omitting both the positional and a list flag is usage
+        assert repro_main(["figure"]) == 2
+        assert "missing the number" in capsys.readouterr().err
+        assert repro_main(["cache"]) == 2
+        assert "info or clear" in capsys.readouterr().err
+
+
+class TestValidateSubcommand:
+    def test_all_bundled_examples_validate(self, capsys):
+        specs = sorted(str(path) for path in EXAMPLES.glob("*.yaml"))
+        assert len(specs) >= 3
+        assert repro_main(["validate", *specs]) == 0
+        out = capsys.readouterr().out
+        assert out.count("ok:") == len(specs)
+
+    def test_invalid_spec_fails_with_one(self, tmp_path, capsys):
+        bad = tmp_path / "bad.yaml"
+        bad.write_text("name: s\nscenarios:\n  - routers: [dro]\n")
+        assert repro_main(["validate", str(bad)]) == 1
+        assert "did you mean" in capsys.readouterr().err
+
+
+class TestRunSubcommand:
+    def test_smoke_study_end_to_end(self, capsys):
+        assert repro_main(["run", str(EXAMPLES / "smoke.yaml"),
+                           "--no-cache"]) == 0
+        captured = capsys.readouterr()
+        assert "# Study: smoke" in captured.out
+        assert "## smoke-sweep: mesh4x4 / transpose (sweep)" in captured.out
+        assert "2 points, 2 simulated" in captured.err
+
+    def test_json_and_csv_formats(self, capsys):
+        assert repro_main(["run", str(EXAMPLES / "smoke.yaml"),
+                           "--no-cache", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["study"]["name"] == "smoke"
+        assert len(payload["rows"]) == 2
+        assert repro_main(["run", str(EXAMPLES / "smoke.yaml"),
+                           "--no-cache", "--format", "csv"]) == 0
+        header = capsys.readouterr().out.splitlines()[0]
+        assert header.startswith("scenario,mode,topology")
+
+    def test_output_file(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        assert repro_main(["run", str(EXAMPLES / "smoke.yaml"),
+                           "--no-cache", "--output", str(target)]) == 0
+        assert "# Study: smoke" in target.read_text()
+        assert str(target) in capsys.readouterr().out
+
+    def test_profile_override_wins_over_spec(self, capsys):
+        # figure_6_7.yaml says profile default; --profile quick must win
+        assert repro_main(["run", str(EXAMPLES / "smoke.yaml"),
+                           "--no-cache", "--profile", "quick"]) == 0
+        assert "Profile `quick`" in capsys.readouterr().out
+
+
+class TestSaturateSubcommand:
+    def test_single_cell_saturate(self, capsys):
+        code = repro_main(["saturate", "--topology", "mesh4x4",
+                           "--patterns", "transpose", "--routers", "dor",
+                           "--profile", "quick", "--workers", "1",
+                           "--no-cache", "--max-rate", "4",
+                           "--resolution", "0.5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "(saturate)" in out
+        assert "saturation_rate" in out
+
+
+class TestShimForwarding:
+    """Old invocations produce identical stdout through the shims."""
+
+    def test_runner_shim_cache_info_identical(self, capsys):
+        assert repro_main(["cache", "info"]) == 0
+        unified = capsys.readouterr().out
+        assert runner_main(["cache", "info"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == unified
+        assert RUNNER_NOTE in captured.err
+
+    def test_runner_shim_sweep_identical(self, capsys):
+        argv = ["sweep", "--workload", "transpose", "--algorithms", "XY",
+                "--rates", "0.5", "--profile", "quick", "--workers", "1",
+                "--no-cache"]
+        assert repro_main(argv) == 0
+        unified = capsys.readouterr().out
+        assert runner_main(argv) == 0
+        captured = capsys.readouterr()
+        # identical modulo the trailing "[... 0.0s]" timing line
+        strip = lambda text: "\n".join(
+            line for line in text.splitlines()
+            if not line.startswith("["))
+        assert strip(captured.out) == strip(unified)
+        assert RUNNER_NOTE in captured.err
+
+    def test_runner_shim_accepts_options_before_subcommand(self, capsys):
+        assert runner_main(["--workers", "1", "cache", "info"]) == 0
+        capsys.readouterr()
+
+    def test_compare_shim_list_routers_identical(self, capsys):
+        assert repro_main(["compare", "--list-routers"]) == 0
+        unified = capsys.readouterr().out
+        assert compare_main(["--list-routers"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == unified
+        assert COMPARE_NOTE in captured.err
+
+    def test_compare_accepts_common_options_before_subcommand(self, capsys):
+        # shared options given before `compare` must not be clobbered by
+        # subparser defaults (they carry SUPPRESS defaults for exactly
+        # this reason)
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["--profile", "quick", "--workers", "3", "--no-cache",
+             "compare", "--routers", "dor"])
+        assert args.profile == "quick"
+        assert args.workers == 3
+        assert args.no_cache is True
+        # and the full path runs end to end
+        code = repro_main(["--profile", "quick", "--workers", "1",
+                           "--no-cache", "compare",
+                           "--topology", "mesh4x4",
+                           "--patterns", "transpose", "--routers", "dor",
+                           "--max-rate", "1", "--resolution", "0.5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "## mesh4x4 / transpose" in out
+
+    def test_compare_shim_run_identical(self, capsys):
+        argv = ["--topology", "mesh4x4", "--patterns", "transpose",
+                "--routers", "dor", "--profile", "quick", "--workers", "1",
+                "--no-cache", "--max-rate", "4", "--resolution", "0.5"]
+        assert repro_main(["compare", *argv]) == 0
+        unified = capsys.readouterr().out
+        assert compare_main(argv) == 0
+        captured = capsys.readouterr()
+        assert captured.out == unified
+        assert COMPARE_NOTE in captured.err
+
+    def test_legacy_compare_build_parser_keeps_defaults(self):
+        # kept for API compatibility: parsed namespaces must still carry
+        # the historical explicit defaults for the shared options
+        from repro.compare.cli import build_parser
+
+        args = build_parser().parse_args(["--routers", "dor"])
+        assert args.workers == 0
+        assert args.profile == "default"
+        assert args.backend is None
+        assert args.no_cache is False
+        assert args.cache_dir is None
+
+    def test_shim_exit_codes_forward(self, capsys):
+        assert compare_main(["--routers", "nope", "--profile", "quick",
+                             "--topology", "mesh4x4",
+                             "--patterns", "transpose",
+                             "--no-cache"]) == 1
+        assert "error:" in capsys.readouterr().err
+        assert runner_main(["no-such-command"]) == 2
+        capsys.readouterr()

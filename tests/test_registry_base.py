@@ -1,0 +1,142 @@
+"""Tests for the shared registry core (:mod:`repro.registry`).
+
+The routing, workload and backend registries are all expressed on the same
+:class:`~repro.registry.Registry`; these tests cover the shared behaviors
+directly and then assert the three instances stay consistent with each
+other (same normalization, same error shapes, same alias semantics).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    ReproError,
+    RoutingError,
+    SimulationError,
+    TrafficError,
+)
+from repro.registry import Registry, normalize_name
+
+
+class StubError(ReproError):
+    pass
+
+
+def make_registry() -> Registry:
+    return Registry(kind="widget", plural="widgets", noun="widget name",
+                    error=StubError)
+
+
+class TestNormalizeName:
+    def test_folds_case_whitespace_and_underscores(self):
+        assert normalize_name("  Bit_Complement ") == "bit-complement"
+
+    def test_idempotent(self):
+        assert normalize_name(normalize_name("A_b-C")) == normalize_name("A_b-C")
+
+
+class TestRegistryCore:
+    def test_registration_order_preserved(self):
+        registry = make_registry()
+        registry.add("beta", object())
+        registry.add("alpha", object())
+        assert registry.names() == ["beta", "alpha"]
+        assert len(registry.specs()) == 2
+
+    def test_alias_and_canonical_resolve_to_same_spec(self):
+        registry = make_registry()
+        spec = object()
+        registry.add("alpha", spec, extra_keys=["al", "first"])
+        assert registry.lookup("alpha") is spec
+        assert registry.lookup("AL") is spec
+        assert registry.lookup("first") is spec
+        assert registry.is_registered("al")
+        assert not registry.is_registered("nope")
+
+    def test_duplicate_canonical_name_rejected(self):
+        registry = make_registry()
+        registry.add("alpha", object())
+        with pytest.raises(StubError, match="already registered"):
+            registry.add("alpha", object())
+
+    def test_duplicate_alias_rejected_with_owner(self):
+        registry = make_registry()
+        registry.add("alpha", object(), extra_keys=["shared"])
+        with pytest.raises(StubError, match=r"widget name 'shared' is "
+                                            r"already registered \(by "
+                                            r"'alpha'\)"):
+            registry.add("beta", object(), extra_keys=["shared"])
+
+    def test_self_colliding_keys_within_one_registration_fold(self):
+        # a display name that normalizes to the canonical name must not
+        # reject its own registration (e.g. router "yx" displayed as "YX")
+        registry = make_registry()
+        registry.add("yx", object(), extra_keys=["yx"])
+        assert registry.lookup("yx") is registry.specs()[0]
+
+    def test_unknown_name_gets_did_you_mean_and_full_list(self):
+        registry = make_registry()
+        registry.add("alpha", object())
+        registry.add("gamma", object())
+        with pytest.raises(StubError) as excinfo:
+            registry.lookup("alpah")
+        message = str(excinfo.value)
+        assert "unknown widget 'alpah'" in message
+        assert "did you mean 'alpha'" in message
+        assert "['alpha', 'gamma']" in message
+
+    def test_unknown_name_without_close_match_has_no_hint(self):
+        registry = make_registry()
+        registry.add("alpha", object())
+        with pytest.raises(StubError) as excinfo:
+            registry.lookup("zzzzzzzz")
+        assert "did you mean" not in str(excinfo.value)
+
+
+class TestSharedInstancesStayConsistent:
+    """The three production registries behave identically on the base."""
+
+    def test_routing_error_shape(self):
+        from repro.routing.registry import router_spec
+
+        with pytest.raises(RoutingError, match="unknown routing algorithm "
+                                               "'dro'.*did you mean"):
+            router_spec("dro")
+
+    def test_workload_error_shape(self):
+        from repro.workloads.registry import workload_spec
+
+        with pytest.raises(TrafficError, match="unknown workload"):
+            workload_spec("decoder-pipelin")
+
+    def test_backend_error_shape(self):
+        from repro.simulator.backends import backend_spec
+
+        with pytest.raises(SimulationError, match="unknown simulator "
+                                                  "backend"):
+            backend_spec("fsat")
+
+    def test_all_three_share_one_implementation(self):
+        from repro.routing import registry as routing
+        from repro.simulator import backends
+        from repro.workloads import registry as workloads
+
+        for module, attr in ((routing, "_ROUTERS"),
+                             (workloads, "_WORKLOADS"),
+                             (backends, "_BACKENDS")):
+            instance = getattr(module, attr)
+            assert isinstance(instance, Registry)
+            # the historical module globals stay aliased to the instance's
+            # dicts so fixtures can register/unregister through them
+            assert module._REGISTRY is instance.specs_by_name
+            assert module._ALIASES is instance.alias_map
+
+    def test_case_and_underscore_folding_everywhere(self):
+        from repro.routing.registry import router_spec
+        from repro.simulator.backends import backend_spec
+        from repro.workloads.registry import workload_spec
+
+        assert router_spec("BSOR_Dijkstra").name == "bsor-dijkstra"
+        assert workload_spec("Decoder_Pipeline").name == "decoder-pipeline"
+        assert backend_spec("Event_Skipping").name == "fast"

@@ -2,6 +2,10 @@
 #
 #   make test       - tier-1 test suite (what must never regress)
 #   make test-fast  - the suite minus @pytest.mark.slow (the fast CI job)
+#   make test-faults - the fault-injection campaigns: spec/rerouting units,
+#                     the hypothesis invariant campaign (slow part
+#                     included) and the degraded-topology differential
+#                     suite
 #   make coverage   - full suite under coverage with the CI coverage floor
 #                     (needs pytest-cov: pip install pytest-cov)
 #   make smoke      - one fast figure benchmark through the parallel runner
@@ -23,15 +27,20 @@ PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
 #: Minimum line coverage (percent) the full CI job enforces.
-COVERAGE_FLOOR ?= 70
+COVERAGE_FLOOR ?= 72
 
-.PHONY: test test-fast coverage smoke smoke-cli bench-smoke links docs docs-check check clean-cache
+.PHONY: test test-fast test-faults coverage smoke smoke-cli bench-smoke links docs docs-check check clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 test-fast:
 	$(PYTHON) -m pytest -x -q -m "not slow"
+
+test-faults:
+	$(PYTHON) -m pytest -x -q tests/test_faults.py \
+		tests/invariants/test_fault_invariants.py \
+		tests/test_backend_differential.py
 
 coverage:
 	$(PYTHON) -m pytest -q --cov=repro --cov-report=term-missing \

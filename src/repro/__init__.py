@@ -80,6 +80,7 @@ from .exceptions import (
     CyclicCDGError,
     DeadlockError,
     ExperimentError,
+    FaultError,
     ReproError,
     RoutingError,
     SimulationError,
@@ -89,6 +90,14 @@ from .exceptions import (
     TopologyError,
     TrafficError,
     UnroutableFlowError,
+)
+from .faults import (
+    FailureSchedule,
+    FaultRoutingResult,
+    FaultSet,
+    LinkFault,
+    RouterFault,
+    route_with_faults,
 )
 from .compare import (
     CompareMatrix,
@@ -193,12 +202,17 @@ __all__ = [
     "ExecutionPolicy",
     "ExperimentError",
     "ExperimentRunner",
+    "FailureSchedule",
     "FastSimulator",
+    "FaultError",
+    "FaultRoutingResult",
+    "FaultSet",
     "Flow",
     "FlowGraph",
     "FlowSet",
     "HotspotInjection",
     "InjectionTrace",
+    "LinkFault",
     "MILPSelector",
     "Mesh2D",
     "NetworkSimulator",
@@ -210,6 +224,7 @@ __all__ = [
     "Ring",
     "Route",
     "RouteSet",
+    "RouterFault",
     "RouterSpec",
     "RoutingAlgorithm",
     "RoutingError",
@@ -264,6 +279,7 @@ __all__ = [
     "register_router",
     "register_workload",
     "replay_simulation",
+    "route_with_faults",
     "router_spec",
     "run_study",
     "shuffle",

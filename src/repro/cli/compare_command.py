@@ -49,6 +49,11 @@ def add_compare_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--routers", default="dor,o1turn,bsor-dijkstra",
                         help="comma-separated registry names "
                              "(default: %(default)s)")
+    parser.add_argument("--faults", default=None,
+                        help="fault sets to compare, separated by ';' "
+                             "(commas join faults within one set), e.g. "
+                             "'none;link:0-1;link:0-1,link:5-6' — adds a "
+                             "fault axis and a degradation report")
     parser.add_argument("--min-rate", type=float, default=None,
                         help="lowest offered rate / latency reference point")
     parser.add_argument("--max-rate", type=float, default=None,
@@ -122,8 +127,11 @@ def run_compare(args: argparse.Namespace) -> int:
     started = time.time()
     matrix = CompareMatrix(config=config, criteria=_criteria(args),
                            runner=runner_for(config))
+    fault_sets = [entry.strip() for entry in args.faults.split(";")
+                  if entry.strip()] if args.faults else None
     result = matrix.run(
         _split(args.topologies), patterns, _split(args.routers),
+        fault_sets=fault_sets,
     )
     output = render_json(result) if args.json else render_markdown(result)
     if args.output:

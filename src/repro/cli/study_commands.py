@@ -29,6 +29,10 @@ def add_study_subcommands(commands, common: argparse.ArgumentParser) -> None:
                      help="output format (default: %(default)s)")
     run.add_argument("--output", default=None,
                      help="write the report to a file instead of stdout")
+    run.add_argument("--faults", default=None,
+                     help="override every scenario's fault axis: fault sets "
+                          "separated by ';' (commas join faults within one "
+                          "set), e.g. 'none;link:0-1,link:5-6'")
 
     saturate = commands.add_parser(
         "saturate", parents=[common],
@@ -109,6 +113,14 @@ def _run_overrides(args: argparse.Namespace) -> dict:
 
 def run_study_command(args: argparse.Namespace) -> int:
     study = Study.from_file(args.spec)
+    if getattr(args, "faults", None):
+        import dataclasses
+
+        fault_axis = tuple(entry.strip() for entry in args.faults.split(";")
+                           if entry.strip())
+        study.scenarios = [dataclasses.replace(scenario, faults=fault_axis)
+                           for scenario in study.scenarios]
+        study.validate()
     started = time.time()
     result = study.run(**_run_overrides(args))
     _emit(_render(result, args.format), args.output)

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..exceptions import ExperimentError, TrafficError
 from ..experiments.config import ExperimentConfig
 from ..experiments.workloads import APPLICATION_WORKLOADS, workload_flow_set
+from ..faults import FaultSet, route_with_faults
 from ..metrics.statistics import SimulationStatistics
 from ..routing.base import RouteSet, RoutingAlgorithm
 from ..routing.bsor.framework import full_strategy_set
@@ -122,7 +123,12 @@ def pattern_flow_set(pattern: str, topology: Topology,
 
 @dataclass
 class CompareCell:
-    """One row of the comparison matrix: one router on one workload."""
+    """One row of the comparison matrix: one router on one workload.
+
+    ``faults`` is the canonical label of the fault set the cell ran under
+    (``"none"`` for the fault-free baseline) — the degradation report
+    compares each faulty cell against its fault-free twin.
+    """
 
     topology: str
     pattern: str
@@ -133,6 +139,7 @@ class CompareCell:
     saturation: SaturationResult
     low_load_latency: float
     p99_latency: float
+    faults: str = "none"
 
     @property
     def saturation_rate(self) -> float:
@@ -153,6 +160,7 @@ class CompareCell:
             "pattern": self.pattern,
             "router": self.router,
             "display_name": self.display_name,
+            "faults": self.faults,
             "saturation_rate": self.saturation_rate,
             "saturated_within_range": self.saturation.saturated_within_range,
             "last_stable_rate": self.saturation.last_stable_rate,
@@ -184,16 +192,21 @@ class CompareResult:
     criteria: SaturationCriteria
     report: RunnerReport
 
-    def cell(self, topology: str, pattern: str, router: str) -> CompareCell:
+    def cell(self, topology: str, pattern: str, router: str,
+             faults: Optional[str] = None) -> CompareCell:
         router = router_spec(router).name
         pattern = _canonical_pattern(pattern)
         topology = topology.strip().lower()
+        label = None if faults is None else FaultSet.from_spec(faults).label()
         for candidate in self.cells:
-            if (candidate.topology, candidate.pattern, candidate.router) == \
+            if (candidate.topology, candidate.pattern, candidate.router) != \
                     (topology, pattern, router):
+                continue
+            if label is None or candidate.faults == label:
                 return candidate
         raise ExperimentError(
-            f"no comparison cell ({topology}, {pattern}, {router})"
+            f"no comparison cell ({topology}, {pattern}, {router}"
+            + (f", faults={label}" if label is not None else "") + ")"
         )
 
     def groups(self) -> List[Tuple[Tuple[str, str], List[CompareCell]]]:
@@ -240,6 +253,8 @@ class _Cell:
     route_set: RouteSet
     boundaries: Dict[str, int]
     search: SaturationSearch
+    faults: str = "none"
+    fault_schedule: Optional[object] = None
     #: offered rate -> simulated statistics, for the latency columns.
     statistics: Dict[float, SimulationStatistics] = field(default_factory=dict)
 
@@ -268,9 +283,18 @@ class CompareMatrix:
 
     # ------------------------------------------------------------------
     def run(self, topologies: Sequence[str], patterns: Sequence[str],
-            routers: Sequence[str]) -> CompareResult:
-        """Run the full (topology x pattern x router) comparison."""
-        cells = self._build_cells(topologies, patterns, routers)
+            routers: Sequence[str],
+            fault_sets: Optional[Sequence] = None) -> CompareResult:
+        """Run the full (topology x pattern x router x fault set) comparison.
+
+        *fault_sets* is an optional fourth axis of fault specifications
+        (anything :meth:`~repro.faults.FaultSet.from_spec` accepts); each
+        entry degrades the topology and reroutes every router through
+        :func:`~repro.faults.route_with_faults` (re-verifying deadlock
+        freedom on the degraded routes) before the saturation search.
+        Omitted or ``None`` runs the classic fault-free comparison.
+        """
+        cells = self._build_cells(topologies, patterns, routers, fault_sets)
         report = RunnerReport(workers=self.runner.workers)
         while True:
             batch: Dict[str, Tuple[_Cell, float]] = {}
@@ -285,6 +309,7 @@ class CompareMatrix:
                     cell.topology, cell.route_set, self.config.simulation,
                     [rate], workload=cell.pattern,
                     phase_boundaries=cell.boundaries or None,
+                    fault_schedule=cell.fault_schedule,
                 )
                 for key, (cell, rate) in batch.items()
             }
@@ -304,11 +329,15 @@ class CompareMatrix:
 
     # ------------------------------------------------------------------
     def _build_cells(self, topologies: Sequence[str], patterns: Sequence[str],
-                     routers: Sequence[str]) -> List[_Cell]:
+                     routers: Sequence[str],
+                     fault_sets: Optional[Sequence] = None) -> List[_Cell]:
         if not topologies or not patterns or not routers:
             raise ExperimentError(
                 "comparison needs at least one topology, pattern and router"
             )
+        parsed_faults = [FaultSet.from_spec(entry)
+                         for entry in (fault_sets
+                                       if fault_sets else [None])]
         cells: List[_Cell] = []
         for topology_name in topologies:
             topology = parse_topology(topology_name)
@@ -324,24 +353,41 @@ class CompareMatrix:
                 flow_set = pattern_flow_set(pattern, topology, self.config)
                 for router_name in routers:
                     spec = router_spec(router_name)
-                    router = spec.create(
-                        seed=self.config.seed,
-                        strategies=strategies,
-                        hop_slack=self.config.hop_slack,
-                        milp_time_limit=self.config.milp_time_limit,
-                    )
-                    route_set = router.compute_routes(topology, flow_set)
-                    cells.append(_Cell(
-                        topology_name=topology_name.strip().lower(),
-                        pattern=_canonical_pattern(pattern),
-                        router=spec.name,
-                        display_name=spec.display_name,
-                        topology=topology,
-                        algorithm=router,
-                        route_set=route_set,
-                        boundaries=phase_boundaries_for(router, route_set),
-                        search=SaturationSearch(self.criteria),
-                    ))
+                    for fault_set in parsed_faults:
+                        router = spec.create(
+                            seed=self.config.seed,
+                            strategies=strategies,
+                            hop_slack=self.config.hop_slack,
+                            milp_time_limit=self.config.milp_time_limit,
+                        )
+                        if fault_set:
+                            routed = route_with_faults(
+                                router, topology, flow_set, fault_set,
+                            )
+                            cell_topology = routed.topology
+                            route_set = routed.route_set
+                            boundaries = routed.phase_boundaries
+                            schedule = routed.schedule or None
+                        else:
+                            cell_topology = topology
+                            route_set = router.compute_routes(topology,
+                                                              flow_set)
+                            boundaries = phase_boundaries_for(router,
+                                                              route_set)
+                            schedule = None
+                        cells.append(_Cell(
+                            topology_name=topology_name.strip().lower(),
+                            pattern=_canonical_pattern(pattern),
+                            router=spec.name,
+                            display_name=spec.display_name,
+                            topology=cell_topology,
+                            algorithm=router,
+                            route_set=route_set,
+                            boundaries=boundaries,
+                            search=SaturationSearch(self.criteria),
+                            faults=fault_set.label(),
+                            fault_schedule=schedule,
+                        ))
         return cells
 
     def _finish_cell(self, cell: _Cell) -> CompareCell:
@@ -360,6 +406,7 @@ class CompareMatrix:
             low_load_latency=(low_stats.average_latency if low_stats else 0.0),
             p99_latency=(stable_stats.latency_percentile(0.99)
                          if stable_stats else 0.0),
+            faults=cell.faults,
         )
 
 
@@ -368,7 +415,8 @@ def compare_routers(topologies: Sequence[str], patterns: Sequence[str],
                     config: Optional[ExperimentConfig] = None,
                     criteria: Optional[SaturationCriteria] = None,
                     runner: Optional[ExperimentRunner] = None,
+                    fault_sets: Optional[Sequence] = None,
                     ) -> CompareResult:
     """One-call convenience wrapper around :class:`CompareMatrix`."""
     matrix = CompareMatrix(config=config, criteria=criteria, runner=runner)
-    return matrix.run(topologies, patterns, routers)
+    return matrix.run(topologies, patterns, routers, fault_sets=fault_sets)

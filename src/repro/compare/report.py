@@ -32,11 +32,58 @@ _COLUMNS = (
 )
 
 
+#: Extra column spliced in after "router" when any cell ran under faults.
+_FAULTS_COLUMN = ("faults", lambda row: row.get("faults", "none"))
+
+
 def _format_rate(row: Dict) -> str:
     rate = f"{row['saturation_rate']:g}"
     if not row["saturated_within_range"]:
         return f">= {rate}"
     return rate
+
+
+def _has_faults(rows) -> bool:
+    return any(row.get("faults", "none") != "none" for row in rows)
+
+
+def _degradation_lines(rows) -> List[str]:
+    """The fault-degradation section: every faulty cell vs its twin.
+
+    For each (topology, pattern, router) that has both a fault-free
+    baseline and at least one faulty cell, reports the saturation
+    throughput retained under each fault set — the quantity the paper's
+    robustness question asks for (how gracefully does each router degrade
+    as links fail?).
+    """
+    baselines: Dict = {}
+    for row in rows:
+        if row.get("faults", "none") == "none":
+            key = (row["topology"], row["pattern"], row["router"])
+            baselines[key] = row
+    lines: List[str] = ["", "## Degradation under faults", ""]
+    header = ("| topology | pattern | router | faults | "
+              "saturation throughput (pkt/cycle) | retained |")
+    lines.append(header)
+    lines.append("|" + "|".join(" --- " for _ in range(6)) + "|")
+    for row in rows:
+        faults = row.get("faults", "none")
+        if faults == "none":
+            continue
+        key = (row["topology"], row["pattern"], row["router"])
+        baseline = baselines.get(key)
+        throughput = row["saturation_throughput"]
+        if baseline and baseline["saturation_throughput"] > 0:
+            retained = throughput / baseline["saturation_throughput"]
+            retained_text = f"{100.0 * retained:.1f}%"
+        else:
+            retained_text = "n/a"
+        lines.append(
+            f"| {row['topology']} | {row['pattern']} | "
+            f"{row['display_name']} | {faults} | {throughput:.3f} | "
+            f"{retained_text} |"
+        )
+    return lines
 
 
 def _rate(cell: CompareCell) -> str:
@@ -56,14 +103,19 @@ def render_markdown(result: CompareResult) -> str:
         f"{criteria.latency_blowup:g}x low-load latency or delivery ratio < "
         f"{criteria.delivery_floor:g})."
     )
+    faulted = _has_faults(rows.rows)
+    columns = (_COLUMNS[:1] + (_FAULTS_COLUMN,) + _COLUMNS[1:]) if faulted \
+        else _COLUMNS
     for (topology, pattern), group in rows.group("topology", "pattern"):
         lines.extend(["", f"## {topology} / {pattern}", ""])
-        headers = [header for header, _ in _COLUMNS]
+        headers = [header for header, _ in columns]
         lines.append("| " + " | ".join(headers) + " |")
         lines.append("|" + "|".join(" --- " for _ in headers) + "|")
         for row in group:
-            values = [render(row) for _, render in _COLUMNS]
+            values = [render(row) for _, render in columns]
             lines.append("| " + " | ".join(values) + " |")
+    if faulted:
+        lines.extend(_degradation_lines(rows.rows))
     lines.extend([
         "",
         f"_{len(rows)} cell(s), "

@@ -64,6 +64,15 @@ class UnroutableFlowError(RoutingError):
     """Raised when no path exists for a flow under the current constraints."""
 
 
+class FaultError(ReproError):
+    """Raised for invalid fault specifications.
+
+    Examples: a malformed ``--faults`` entry, a link fault naming a channel
+    the topology does not have, or a failure scheduled on a channel that the
+    static faults already removed.
+    """
+
+
 class SolverError(ReproError):
     """Raised when the MILP solver fails to produce a usable solution."""
 

@@ -99,6 +99,12 @@ class SimulationStatistics:
     per_flow_latency: Dict[str, float] = field(default_factory=dict)
     per_flow_delivered: Dict[str, int] = field(default_factory=dict)
     dropped_at_source: int = 0
+    #: flits purged from buffers / source queues by mid-run link failures
+    flits_lost_to_faults: int = 0
+    #: packets that had at least one flit purged by a mid-run failure
+    packets_lost_to_faults: int = 0
+    #: packets diverted (backlog or fresh arrival) because their flow died
+    packets_dropped_faults: int = 0
 
     @property
     def measurement_cycles(self) -> int:

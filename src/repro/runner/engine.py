@@ -79,10 +79,10 @@ def resolve_workers(workers: Optional[int] = None) -> int:
 # worker entry points (module level so they pickle by reference)
 # ----------------------------------------------------------------------
 def _simulate_payload(payload) -> SimulationStatistics:
-    topology, route_set, config, offered_rate, boundaries = payload
+    topology, route_set, config, offered_rate, boundaries, faults = payload
     return simulate_route_set(
         topology, route_set, config, offered_rate,
-        phase_boundaries=boundaries,
+        phase_boundaries=boundaries, fault_schedule=faults,
     )
 
 
@@ -98,7 +98,13 @@ def _double_for_test(value):
 
 @dataclass
 class SweepSpec:
-    """One sweep the runner should perform (one curve of one figure)."""
+    """One sweep the runner should perform (one curve of one figure).
+
+    ``fault_schedule`` (a :class:`~repro.faults.FailureSchedule`, or
+    ``None``) arms cycle-stamped link failures for every point of the
+    sweep; non-empty schedules join the cache key, so degraded sweeps
+    never collide with their fault-free twins.
+    """
 
     topology: Topology
     route_set: RouteSet
@@ -106,6 +112,7 @@ class SweepSpec:
     offered_rates: Sequence[float]
     workload: str = ""
     phase_boundaries: Optional[Dict[str, int]] = None
+    fault_schedule: Optional[object] = None
 
 
 @dataclass
@@ -187,20 +194,24 @@ class ExperimentRunner:
     def simulate(self, topology: Topology, route_set: RouteSet,
                  config: SimulationConfig, offered_rate: float,
                  phase_boundaries: Optional[Dict[str, int]] = None,
+                 fault_schedule=None,
                  ) -> SimulationStatistics:
         """One cache-aware simulation point, run inline."""
         spec = SweepSpec(topology, route_set, config, [offered_rate],
-                         phase_boundaries=phase_boundaries)
+                         phase_boundaries=phase_boundaries,
+                         fault_schedule=fault_schedule)
         return self.sweep_many({"point": spec})["point"].statistics[0]
 
     def sweep(self, topology: Topology, route_set: RouteSet,
               config: SimulationConfig, offered_rates: Sequence[float],
               workload: str = "",
               phase_boundaries: Optional[Dict[str, int]] = None,
+              fault_schedule=None,
               ) -> SweepResult:
         """Drop-in parallel/cached replacement for ``sweep_injection_rates``."""
         spec = SweepSpec(topology, route_set, config, offered_rates,
-                         workload=workload, phase_boundaries=phase_boundaries)
+                         workload=workload, phase_boundaries=phase_boundaries,
+                         fault_schedule=fault_schedule)
         return self.sweep_many({"sweep": spec})["sweep"]
 
     def sweep_algorithm(self, algorithm: RoutingAlgorithm, topology: Topology,
@@ -263,6 +274,7 @@ class ExperimentRunner:
                     cache_key = simulation_cache_key(
                         spec.topology, spec.route_set, spec.config, rate,
                         spec.phase_boundaries,
+                        fault_schedule=spec.fault_schedule,
                     )
                     cached = self.cache.get(cache_key)
                     if cached is not None:
@@ -270,7 +282,7 @@ class ExperimentRunner:
                         report.cache_hits += 1
                         continue
                 payload = (spec.topology, spec.route_set, spec.config,
-                           rate, spec.phase_boundaries)
+                           rate, spec.phase_boundaries, spec.fault_schedule)
                 pending.append((key, index, cache_key, payload))
 
         report.points_simulated = len(pending)

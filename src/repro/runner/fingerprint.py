@@ -101,6 +101,7 @@ def config_fingerprint(config: SimulationConfig) -> Dict[str, object]:
 def simulation_cache_key(topology: Topology, route_set: RouteSet,
                          config: SimulationConfig, offered_rate: float,
                          phase_boundaries: Optional[Dict[str, int]] = None,
+                         fault_schedule=None,
                          ) -> str:
     """The content-addressed key of one simulation point.
 
@@ -108,6 +109,15 @@ def simulation_cache_key(topology: Topology, route_set: RouteSet,
     count, warm-up length, seed, variation fraction or offered rate —
     produces a different key, so stale cache entries can never be returned
     for a modified experiment.
+
+    Faults are covered from both sides: *static* faults (failed before
+    cycle 0) reach the simulator as a degraded topology, whose channel
+    inventory already distinguishes the key; a *scheduled*
+    :class:`~repro.faults.FailureSchedule` of mid-run failures is an extra
+    simulation input, so its canonical payload joins the key whenever it is
+    non-empty.  An empty or ``None`` schedule adds nothing — keys from
+    before the fault model existed stay valid, and a degraded run can never
+    collide with its fault-free twin in either direction.
     """
     payload = {
         "schema": CACHE_SCHEMA_VERSION,
@@ -118,4 +128,6 @@ def simulation_cache_key(topology: Topology, route_set: RouteSet,
         "offered_rate": float(offered_rate),
         "phase_boundaries": sorted((phase_boundaries or {}).items()),
     }
+    if fault_schedule:
+        payload["faults"] = fault_schedule.to_payload()
     return _digest(payload)

@@ -105,8 +105,18 @@ class BackendSpec:
 
     def create(self, topology: Topology, route_set: RouteSet,
                config: SimulationConfig, injection: InjectionProcess,
-               phase_boundaries: Optional[Dict[str, int]] = None):
-        """Instantiate the kernel for one simulation run."""
+               phase_boundaries: Optional[Dict[str, int]] = None,
+               fault_schedule=None):
+        """Instantiate the kernel for one simulation run.
+
+        ``fault_schedule`` (a :class:`~repro.faults.FailureSchedule` of
+        cycle-stamped link failures) is only forwarded when non-empty, so
+        backends that predate the fault model keep working fault-free.
+        """
+        if fault_schedule:
+            return self.factory(topology, route_set, config, injection,
+                                phase_boundaries=phase_boundaries,
+                                fault_schedule=fault_schedule)
         return self.factory(topology, route_set, config, injection,
                             phase_boundaries=phase_boundaries)
 
@@ -176,7 +186,8 @@ def backend_spec(name: str) -> BackendSpec:
 def create_simulator(topology: Topology, route_set: RouteSet,
                      config: SimulationConfig, injection: InjectionProcess,
                      phase_boundaries: Optional[Dict[str, int]] = None,
-                     backend: Optional[str] = None):
+                     backend: Optional[str] = None,
+                     fault_schedule=None):
     """Build the simulation kernel a run asks for.
 
     The backend is resolved from the explicit *backend* argument when given,
@@ -184,10 +195,12 @@ def create_simulator(topology: Topology, route_set: RouteSet,
     alias.  This is the single construction point the simulation driver,
     the trace capture/replay helpers and the profiling CLI all go through,
     so ``SimulationConfig.backend`` selects the kernel everywhere at once.
+    An optional non-empty *fault_schedule* arms mid-run link failures.
     """
     spec = backend_spec(backend if backend is not None else config.backend)
     return spec.create(topology, route_set, config, injection,
-                       phase_boundaries=phase_boundaries)
+                       phase_boundaries=phase_boundaries,
+                       fault_schedule=fault_schedule)
 
 
 # ----------------------------------------------------------------------

@@ -61,7 +61,7 @@ from ..routing.base import RouteSet
 from ..topology.base import Topology
 from .config import SimulationConfig
 from .injection import InjectionProcess
-from .state import compile_routes, vc_partitions
+from .state import compile_fault_events, compile_routes, vc_partitions
 
 
 class FastSimulator:
@@ -74,7 +74,8 @@ class FastSimulator:
 
     def __init__(self, topology: Topology, route_set: RouteSet,
                  config: SimulationConfig, injection: InjectionProcess,
-                 phase_boundaries: Optional[Dict[str, int]] = None) -> None:
+                 phase_boundaries: Optional[Dict[str, int]] = None,
+                 fault_schedule=None) -> None:
         self.topology = topology
         self.route_set = route_set
         self.config = config
@@ -88,6 +89,13 @@ class FastSimulator:
         self._num_vcs = config.num_vcs
 
         compiled = compile_routes(route_set, channel_index, self._num_vcs)
+
+        # scheduled mid-run faults (same fail-stop semantics as the
+        # reference kernel's apply_fault_events stage)
+        self._fault_events = compile_fault_events(fault_schedule,
+                                                  channel_index)
+        self._fault_index = 0
+        self._dead_flows: set = set()
 
         # hot configuration scalars
         self._warmup = config.warmup_cycles
@@ -210,6 +218,9 @@ class FastSimulator:
         self._ejected_flits_total = 0
         self._idle_cycles = 0
         self._deadlock_suspected = False
+        self._flits_lost_to_faults = 0
+        self._packets_lost_to_faults = 0
+        self._packets_dropped_faults = 0
 
     # ------------------------------------------------------------------
     # main loop
@@ -217,6 +228,12 @@ class FastSimulator:
     def step(self) -> int:
         """Advance the simulation by one cycle; returns flits moved."""
         cycle = self._cycle
+
+        # -------- apply scheduled link failures (fail-stop) --------
+        if self._fault_events and \
+                self._fault_index < len(self._fault_events) and \
+                self._fault_events[self._fault_index][0] <= cycle:
+            self._apply_fault_events()
 
         # -------- inject: draw packets, fill source queues --------
         injection = self.injection
@@ -231,15 +248,21 @@ class FastSimulator:
             measured = cycle >= self._warmup
             backlogs = self._backlogs
             needs_fill = self._needs_fill
+            dead_flows = self._dead_flows
             for index, count in events:
                 if not count:
+                    continue
+                self._packets_generated += count
+                if measured:
+                    self._measured_generated += count
+                if dead_flows and index in dead_flows:
+                    # dead flow: the arrival was drawn (determinism) but
+                    # diverts straight to the fault bin
+                    self._packets_dropped_faults += count
                     continue
                 backlog = backlogs[index]
                 for _ in range(count):
                     backlog.append(cycle)
-                self._packets_generated += count
-                if measured:
-                    self._measured_generated += count
                 needs_fill.add(index)
         # the worklist may also hold room-events parked by the previous
         # cycle's commit, so the fill runs even on arrival-free cycles
@@ -264,6 +287,100 @@ class FastSimulator:
             self._idle_cycles = 0
         self._cycle = cycle + 1
         return moved
+
+    # ------------------------------------------------------------------
+    def _apply_fault_events(self) -> None:
+        """Apply every scheduled failure whose cycle has arrived.
+
+        Mirrors :func:`~repro.simulator.stages.apply_fault_events` decision
+        for decision (fail-stop with flit loss at flow granularity), then
+        repairs this kernel's worklists: a purged buffer leaves whichever
+        of ``eject_heads`` / ``buf_cands`` it was on, an emptied source
+        queue leaves the injection maps, and the blocked-target cache is
+        dropped wholesale — it is a pure re-evaluation shortcut, and fault
+        events are rare enough that rebuilding it costs nothing.
+        """
+        events = self._fault_events
+        while self._fault_index < len(events) and \
+                events[self._fault_index][0] <= self._cycle:
+            self._kill_flows_using(events[self._fault_index][1])
+            self._fault_index += 1
+
+    def _kill_flows_using(self, failed_ids: frozenset) -> None:
+        """Kill every live flow whose route crosses a failed channel."""
+        newly_dead = []
+        for index, route in enumerate(self._flow_route):
+            if index in self._dead_flows or route is None:
+                continue
+            if any(cid in failed_ids for cid in route):
+                newly_dead.append(index)
+        if not newly_dead:
+            return
+        killed_pids = set()
+        size_flits = self._size_flits
+        for index in newly_dead:
+            self._dead_flows.add(index)
+            self._needs_fill.discard(index)
+            backlog = self._backlogs[index]
+            if backlog:
+                self._packets_dropped_faults += len(backlog)
+                backlog.clear()
+            pids = self._queue_pids[index]
+            if pids:
+                flits = len(pids) * size_flits - self._queue_seq[index]
+                self._flits_lost_to_faults += flits
+                self._in_flight_flits -= flits
+                killed_pids.update(pids)
+                pids.clear()
+                self._queue_seq[index] = 0
+                if self._flow_is_single[index]:
+                    del self._inj_single[self._flow_first_channel[index]]
+                else:
+                    node = self._flow_node[index]
+                    live = self._node_live[node] - 1
+                    self._node_live[node] = live
+                    if not live:
+                        self._active_multi.discard(node)
+        # purge network buffers: each holds one packet's window, so the
+        # head flit's flow identifies the whole buffer
+        newly = set(newly_dead)
+        buf_count = self._buf_count
+        buf_pid = self._buf_pid
+        pkt_flow = self._pkt_flow
+        for buffer_index in range(len(buf_count)):
+            count = buf_count[buffer_index]
+            if not count:
+                continue
+            pid = buf_pid[buffer_index]
+            fidx = pkt_flow[pid]
+            if fidx not in newly:
+                continue
+            killed_pids.add(pid)
+            self._flits_lost_to_faults += count
+            self._in_flight_flits -= count
+            buf_count[buffer_index] = 0
+            # a non-empty buffer is on exactly one worklist: ejection-ready
+            # or contender for its next channel
+            if buffer_index in self._eject_heads:
+                self._eject_heads.discard(buffer_index)
+            else:
+                nxt = self._flow_route[fidx][self._buf_hop[buffer_index] + 1]
+                cands = self._buf_cands[nxt]
+                cands.remove(buffer_index)
+                if not cands:
+                    self._live_targets.discard(nxt)
+        # release ownership and per-packet records of killed packets (an
+        # owner entry means the tail had not left, so the pid was purged)
+        owners = self._owners
+        for buffer_index, owner in enumerate(owners):
+            if owner is not None and owner in killed_pids:
+                owners[buffer_index] = None
+        for pid in killed_pids:
+            self._pkt_alloc[pid] = None
+        self._packets_lost_to_faults += len(killed_pids)
+        # the purge changed buffer occupancy and ownership everywhere;
+        # cached all-fail verdicts are no longer trustworthy
+        self._blocked_targets.clear()
 
     # ------------------------------------------------------------------
     def _fill_injection_queues(self) -> None:
@@ -683,6 +800,9 @@ class FastSimulator:
             per_flow_latency=dict(self._per_flow_latency),
             per_flow_delivered=dict(self._per_flow_delivered),
             dropped_at_source=self._dropped,
+            flits_lost_to_faults=self._flits_lost_to_faults,
+            packets_lost_to_faults=self._packets_lost_to_faults,
+            packets_dropped_faults=self._packets_dropped_faults,
         )
 
     @property
@@ -718,6 +838,9 @@ class FastSimulator:
             "flits_in_network": flits_in_network,
             "flits_in_source_queues": flits_in_source_queues,
             "in_flight_flits": self._in_flight_flits,
+            "flits_lost_to_faults": self._flits_lost_to_faults,
+            "packets_lost_to_faults": self._packets_lost_to_faults,
+            "packets_dropped_faults": self._packets_dropped_faults,
         }
 
     def conservation_violations(self) -> List[str]:

@@ -69,11 +69,16 @@ class NetworkSimulator:
         only use the lower half of the VCs and hops at or after it only the
         upper half.  This is how ROMM and Valiant obtain deadlock freedom
         with two virtual channels.
+    fault_schedule:
+        Optional :class:`~repro.faults.FailureSchedule` of cycle-stamped
+        link failures, applied fail-stop at the top of each named cycle
+        (see :func:`~repro.simulator.stages.apply_fault_events`).
     """
 
     def __init__(self, topology: Topology, route_set: RouteSet,
                  config: SimulationConfig, injection: InjectionProcess,
-                 phase_boundaries: Optional[Dict[str, int]] = None) -> None:
+                 phase_boundaries: Optional[Dict[str, int]] = None,
+                 fault_schedule=None) -> None:
         self.topology = topology
         self.route_set = route_set
         self.config = config
@@ -82,6 +87,7 @@ class NetworkSimulator:
         self.state: SimulatorState = build_state(
             topology, route_set, config, injection,
             phase_boundaries=phase_boundaries,
+            fault_schedule=fault_schedule,
         )
 
     # ------------------------------------------------------------------
@@ -125,11 +131,13 @@ class NetworkSimulator:
 
         * **flit conservation** — every flit ever built entered exactly one
           of the ledger's bins: ``flits_built == flits_ejected +
-          flits_in_network + flits_in_source_queues``;
+          flits_in_network + flits_in_source_queues +
+          flits_lost_to_faults``;
         * **packet conservation** — every generated packet is either still
-          in its source backlog, was dropped at a full source, or was built
-          into flits: ``packets_generated == packets_built +
-          packets_in_backlog + packets_dropped``.
+          in its source backlog, was dropped at a full source, was
+          diverted by a mid-run fault, or was built into flits:
+          ``packets_generated == packets_built + packets_in_backlog +
+          packets_dropped + packets_dropped_faults``.
 
         The per-bin recount (``flits_in_network`` from the FIFOs,
         ``flits_in_source_queues`` from the injection queues) is computed
@@ -152,6 +160,9 @@ class NetworkSimulator:
             "flits_in_network": flits_in_network,
             "flits_in_source_queues": flits_in_source_queues,
             "in_flight_flits": state.in_flight_flits,
+            "flits_lost_to_faults": state.flits_lost_to_faults,
+            "packets_lost_to_faults": state.packets_lost_to_faults,
+            "packets_dropped_faults": state.packets_dropped_faults,
         }
 
     def conservation_violations(self) -> List[str]:

@@ -76,12 +76,15 @@ def simulate_route_set(topology: Topology, route_set: RouteSet,
                        config: SimulationConfig, offered_rate: float,
                        phase_boundaries: Optional[Dict[str, int]] = None,
                        backend: Optional[str] = None,
+                       fault_schedule=None,
                        ) -> SimulationStatistics:
     """Simulate one route set at one offered injection rate.
 
     The kernel executing the run comes from ``config.backend`` (or the
     explicit *backend* override); every registered backend is bit-identical,
-    so the choice affects wall-clock time only.
+    so the choice affects wall-clock time only.  A non-empty
+    *fault_schedule* arms cycle-stamped link failures (see
+    :mod:`repro.faults`).
     """
     if not route_set.is_complete():
         missing = [flow.name for flow in route_set.missing_flows()]
@@ -95,6 +98,7 @@ def simulate_route_set(topology: Topology, route_set: RouteSet,
     simulator = create_simulator(
         topology, route_set, config, injection,
         phase_boundaries=phase_boundaries, backend=backend,
+        fault_schedule=fault_schedule,
     )
     return simulator.run()
 

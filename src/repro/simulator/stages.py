@@ -50,6 +50,77 @@ Move = Tuple[bool, int, Flit, int, int]
 
 
 # ----------------------------------------------------------------------
+# stage 0: scheduled fault application (fail-stop link failures)
+# ----------------------------------------------------------------------
+def apply_fault_events(state: SimulatorState) -> None:
+    """Apply every scheduled failure whose cycle has arrived.
+
+    The failure model is **fail-stop with flit loss** at flow granularity:
+    when a link dies, every flow whose (static, oblivious) route crosses it
+    can no longer make progress — its buffered flits are purged from the
+    network (counted in ``flits_lost_to_faults``), its source-queue flits
+    and backlog are discarded, and all later arrivals for it divert
+    straight to ``packets_dropped_faults``.  Purging whole flows keeps the
+    wormhole invariants intact (no half-advanced packets wedged against a
+    missing channel) and keeps the injection RNG stream untouched, so runs
+    with the same seed stay deterministic across backends.
+    """
+    events = state.fault_events
+    index = state.fault_index
+    while index < len(events) and events[index][0] <= state.cycle:
+        _kill_flows_using(state, events[index][1])
+        index += 1
+    state.fault_index = index
+
+
+def _kill_flows_using(state: SimulatorState, failed_ids: frozenset) -> None:
+    """Kill every live flow whose route crosses a failed channel."""
+    newly_dead = []
+    for index, compiled in enumerate(state.flow_compiled):
+        if index in state.dead_flows or compiled is None:
+            continue
+        if any(cid in failed_ids for cid in compiled[0]):
+            newly_dead.append(index)
+    if not newly_dead:
+        return
+    killed_pids = set()
+    for index in newly_dead:
+        state.dead_flows.add(index)
+        backlog = state.backlogs[index]
+        if backlog:
+            state.packets_dropped_faults += len(backlog)
+            backlog.clear()
+        queue = state.flow_queues[index]
+        if queue:
+            state.flits_lost_to_faults += len(queue)
+            state.in_flight_flits -= len(queue)
+            for flit in queue:
+                killed_pids.add(flit.packet.packet_id)
+            queue.clear()
+    # purge network buffers (FIFO + wormhole ownership mean each buffer
+    # holds a contiguous window of one packet's flits)
+    dead_names = {state.flow_names[index] for index in newly_dead}
+    fifos = state.fifos
+    for buffer_index in sorted(state.occupied):
+        fifo = fifos[buffer_index]
+        if fifo and fifo[0].packet.flow_name in dead_names:
+            state.flits_lost_to_faults += len(fifo)
+            state.in_flight_flits -= len(fifo)
+            for flit in fifo:
+                killed_pids.add(flit.packet.packet_id)
+            fifo.clear()
+            state.occupied.discard(buffer_index)
+    # release wormhole ownership held by killed packets: an owner entry
+    # means the packet's tail had not left that buffer, so the packet had
+    # at least one flit somewhere and its id is in killed_pids
+    owners = state.owners
+    for buffer_index, owner in enumerate(owners):
+        if owner is not None and owner in killed_pids:
+            owners[buffer_index] = None
+    state.packets_lost_to_faults += len(killed_pids)
+
+
+# ----------------------------------------------------------------------
 # stage 1: injection
 # ----------------------------------------------------------------------
 def stage_inject(state: SimulatorState) -> None:
@@ -68,15 +139,21 @@ def _generate_packets(state: SimulatorState) -> None:
                   for flow in state.route_set.flow_set]
     measured = cycle >= state.warmup_cycles
     backlogs = state.backlogs
+    dead_flows = state.dead_flows
     for index, count in enumerate(counts):
         if not count:
+            continue
+        state.packets_generated += count
+        if measured:
+            state.measured_generated += count
+        if dead_flows and index in dead_flows:
+            # the flow's route died: arrivals still draw from the shared
+            # injection stream (determinism) but go straight to the bin
+            state.packets_dropped_faults += count
             continue
         backlog = backlogs[index]
         for _ in range(count):
             backlog.append(cycle)
-        state.packets_generated += count
-        if measured:
-            state.measured_generated += count
 
 
 def _fill_injection_queues(state: SimulatorState) -> None:
@@ -333,6 +410,8 @@ def stage_link_traverse(state: SimulatorState, moves: List[Move]) -> int:
 # ----------------------------------------------------------------------
 def step_cycle(state: SimulatorState) -> int:
     """Advance the state by one cycle through all five stages."""
+    if state.fault_events:
+        apply_fault_events(state)
     stage_inject(state)
     departed_buffers: set = set()
     moved = stage_eject(state, departed_buffers)
@@ -361,15 +440,20 @@ def audit_violations(audit: Dict[str, int]) -> List[str]:
     :meth:`~repro.simulator.network.NetworkSimulator.flit_audit`).
     """
     violations: List[str] = []
+    # fault bins default to 0 so pre-fault ledgers still validate
+    flits_lost = audit.get("flits_lost_to_faults", 0)
+    dropped_faults = audit.get("packets_dropped_faults", 0)
     if audit["flits_built"] != (audit["flits_ejected"] +
                                 audit["flits_in_network"] +
-                                audit["flits_in_source_queues"]):
+                                audit["flits_in_source_queues"] +
+                                flits_lost):
         violations.append(
             f"flit conservation broken at cycle {audit['cycle']}: "
             f"built {audit['flits_built']} != ejected "
             f"{audit['flits_ejected']} + in-network "
             f"{audit['flits_in_network']} + queued "
-            f"{audit['flits_in_source_queues']}"
+            f"{audit['flits_in_source_queues']} + lost to faults "
+            f"{flits_lost}"
         )
     if audit["in_flight_flits"] != (audit["flits_in_network"] +
                                     audit["flits_in_source_queues"]):
@@ -381,13 +465,15 @@ def audit_violations(audit: Dict[str, int]) -> List[str]:
         )
     if audit["packets_generated"] != (audit["packets_built"] +
                                       audit["packets_in_backlog"] +
-                                      audit["packets_dropped"]):
+                                      audit["packets_dropped"] +
+                                      dropped_faults):
         violations.append(
             f"packet conservation broken at cycle {audit['cycle']}: "
             f"generated {audit['packets_generated']} != built "
             f"{audit['packets_built']} + backlog "
             f"{audit['packets_in_backlog']} + dropped "
-            f"{audit['packets_dropped']}"
+            f"{audit['packets_dropped']} + dropped by faults "
+            f"{dropped_faults}"
         )
     return violations
 
@@ -404,4 +490,7 @@ def collect_statistics(state: SimulatorState) -> SimulationStatistics:
         per_flow_latency=dict(state.per_flow_latency),
         per_flow_delivered=dict(state.per_flow_delivered),
         dropped_at_source=state.dropped,
+        flits_lost_to_faults=state.flits_lost_to_faults,
+        packets_lost_to_faults=state.packets_lost_to_faults,
+        packets_dropped_faults=state.packets_dropped_faults,
     )

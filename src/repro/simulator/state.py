@@ -57,6 +57,8 @@ class SimulatorState:
         # static inventory
         "channels", "channel_index", "num_channels", "num_vcs",
         "flow_routes", "buffer_dst", "allowed",
+        # scheduled mid-run faults
+        "fault_events", "fault_index", "dead_flows",
         # hot configuration scalars
         "warmup_cycles", "buffer_depth", "local_bandwidth",
         "packet_size_flits", "injection_capacity", "drop_when_source_full",
@@ -74,6 +76,8 @@ class SimulatorState:
         "per_flow_latency", "per_flow_delivered", "dropped",
         "in_flight_flits", "ejected_flits_total", "idle_cycles",
         "deadlock_suspected",
+        "flits_lost_to_faults", "packets_lost_to_faults",
+        "packets_dropped_faults",
     )
 
 
@@ -130,9 +134,35 @@ def vc_partitions(flow_names, phase_boundaries: Dict[str, int], num_vcs: int,
     return allowed
 
 
+def compile_fault_events(fault_schedule, channel_index: Dict,
+                         ) -> List[Tuple[int, frozenset]]:
+    """Compile a :class:`~repro.faults.FailureSchedule` to channel-id events.
+
+    Returns a cycle-sorted list of ``(cycle, failed channel ids)`` pairs.
+    Raises :class:`SimulationError` when a scheduled failure names a channel
+    the topology does not have — the same construction-time surfacing rule
+    as :func:`compile_routes`.
+    """
+    events: List[Tuple[int, frozenset]] = []
+    if fault_schedule is None:
+        return events
+    for cycle, channels in fault_schedule.events:
+        ids = []
+        for channel in channels:
+            if channel not in channel_index:
+                raise SimulationError(
+                    f"failure scheduled at cycle {cycle} names channel "
+                    f"{channel} which is not in the topology"
+                )
+            ids.append(channel_index[channel])
+        events.append((cycle, frozenset(ids)))
+    return events
+
+
 def build_state(topology: Topology, route_set: RouteSet,
                 config: SimulationConfig, injection: InjectionProcess,
                 phase_boundaries: Optional[Dict[str, int]] = None,
+                fault_schedule=None,
                 ) -> SimulatorState:
     """Compile the simulation inputs into a fresh :class:`SimulatorState`."""
     state = SimulatorState()
@@ -150,6 +180,12 @@ def build_state(topology: Topology, route_set: RouteSet,
 
     state.flow_routes = compile_routes(route_set, state.channel_index,
                                        state.num_vcs)
+
+    # scheduled mid-run faults (empty list = fault free, zero step cost)
+    state.fault_events = compile_fault_events(fault_schedule,
+                                              state.channel_index)
+    state.fault_index = 0
+    state.dead_flows = set()
 
     # hot configuration scalars, copied once
     state.warmup_cycles = config.warmup_cycles
@@ -223,4 +259,7 @@ def build_state(topology: Topology, route_set: RouteSet,
     state.ejected_flits_total = 0
     state.idle_cycles = 0
     state.deadlock_suspected = False
+    state.flits_lost_to_faults = 0
+    state.packets_lost_to_faults = 0
+    state.packets_dropped_faults = 0
     return state

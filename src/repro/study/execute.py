@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Tuple
 from ..compare.matrix import CompareMatrix, parse_topology, pattern_flow_set
 from ..compare.saturation import SaturationCriteria
 from ..exceptions import ReproError, StudyError
+from ..faults import FaultSet, route_with_faults
 from ..experiments.config import ExperimentConfig
 from ..experiments.workloads import APPLICATION_WORKLOADS
 from ..routing.bsor.framework import full_strategy_set, paper_strategies
@@ -44,16 +45,16 @@ from .spec import Scenario, Study
 #: Column order of sweep-mode result rows.
 SWEEP_COLUMNS = (
     "scenario", "mode", "topology", "pattern", "router", "display_name",
-    "vcs", "offered_rate", "throughput", "average_latency",
+    "vcs", "faults", "offered_rate", "throughput", "average_latency",
     "delivery_ratio", "p99_latency", "max_channel_load", "average_hops",
 )
 
 #: Column order of saturate-mode result rows.
 SATURATE_COLUMNS = (
     "scenario", "mode", "topology", "pattern", "router", "display_name",
-    "saturation_rate", "saturated_within_range", "saturation_throughput",
-    "low_load_latency", "p99_latency", "max_channel_load", "average_hops",
-    "sim_points",
+    "faults", "saturation_rate", "saturated_within_range",
+    "saturation_throughput", "low_load_latency", "p99_latency",
+    "max_channel_load", "average_hops", "sim_points",
 )
 
 
@@ -113,6 +114,10 @@ class StudyResult:
                                              "pattern", "router")]
                 if len(group.distinct("vcs")) == 1:
                     columns.remove("vcs")
+            # the faults column only earns its width when the group
+            # actually ran under faults
+            if set(group.distinct("faults")) <= {"none"}:
+                columns.remove("faults")
             lines.append(group.to_markdown(columns=["display_name"] + [
                 column for column in columns if column != "display_name"
             ]))
@@ -197,6 +202,8 @@ def _run_sweep_scenario(scenario: Scenario, config: ExperimentConfig,
     rates = list(scenario.rates) if scenario.rates else \
         list(config.offered_rates)
     vc_counts: Tuple[Optional[int], ...] = scenario.vcs or (None,)
+    fault_axis = [FaultSet.from_spec(entry)
+                  for entry in (scenario.faults or ("none",))]
 
     specs: Dict[str, SweepSpec] = {}
     meta: Dict[str, Dict] = {}
@@ -211,33 +218,50 @@ def _run_sweep_scenario(scenario: Scenario, config: ExperimentConfig,
             flow_set = pattern_flow_set(pattern, topology, config)
             for router_name in scenario.routers:
                 spec = router_spec(router_name)
-                router = spec.create(
-                    seed=config.seed,
-                    strategies=strategies,
-                    hop_slack=config.hop_slack,
-                    milp_time_limit=config.milp_time_limit,
-                )
-                route_set = router.compute_routes(topology, flow_set)
-                boundaries = phase_boundaries_for(router, route_set)
-                for vcs in vc_counts:
-                    simulation = config.simulation if vcs is None \
-                        else config.simulation.with_vcs(vcs)
-                    key = f"{topology_name}|{pattern}|{spec.name}|{vcs}"
-                    specs[key] = SweepSpec(
-                        topology, route_set, simulation, rates,
-                        workload=pattern,
-                        phase_boundaries=boundaries or None,
+                for fault_set in fault_axis:
+                    # a fresh router per fault point: randomized routers
+                    # (ROMM / Valiant / O1TURN) carry per-compute state
+                    router = spec.create(
+                        seed=config.seed,
+                        strategies=strategies,
+                        hop_slack=config.hop_slack,
+                        milp_time_limit=config.milp_time_limit,
                     )
-                    meta[key] = {
-                        "topology": topology_name.strip().lower(),
-                        "pattern": _canonical_pattern(pattern),
-                        "router": spec.name,
-                        "display_name": spec.display_name,
-                        "vcs": vcs if vcs is not None
-                        else simulation.num_vcs,
-                        "max_channel_load": route_set.max_channel_load(),
-                        "average_hops": route_set.average_hop_count(),
-                    }
+                    if fault_set:
+                        routed = route_with_faults(router, topology,
+                                                   flow_set, fault_set)
+                        sim_topology = routed.topology
+                        route_set = routed.route_set
+                        boundaries = routed.phase_boundaries
+                        schedule = routed.schedule or None
+                    else:
+                        sim_topology = topology
+                        route_set = router.compute_routes(topology, flow_set)
+                        boundaries = phase_boundaries_for(router, route_set)
+                        schedule = None
+                    label = fault_set.label()
+                    for vcs in vc_counts:
+                        simulation = config.simulation if vcs is None \
+                            else config.simulation.with_vcs(vcs)
+                        key = (f"{topology_name}|{pattern}|{spec.name}|"
+                               f"{vcs}|{label}")
+                        specs[key] = SweepSpec(
+                            sim_topology, route_set, simulation, rates,
+                            workload=pattern,
+                            phase_boundaries=boundaries or None,
+                            fault_schedule=schedule,
+                        )
+                        meta[key] = {
+                            "topology": topology_name.strip().lower(),
+                            "pattern": _canonical_pattern(pattern),
+                            "router": spec.name,
+                            "display_name": spec.display_name,
+                            "vcs": vcs if vcs is not None
+                            else simulation.num_vcs,
+                            "faults": label,
+                            "max_channel_load": route_set.max_channel_load(),
+                            "average_hops": route_set.average_hop_count(),
+                        }
     results = runner.sweep_many(specs)
 
     rows: List[Dict] = []
@@ -249,7 +273,7 @@ def _run_sweep_scenario(scenario: Scenario, config: ExperimentConfig,
                 "mode": "sweep",
                 **{column: tags[column]
                    for column in ("topology", "pattern", "router",
-                                  "display_name", "vcs")},
+                                  "display_name", "vcs", "faults")},
                 "offered_rate": rate,
                 "throughput": stats.throughput,
                 "average_latency": stats.average_latency,
@@ -276,7 +300,8 @@ def _run_saturate_scenario(scenario: Scenario, config: ExperimentConfig,
         if overrides else SaturationCriteria()
     matrix = CompareMatrix(config=config, criteria=criteria, runner=runner)
     result = matrix.run(_scenario_topologies(scenario, config),
-                        list(scenario.patterns), list(scenario.routers))
+                        list(scenario.patterns), list(scenario.routers),
+                        fault_sets=list(scenario.faults) or None)
     rows: List[Dict] = []
     for row in result.result_set():
         rows.append({
@@ -286,6 +311,7 @@ def _run_saturate_scenario(scenario: Scenario, config: ExperimentConfig,
             "pattern": row["pattern"],
             "router": row["router"],
             "display_name": row["display_name"],
+            "faults": row.get("faults", "none"),
             "saturation_rate": row["saturation_rate"],
             "saturated_within_range": row["saturated_within_range"],
             "saturation_throughput": row["saturation_throughput"],

@@ -56,8 +56,8 @@ _STUDY_KEYS = ("name", "description", "profile", "backend", "workers",
 
 #: Scenario-level spec keys.  Singular spellings are accepted aliases.
 _SCENARIO_KEYS = ("name", "topologies", "routers", "patterns", "mode",
-                  "rates", "vcs", "mapping", "seed", "min_rate", "max_rate",
-                  "resolution")
+                  "rates", "vcs", "faults", "mapping", "seed", "min_rate",
+                  "max_rate", "resolution")
 _SCENARIO_KEY_ALIASES = {
     "topology": "topologies",
     "router": "routers",
@@ -65,6 +65,7 @@ _SCENARIO_KEY_ALIASES = {
     "workload": "patterns",
     "workloads": "patterns",
     "rate": "rates",
+    "fault": "faults",
 }
 
 
@@ -98,6 +99,30 @@ def _string_list(value, where: str) -> Tuple[str, ...]:
     for item in items:
         if not isinstance(item, str) or not item.strip():
             raise StudyError(f"{where}: expected a name, got {item!r}")
+        result.append(item.strip())
+    return tuple(result)
+
+
+def _fault_list(value, where: str) -> Tuple[str, ...]:
+    """Coerce a spec value to a tuple of fault-set axis points.
+
+    A fault set is itself comma-joined (``link:0-1,link:5-6`` is ONE set of
+    two failed links), so unlike the other axes the scalar form splits on
+    ``;``: ``"none; link:0-1"`` is two axis points.  A YAML list gives one
+    axis point per entry, commas and all.
+    """
+    if isinstance(value, str):
+        items: Sequence = [part.strip() for part in value.split(";")]
+    elif isinstance(value, Sequence):
+        items = value
+    else:
+        raise StudyError(f"{where}: expected a fault spec or list of fault "
+                         f"specs, got {value!r}")
+    result = []
+    for item in items:
+        if not isinstance(item, str):
+            raise StudyError(f"{where}: expected a fault spec string "
+                             f"(e.g. 'link:0-1' or 'none'), got {item!r}")
         result.append(item.strip())
     return tuple(result)
 
@@ -152,6 +177,12 @@ class Scenario:
         profile's default rate schedule.
     vcs:
         Virtual-channel counts to sweep; empty means the profile's VC count.
+    faults:
+        Fault-set axis points (anything
+        :meth:`~repro.faults.FaultSet.from_spec` accepts, e.g.
+        ``"link:0-1"`` or ``"link:0-1,link:5-6@500"``); empty means one
+        fault-free point.  Each point degrades the topology and reroutes
+        every router with deadlock freedom re-verified.
     mapping:
         Task-placement strategy for application workloads (``None`` = the
         workload's own default).
@@ -168,6 +199,7 @@ class Scenario:
     mode: str = "sweep"
     rates: Tuple[float, ...] = ()
     vcs: Tuple[int, ...] = ()
+    faults: Tuple[str, ...] = ()
     mapping: Optional[str] = None
     seed: Optional[int] = None
     min_rate: Optional[float] = None
@@ -219,6 +251,7 @@ class Scenario:
         # name checks ride on the registries so the did-you-mean hints and
         # the accepted vocabularies can never drift from the code
         from ..compare.matrix import parse_topology
+        from ..faults import FaultSet
         from ..routing.registry import router_spec
         from .execute import validate_pattern
 
@@ -229,6 +262,8 @@ class Scenario:
                 router_spec(router)
             for pattern in self.patterns:
                 validate_pattern(pattern)
+            for fault in self.faults:
+                FaultSet.from_spec(fault)
         except ReproError as error:
             raise StudyError(f"{where}: {error}") from error
 
@@ -245,6 +280,8 @@ class Scenario:
             payload["rates"] = list(self.rates)
         if self.vcs:
             payload["vcs"] = list(self.vcs)
+        if self.faults:
+            payload["faults"] = list(self.faults)
         for optional in ("mapping", "seed", "min_rate", "max_rate",
                          "resolution"):
             value = getattr(self, optional)
@@ -287,6 +324,9 @@ class Scenario:
         if "vcs" in folded:
             kwargs["vcs"] = _number_list(folded["vcs"], f"{where}: vcs",
                                          kind=int)
+        if "faults" in folded and folded["faults"] is not None:
+            kwargs["faults"] = _fault_list(folded["faults"],
+                                           f"{where}: faults")
         if "mapping" in folded and folded["mapping"] is not None:
             kwargs["mapping"] = str(folded["mapping"])
         if "seed" in folded and folded["seed"] is not None:
@@ -373,6 +413,7 @@ class Study:
              routers: Optional[Sequence[str]] = None,
              patterns: Optional[Sequence[str]] = None,
              vcs: Optional[Sequence[int]] = None,
+             faults: Optional[Sequence[str]] = None,
              name: Optional[str] = None,
              mapping: Optional[str] = None,
              seed: Optional[int] = None) -> "Study":
@@ -380,6 +421,9 @@ class Study:
 
         Unspecified axes keep the :class:`Scenario` defaults.  Subsequent
         :meth:`rates` / :meth:`saturate` calls refine this scenario.
+        ``faults`` adds a fault-set axis: one entry per axis point, each a
+        full fault spec (``"none"``, ``"link:0-1"``,
+        ``"link:0-1,link:5-6@500"``).
         """
         self.scenarios.append(Scenario(
             name=name or f"scenario-{len(self.scenarios) + 1}",
@@ -387,6 +431,7 @@ class Study:
             routers=tuple(routers) if routers else Scenario.routers,
             patterns=tuple(patterns) if patterns else Scenario.patterns,
             vcs=tuple(vcs or ()),
+            faults=tuple(faults or ()),
             mapping=mapping,
             seed=seed,
         ))

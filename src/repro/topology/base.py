@@ -11,6 +11,7 @@ this interface so that, as the paper notes, the routing technique is
 
 from __future__ import annotations
 
+import copy
 import string
 from abc import ABC, abstractmethod
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -60,6 +61,30 @@ class Topology(ABC):
     def _add_bidirectional(self, a: int, b: int) -> Tuple[Channel, Channel]:
         """Register both directions of a physical wire between *a* and *b*."""
         return self._add_channel(a, b), self._add_channel(b, a)
+
+    def _remove_channel(self, channel: Channel) -> None:
+        """Unregister *channel* from every adjacency structure."""
+        if channel not in self._channel_set:
+            raise TopologyError(f"no channel {channel} to remove")
+        self._channel_set.remove(channel)
+        self._channels.remove(channel)
+        self._out[channel.src].remove(channel)
+        self._in[channel.dst].remove(channel)
+
+    def without_channels(self, channels: Iterable[Channel]) -> "Topology":
+        """A degraded copy of this topology with *channels* removed.
+
+        The copy keeps its concrete class (a degraded mesh is still a
+        :class:`~repro.topology.mesh.Mesh2D`), so coordinate and direction
+        queries — and ``isinstance`` checks inside routers — keep working.
+        Node indices are preserved; a node that loses all of its channels
+        simply becomes isolated.  Removing a channel that does not exist
+        raises :class:`TopologyError`.
+        """
+        degraded = copy.deepcopy(self)
+        for channel in channels:
+            degraded._remove_channel(channel)
+        return degraded
 
     def _check_node(self, node: int) -> None:
         if not 0 <= node < self._num_nodes:

@@ -297,12 +297,16 @@ def capture_simulation(topology: Topology, route_set: RouteSet,
                        config: SimulationConfig, offered_rate: float,
                        phase_boundaries: Optional[Dict[str, int]] = None,
                        workload: str = "",
+                       fault_schedule=None,
                        ) -> Tuple[SimulationStatistics, InjectionTrace]:
     """Simulate one route set while capturing its injection trace.
 
     Identical to :func:`~repro.simulator.simulation.simulate_route_set`
     except that the returned pair also carries the
-    :class:`InjectionTrace` of the run.
+    :class:`InjectionTrace` of the run.  A non-empty *fault_schedule* arms
+    mid-run link failures; the trace still records every draw (dead flows
+    keep drawing for determinism), so a faulty run replays bit-identically
+    under the same schedule.
     """
     _check_complete(route_set)
     inner = make_injection_process(
@@ -315,6 +319,7 @@ def capture_simulation(topology: Topology, route_set: RouteSet,
     simulator = create_simulator(
         topology, route_set, config, recorder,
         phase_boundaries=phase_boundaries,
+        fault_schedule=fault_schedule,
     )
     statistics = simulator.run()
     return statistics, recorder.trace(num_cycles=simulator.cycle,
@@ -324,18 +329,20 @@ def capture_simulation(topology: Topology, route_set: RouteSet,
 def replay_simulation(topology: Topology, route_set: RouteSet,
                       config: SimulationConfig, trace: InjectionTrace,
                       phase_boundaries: Optional[Dict[str, int]] = None,
+                      fault_schedule=None,
                       ) -> SimulationStatistics:
     """Replay a captured trace through the simulator.
 
-    With the route set, configuration and phase boundaries of the original
-    run, the result is bit-identical to the live run's statistics: the
-    simulator itself is deterministic, and the trace pins down the only
-    random input (the injection draws).
+    With the route set, configuration, phase boundaries and fault schedule
+    of the original run, the result is bit-identical to the live run's
+    statistics: the simulator itself is deterministic, and the trace pins
+    down the only random input (the injection draws).
     """
     _check_complete(route_set)
     process = TraceInjectionProcess(route_set.flow_set, trace)
     simulator = create_simulator(
         topology, route_set, config, process,
         phase_boundaries=phase_boundaries,
+        fault_schedule=fault_schedule,
     )
     return simulator.run(max_cycles=trace.num_cycles)

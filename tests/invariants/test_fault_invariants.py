@@ -1,0 +1,240 @@
+"""Invariant campaign: fault injection never breaks the safety contract.
+
+Random fault sets — up to and including ones that disconnect the network —
+are thrown at every fault-capable router on meshes and tori.  For each
+draw, :func:`repro.faults.route_with_faults` must either
+
+* **accept**: return a complete route set on the degraded topology whose
+  induced channel-dependence graph is acyclic (deadlock freedom is
+  re-verified, never assumed), that never uses a failed channel, and whose
+  paths are minimal on the degraded graph or belong to a router declared
+  non-minimal (ROMM / Valiant two-phase detours, BSOR's CDG-constrained
+  selection on irregular graphs); or
+* **declare**: raise a specific, typed error — ``UnroutableFlowError``
+  naming the disconnected pair, or ``RoutingError`` / ``DeadlockError``
+  declaring the fault set unsupported for this router.
+
+Silent degradation (wrong routes, cyclic CDGs, leaked flits) is the
+failure mode this campaign exists to rule out.  The flit-conservation half
+replays random mid-run failure schedules and audits the ledger at random
+stop cycles: every flit lost to a dying link must land in
+``flits_lost_to_faults``, never vanish.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.exceptions import (
+    DeadlockError,
+    RoutingError,
+    UnroutableFlowError,
+)
+from repro.faults import FaultSet, LinkFault, route_with_faults
+from repro.routing.registry import create_router
+from repro.simulator import (
+    FastSimulator,
+    NetworkSimulator,
+    SimulationConfig,
+)
+from repro.simulator.injection import make_injection_process
+from repro.topology import Mesh2D, Torus2D
+from repro.traffic import synthetic_by_name
+
+#: Routers exercised by the campaign.  Only the table-driven routers are
+#: provably minimal under faults (kept nominal routes are minimal, BFS
+#: patches are minimal); ROMM/Valiant detour through an intermediate by
+#: design, and BSOR's CDG-constrained selection may exclude the geodesic
+#: on an irregular graph (a turn the strategy forbids can be the only
+#: shortest way around a hole) — for those, declared non-minimal, the
+#: invariant is just path validity (>= the degraded shortest distance).
+ROUTERS = ("dor", "o1turn", "bsor-dijkstra", "romm")
+MINIMAL = {"dor", "o1turn"}
+
+#: The typed errors a router may declare instead of accepting a fault set.
+DECLARED = (UnroutableFlowError, RoutingError, DeadlockError)
+
+
+def _topology(name: str):
+    return Mesh2D(4) if name == "mesh" else Torus2D(4)
+
+
+def _wires(topology):
+    """The undirected physical wires of a topology, deterministically."""
+    return sorted({(min(c.src, c.dst), max(c.src, c.dst))
+                   for c in topology.channels})
+
+
+@st.composite
+def fault_sets(draw, topology_name: str, max_links: int = 6,
+               scheduled: bool = False):
+    """A random fault set over *topology_name*'s real links.
+
+    Draw enough links (up to *max_links*) that disconnection is a live
+    possibility on a 4x4 network; when *scheduled* is set, each fault gets
+    a random positive failure cycle instead of being static.
+    """
+    wires = _wires(_topology(topology_name))
+    picks = draw(st.lists(st.sampled_from(wires), min_size=1,
+                          max_size=max_links, unique=True))
+    faults = []
+    for src, dst in picks:
+        directed = draw(st.booleans())
+        cycle = draw(st.integers(1, 400)) if scheduled else 0
+        faults.append(LinkFault(src, dst, cycle=cycle, directed=directed))
+    return FaultSet(tuple(faults))
+
+
+def _bfs_routes(topology, flows):
+    """Deterministic BFS shortest-path routes on any topology."""
+    from repro.faults import _bfs_path
+    from repro.routing.base import RouteSet
+
+    routes = RouteSet(topology, flows, algorithm="BFS")
+    for flow in flows:
+        routes.add_node_path(
+            flow, _bfs_path(topology, flow.source, flow.destination))
+    return routes
+
+
+def _distances_from(topology, source: int):
+    """BFS hop distances from *source* on *topology*."""
+    distances = {source: 0}
+    frontier = deque([source])
+    while frontier:
+        node = frontier.popleft()
+        for neighbour in topology.neighbors(node):
+            if neighbour not in distances:
+                distances[neighbour] = distances[node] + 1
+                frontier.append(neighbour)
+    return distances
+
+
+def _assert_routing_contract(router_name: str, topology, flows, fault_set):
+    """Accept-with-invariants or declare-with-a-typed-error; nothing else."""
+    router = create_router(router_name, seed=0)
+    try:
+        routed = route_with_faults(router, topology, flows, fault_set)
+    except DECLARED as declared:
+        # the declaration must carry actionable detail, not a bare type
+        assert str(declared)
+        return
+    # 1. deadlock freedom was re-verified on the degraded route set
+    assert routed.report is not None and routed.report.deadlock_free
+    # 2. the route set is complete and avoids every failed channel
+    failed = {(channel.src, channel.dst)
+              for fault in fault_set.static_faults
+              for channel in fault.channels()}
+    routed_flows = set()
+    distance_cache = {}
+    for route in routed.route_set:
+        routed_flows.add(route.flow.name)
+        hops = [(channel.src, channel.dst) for channel in route.channels]
+        assert not failed & set(hops), (
+            f"{router_name} routed {route.flow.name} over a failed channel")
+        # 3. minimal on the degraded graph, or declared non-minimal
+        source = route.flow.source
+        if source not in distance_cache:
+            distance_cache[source] = _distances_from(routed.topology, source)
+        shortest = distance_cache[source][route.flow.destination]
+        if router_name in MINIMAL:
+            assert len(hops) == shortest, (
+                f"{router_name} stretched {route.flow.name}: "
+                f"{len(hops)} hops vs minimal {shortest}")
+        else:
+            assert len(hops) >= shortest
+    assert routed_flows == {flow.name for flow in flows}
+
+
+@given(data=st.data(),
+       router_name=st.sampled_from(ROUTERS),
+       topology_name=st.sampled_from(("mesh", "torus")))
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_random_static_faults_accept_or_declare(data, router_name,
+                                                topology_name):
+    topology = _topology(topology_name)
+    flows = synthetic_by_name("transpose", topology.num_nodes, demand=25.0)
+    fault_set = data.draw(fault_sets(topology_name))
+    _assert_routing_contract(router_name, topology, flows, fault_set)
+
+
+def test_total_disconnection_is_always_declared():
+    """Cutting the mesh in half can only ever be a declared error."""
+    mesh = Mesh2D(4)
+    flows = synthetic_by_name("transpose", mesh.num_nodes, demand=25.0)
+    column_cut = "link:1-2,link:5-6,link:9-10,link:13-14"
+    for router_name in ROUTERS:
+        with pytest.raises(UnroutableFlowError, match="no path from node"):
+            route_with_faults(create_router(router_name, seed=0), mesh,
+                              flows, column_cut)
+
+
+@pytest.mark.slow
+@given(data=st.data(),
+       topology_name=st.sampled_from(("mesh", "torus")),
+       rate=st.floats(0.5, 4.0),
+       seed=st.integers(0, 10_000),
+       stops=st.lists(st.integers(1, 600), min_size=2, max_size=5))
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_flit_conservation_under_random_failure_schedules(
+        data, topology_name, rate, seed, stops):
+    """No flit vanishes when links die mid-run, on either kernel.
+
+    Both kernels replay the same random failure schedule and are audited
+    at random stop cycles: the conservation ledger must balance (losses
+    land in ``flits_lost_to_faults``) and the two kernels must agree
+    field-for-field at every stop.
+    """
+    topology = _topology(topology_name)
+    flows = synthetic_by_name("transpose", topology.num_nodes, demand=25.0)
+    fault_set = data.draw(fault_sets(topology_name, max_links=3,
+                                     scheduled=True))
+    # scheduled-only faults leave the topology intact, so BFS routes work
+    # on meshes and tori alike — no registered router routes tori yet
+    routes = _bfs_routes(topology, flows)
+    schedule = fault_set.schedule(topology)
+    config = SimulationConfig.test_scale(num_vcs=2, seed=seed)
+    kernels = []
+    for cls in (NetworkSimulator, FastSimulator):
+        injection = make_injection_process(flows, rate, seed=seed)
+        kernels.append(cls(topology, routes, config, injection,
+                           fault_schedule=schedule))
+    reference, fast = kernels
+    for stop in sorted(set(stops)):
+        for simulator in kernels:
+            while simulator.cycle < stop:
+                simulator.step()
+            violations = simulator.conservation_violations()
+            assert not violations, violations
+        assert fast.flit_audit() == reference.flit_audit()
+
+
+@pytest.mark.slow
+def test_every_flow_killed_still_balances():
+    """A schedule that kills every flow leaves a fully-accounted ledger."""
+    mesh = Mesh2D(4)
+    flows = synthetic_by_name("transpose", mesh.num_nodes, demand=25.0)
+    fault_set = FaultSet.from_spec(
+        ",".join(f"link:{src}-{dst}@100" for src, dst in _wires(mesh)))
+    routed = route_with_faults(create_router("dor", seed=0), mesh, flows,
+                               fault_set)
+    config = SimulationConfig.test_scale(num_vcs=2, seed=1)
+    injection = make_injection_process(flows, 2.0, seed=1)
+    simulator = NetworkSimulator(mesh, routed.route_set, config, injection,
+                                 phase_boundaries=routed.phase_boundaries,
+                                 fault_schedule=routed.schedule)
+    for stop in (99, 100, 101, 400):
+        while simulator.cycle < stop:
+            simulator.step()
+        violations = simulator.conservation_violations()
+        assert not violations, violations
+    audit = simulator.flit_audit()
+    assert audit["packets_lost_to_faults"] > 0
+    # after the massacre nothing moves: every later packet is diverted
+    assert audit["flits_in_network"] == 0
+    assert audit["flits_in_source_queues"] == 0

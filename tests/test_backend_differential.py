@@ -25,6 +25,7 @@ from collections import deque
 
 import pytest
 
+from repro.faults import route_with_faults
 from repro.routing.base import RouteSet
 from repro.routing.registry import available_routers, create_router
 from repro.simulator import (
@@ -47,12 +48,14 @@ DIFF_CONFIG = SimulationConfig(
 )
 
 
-def both_backends(topology, route_set, config, rate, boundaries=None):
+def both_backends(topology, route_set, config, rate, boundaries=None,
+                  fault_schedule=None):
     """The statistics of one point on every registered backend, by name."""
     return {
         backend: simulate_route_set(topology, route_set, config, rate,
                                     phase_boundaries=boundaries,
-                                    backend=backend)
+                                    backend=backend,
+                                    fault_schedule=fault_schedule)
         for backend in available_backends()
     }
 
@@ -150,6 +153,74 @@ class TestTraceReplayAcrossBackends:
             replayed = replay_simulation(
                 mesh4, routes, DIFF_CONFIG.with_backend(replay_on), trace)
             assert replayed == live
+            assert replayed.per_flow_latency == live.per_flow_latency
+
+
+class TestDegradedTopologies:
+    """Faults are part of the bit-identity contract, not an exception to it.
+
+    A degraded topology changes channel ids, arbitration scan order and
+    (under mid-run failures) the loss accounting — all of it must stay
+    field-for-field identical across kernels, or the backend-invariant
+    cache keys stop being sound for fault studies.
+    """
+
+    @pytest.mark.parametrize("router_name",
+                             ["dor", "o1turn", "bsor-dijkstra"])
+    @pytest.mark.parametrize("rate", [0.5, 3.0])
+    def test_static_degraded_mesh(self, mesh4, router_name, rate):
+        flows = synthetic_by_name("transpose", 16, demand=25.0)
+        router = create_router(router_name, seed=0)
+        routed = route_with_faults(router, mesh4, flows, "link:5-6,link:9>10")
+        assert_identical(both_backends(
+            routed.topology, routed.route_set, DIFF_CONFIG, rate,
+            routed.phase_boundaries))
+
+    @pytest.mark.parametrize("router_name", ["dor", "bsor-dijkstra"])
+    def test_mid_run_link_failure(self, mesh4, router_name):
+        """Flits in flight on a dying link are lost identically."""
+        flows = synthetic_by_name("transpose", 16, demand=25.0)
+        router = create_router(router_name, seed=0)
+        routed = route_with_faults(router, mesh4, flows,
+                                   "link:5-6@150,link:1-2@300")
+        by_backend = both_backends(
+            routed.topology, routed.route_set, DIFF_CONFIG, 2.0,
+            routed.phase_boundaries, fault_schedule=routed.schedule)
+        assert_identical(by_backend)
+        reference = by_backend["reference"]
+        assert reference.flits_lost_to_faults > 0
+        assert reference.packets_lost_to_faults > 0
+
+    def test_static_and_scheduled_mix(self, mesh4):
+        """A statically degraded mesh that keeps degrading mid-run."""
+        flows = synthetic_by_name("shuffle", 16, demand=25.0)
+        routed = route_with_faults(create_router("dor", seed=0), mesh4,
+                                   flows, "link:0-1,link:5-6@200")
+        assert_identical(both_backends(
+            routed.topology, routed.route_set, DIFF_CONFIG, 2.0,
+            routed.phase_boundaries, fault_schedule=routed.schedule))
+
+    def test_degraded_trace_replay_round_trip(self, mesh4):
+        """Captures on a degraded mesh replay bit-identically cross-backend.
+
+        The failure schedule is part of the replayed configuration: the
+        same packets die at the same cycles, so the replayed statistics —
+        loss counters included — equal the live run's on either kernel."""
+        flows = synthetic_by_name("transpose", 16, demand=25.0)
+        routed = route_with_faults(create_router("dor", seed=0), mesh4,
+                                   flows, "link:5-6,link:1-2@150")
+        for capture_on, replay_on in (("reference", "fast"),
+                                      ("fast", "reference")):
+            live, trace = capture_simulation(
+                routed.topology, routed.route_set,
+                DIFF_CONFIG.with_backend(capture_on), 2.0,
+                fault_schedule=routed.schedule)
+            replayed = replay_simulation(
+                routed.topology, routed.route_set,
+                DIFF_CONFIG.with_backend(replay_on), trace,
+                fault_schedule=routed.schedule)
+            assert replayed == live
+            assert replayed.flits_lost_to_faults == live.flits_lost_to_faults
             assert replayed.per_flow_latency == live.per_flow_latency
 
 

@@ -141,6 +141,39 @@ class TestValidateSubcommand:
         assert repro_main(["validate", str(bad)]) == 1
         assert "did you mean" in capsys.readouterr().err
 
+    def test_misspelled_faults_key_error_matches_golden(self, tmp_path,
+                                                        capsys):
+        """The full did-you-mean error for a misspelled ``faults:`` key is
+        pinned as a golden: it is the first thing a fault-study author sees
+        when a spec is wrong, so its wording must not regress silently."""
+        bad = tmp_path / "degraded.yaml"
+        bad.write_text(
+            "name: degraded\n"
+            "scenarios:\n"
+            "  - routers: [dor]\n"
+            "    fautls: [none, 'link:0-1']\n")
+        assert repro_main(["validate", str(bad)]) == 1
+        err = capsys.readouterr().err.replace(str(bad), "SPEC.yaml")
+        golden = GOLDEN_DIR / "validate_faults_error.txt"
+        if os.environ.get("REPRO_UPDATE_GOLDEN") == "1":
+            golden.write_text(err if err.endswith("\n") else err + "\n")
+        assert golden.exists(), (
+            f"golden fixture {golden} missing; regenerate with "
+            f"REPRO_UPDATE_GOLDEN=1"
+        )
+        assert _normalize(err) == _normalize(golden.read_text())
+        assert "did you mean 'faults'" in err
+
+    def test_bad_fault_entry_fails_validation(self, tmp_path, capsys):
+        bad = tmp_path / "degraded.yaml"
+        bad.write_text(
+            "name: degraded\n"
+            "scenarios:\n"
+            "  - routers: [dor]\n"
+            "    faults: ['wire:0-1']\n")
+        assert repro_main(["validate", str(bad)]) == 1
+        assert "wire:0-1" in capsys.readouterr().err
+
 
 class TestRunSubcommand:
     def test_smoke_study_end_to_end(self, capsys):
@@ -150,6 +183,19 @@ class TestRunSubcommand:
         assert "# Study: smoke" in captured.out
         assert "## smoke-sweep: mesh4x4 / transpose (sweep)" in captured.out
         assert "2 points, 2 simulated" in captured.err
+
+    def test_faults_override_adds_the_axis(self, capsys):
+        """--faults replaces every scenario's fault axis for one run."""
+        assert repro_main(["run", str(EXAMPLES / "smoke.yaml"), "--no-cache",
+                           "--faults", "none;link:5-6"]) == 0
+        out = capsys.readouterr().out
+        assert "| faults |" in out
+        assert "link:5-6" in out
+
+    def test_faults_override_is_validated(self, capsys):
+        assert repro_main(["run", str(EXAMPLES / "smoke.yaml"), "--no-cache",
+                           "--faults", "wire:5-6"]) == 1
+        assert "wire:5-6" in capsys.readouterr().err
 
     def test_json_and_csv_formats(self, capsys):
         assert repro_main(["run", str(EXAMPLES / "smoke.yaml"),

@@ -54,7 +54,8 @@ def _saturation(stable: float, saturated: float) -> SaturationResult:
 
 
 def _cell(pattern: str, router: str, display: str, stable: float,
-          saturated: float, mcl: float, hops: float) -> CompareCell:
+          saturated: float, mcl: float, hops: float,
+          faults: str = "none") -> CompareCell:
     return CompareCell(
         topology="mesh8x8",
         pattern=pattern,
@@ -65,6 +66,7 @@ def _cell(pattern: str, router: str, display: str, stable: float,
         saturation=_saturation(stable, saturated),
         low_load_latency=11.125,
         p99_latency=27.5,
+        faults=faults,
     )
 
 
@@ -81,6 +83,31 @@ def golden_result() -> CompareResult:
         criteria=SaturationCriteria(),
         report=RunnerReport(points_total=12, points_simulated=9,
                             cache_hits=3, workers=4),
+    )
+
+
+def golden_faulted_result() -> CompareResult:
+    """A deterministic comparison with a fault axis: baseline plus two
+    degraded points per router, exercising the faults column and the
+    degradation section (including its retained-throughput ratios)."""
+    cells = [
+        _cell("transpose", "dor", "XY", 2.0, 2.25, 175.0, 4.67),
+        _cell("transpose", "dor", "XY", 1.5, 1.75, 180.0, 4.71,
+              faults="link:0-1"),
+        _cell("transpose", "dor", "XY", 1.0, 1.25, 195.0, 4.80,
+              faults="link:0-1,link:5-6@600"),
+        _cell("transpose", "bsor-dijkstra", "BSOR-Dijkstra",
+              2.5, 2.75, 150.0, 4.67),
+        _cell("transpose", "bsor-dijkstra", "BSOR-Dijkstra",
+              2.25, 2.5, 155.0, 4.69, faults="link:0-1"),
+        _cell("transpose", "bsor-dijkstra", "BSOR-Dijkstra",
+              2.0, 2.25, 160.0, 4.74, faults="link:0-1,link:5-6@600"),
+    ]
+    return CompareResult(
+        cells=cells,
+        criteria=SaturationCriteria(),
+        report=RunnerReport(points_total=24, points_simulated=18,
+                            cache_hits=6, workers=4),
     )
 
 
@@ -130,6 +157,30 @@ def test_json_report_is_sorted_and_stable():
     assert first == second
     parsed = json.loads(first)
     assert list(parsed) == sorted(parsed)
+
+
+def test_faulted_markdown_report_matches_golden():
+    rendered = render_markdown(golden_faulted_result())
+    expected = _check_or_update("compare_report_faults.md", rendered)
+    assert _normalize_markdown(rendered) == _normalize_markdown(expected)
+
+
+def test_faulted_json_report_matches_golden():
+    rendered = render_json(golden_faulted_result())
+    expected = _check_or_update("compare_report_faults.json", rendered)
+    assert _round_floats(json.loads(rendered)) == \
+        _round_floats(json.loads(expected))
+
+
+def test_faulted_markdown_report_structure():
+    rendered = render_markdown(golden_faulted_result())
+    assert "## Degradation under faults" in rendered
+    # four degraded rows in the degradation table, none for the baselines
+    degradation = rendered.split("## Degradation under faults")[1]
+    assert degradation.count("| mesh8x8 |") == 4
+    assert "| none |" not in degradation
+    # retained ratio of the worst XY point: 0.9 / 1.8 = 50%
+    assert "50.0%" in degradation
 
 
 def test_markdown_report_structure():

@@ -3,26 +3,37 @@
 
 Runs the ``bench_figure_6_7`` workload — the paper's 8x8 transpose under
 XY routing, swept over 1/2/4/8 virtual channels at three offered rates —
-once per registered backend with the cache disabled, and writes
-``BENCH_simkernel.json`` (seconds per point and the fast/reference speedup
-ratio) so the repository carries a perf trajectory across PRs.
+on every registered backend with the cache disabled, and writes
+``BENCH_simkernel.json`` (seconds per point, the fast/reference speedup
+and the batch/fast per-sweep speedup) so the repository carries a perf
+trajectory across PRs.
 
-The statistics of every point are also compared across backends, so the
-bench doubles as a coarse differential check: a backend that drifted
-bit-wise fails here before any latency number is reported.
+The scalar backends (``reference``, ``fast``) run the sweep point by
+point; the ``batch`` backend runs it the way the runner dispatches it —
+all twelve points as **one vectorized call** — which is the configuration
+its speedup is measured in.  When numpy is unavailable the batch
+measurement is skipped and the record says so.
+
+The statistics of every point are also compared across backends (batch
+lane by lane), so the bench doubles as a coarse differential check: a
+backend that drifted bit-wise fails here before any latency number is
+reported.
 
 Usage::
 
     python scripts/bench_smoke.py                 # measure + write baseline
     python scripts/bench_smoke.py --check         # CI smoke: also enforce
-                                                  # --min-speedup (default
-                                                  # 0.9: fast may not be
-                                                  # meaningfully slower)
+                                                  # --min-speedup and
+                                                  # --min-batch-speedup
+                                                  # (default 0.9 each: no
+                                                  # backend may regress
+                                                  # meaningfully below
+                                                  # parity)
 
-The CI job runs the ``--check`` form with the generous default margin —
-the recorded speedup is informational (see BENCH_simkernel.json and
-docs/architecture.md for the tracked numbers), while the assertion only
-guards against the fast backend regressing below parity.
+The CI job runs the ``--check`` form with the generous default margins —
+the recorded speedups are informational (see BENCH_simkernel.json and
+docs/architecture.md for the tracked numbers), while the assertions only
+guard against a backend regressing below parity.
 """
 
 from __future__ import annotations
@@ -71,6 +82,31 @@ def run_backend(backend: str, mesh, routes):
     return time.perf_counter() - started, collected
 
 
+def sweep_points():
+    """The sweep as one batched point list, in run_backend's point order."""
+    from repro.simulator import SimulationConfig
+
+    points = []
+    for num_vcs in VC_COUNTS:
+        config = SimulationConfig(
+            num_vcs=num_vcs, warmup_cycles=WARMUP_CYCLES,
+            measurement_cycles=MEASUREMENT_CYCLES, backend="batch",
+        )
+        for rate in OFFERED_RATES:
+            points.append((config, rate))
+    return points
+
+
+def run_batch_sweep(mesh, routes):
+    """All sweep points as one vectorized batch call; (seconds, stats)."""
+    from repro.simulator import simulate_route_set_batch
+
+    points = sweep_points()
+    started = time.perf_counter()
+    collected = simulate_route_set_batch(mesh, routes, points)
+    return time.perf_counter() - started, collected
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_simkernel.json"),
@@ -87,22 +123,32 @@ def main(argv=None) -> int:
                              "--check; deliberately generous so the CI smoke "
                              "never flakes on a noisy runner "
                              "(default: %(default)s)")
+    parser.add_argument("--min-batch-speedup", type=float, default=0.9,
+                        help="lowest acceptable batch/fast per-sweep speedup "
+                             "for --check, same generous philosophy "
+                             "(default: %(default)s)")
     args = parser.parse_args(argv)
 
-    from repro.simulator import available_backends
+    from repro.simulator.batchsim import np as numpy_or_none
 
     mesh, routes = build_point_inputs()
     num_points = len(VC_COUNTS) * len(OFFERED_RATES)
-    backends = available_backends()
+    scalar_backends = ("reference", "fast")
+    have_numpy = numpy_or_none is not None
 
     best_seconds = {}
     statistics = {}
     for _ in range(max(1, args.passes)):
-        for backend in backends:
+        for backend in scalar_backends:
             seconds, collected = run_backend(backend, mesh, routes)
             if backend not in best_seconds or seconds < best_seconds[backend]:
                 best_seconds[backend] = seconds
             statistics[backend] = collected
+        if have_numpy:
+            seconds, collected = run_batch_sweep(mesh, routes)
+            if "batch" not in best_seconds or seconds < best_seconds["batch"]:
+                best_seconds["batch"] = seconds
+            statistics["batch"] = collected
 
     reference_stats = statistics["reference"]
     for backend, collected in statistics.items():
@@ -112,6 +158,13 @@ def main(argv=None) -> int:
             return 2
 
     speedup = best_seconds["reference"] / best_seconds["fast"]
+    backends_payload = {
+        backend: {
+            "seconds_total": round(seconds, 3),
+            "seconds_per_point": round(seconds / num_points, 4),
+        }
+        for backend, seconds in best_seconds.items()
+    }
     record = {
         "benchmark": "simkernel-smoke",
         "workload": "bench_figure_6_7 (8x8 transpose, XY routes, "
@@ -120,25 +173,68 @@ def main(argv=None) -> int:
         "points": num_points,
         "passes": max(1, args.passes),
         "python": platform.python_version(),
-        "backends": {
-            backend: {
-                "seconds_total": round(seconds, 3),
-                "seconds_per_point": round(seconds / num_points, 4),
-            }
-            for backend, seconds in best_seconds.items()
-        },
+        "backends": backends_payload,
         "speedup_fast_over_reference": round(speedup, 2),
         "bit_identical": True,
     }
-    Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
+    batch_speedup = None
+    if have_numpy:
+        backends_payload["batch"]["mode"] = (
+            f"one vectorized call per {num_points}-point sweep "
+            f"(the runner's batched dispatch)")
+        batch_speedup = best_seconds["fast"] / best_seconds["batch"]
+        record["speedup_batch_over_fast_per_sweep"] = round(batch_speedup, 2)
+        record["batch_speedup_target"] = 5.0
+        record["batch_speedup_note"] = (
+            "target was 5x per sweep; the achieved batch/fast ratio at this "
+            "12-lane sweep is dispatch-bound (the per-cycle numpy call count "
+            "is lane-independent, ~half the cycle cost at 12 lanes) — the "
+            "batch advantage grows with lane count, e.g. ~2x lower "
+            "per-12-points cost at 48 lanes; see docs/architecture.md")
+    else:
+        record["batch_skipped"] = "numpy unavailable; batch backend not timed"
+
+    # the cross-PR trajectory: append this measurement to the ledger's
+    # history so speedups stay comparable release over release
+    trajectory = []
+    output_path = Path(args.output)
+    if output_path.exists():
+        try:
+            previous = json.loads(output_path.read_text())
+            trajectory = list(previous.get("trajectory", []))
+            if not trajectory and "backends" in previous:
+                trajectory.append({
+                    "backends": sorted(previous["backends"]),
+                    "speedup_fast_over_reference":
+                        previous.get("speedup_fast_over_reference"),
+                })
+        except (ValueError, OSError):
+            trajectory = []
+    entry = {
+        "backends": sorted(best_seconds),
+        "speedup_fast_over_reference": round(speedup, 2),
+    }
+    if batch_speedup is not None:
+        entry["speedup_batch_over_fast_per_sweep"] = round(batch_speedup, 2)
+    trajectory.append(entry)
+    record["trajectory"] = trajectory
+
+    output_path.write_text(json.dumps(record, indent=2) + "\n")
     print(json.dumps(record, indent=2))
     print(f"wrote {args.output}")
 
+    failed = False
     if args.check and speedup < args.min_speedup:
         print(f"FAIL: fast backend speedup {speedup:.2f}x is below the "
               f"--min-speedup floor {args.min_speedup}", file=sys.stderr)
-        return 1
-    return 0
+        failed = True
+    if args.check and batch_speedup is not None \
+            and batch_speedup < args.min_batch_speedup:
+        print(f"FAIL: batch backend per-sweep speedup {batch_speedup:.2f}x "
+              f"is below the --min-batch-speedup floor "
+              f"{args.min_batch_speedup}", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

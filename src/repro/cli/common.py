@@ -43,8 +43,10 @@ def common_options() -> argparse.ArgumentParser:
     common.add_argument("--profile", choices=PROFILES, default=argparse.SUPPRESS,
                         help="experiment scale (default: default)")
     common.add_argument("--backend", default=argparse.SUPPRESS,
-                        help="simulator kernel (fast or reference; backends "
-                             "are bit-identical, so this changes speed only)")
+                        help="simulator kernel (fast, reference or batch; "
+                             "backends are bit-identical, so this changes "
+                             "speed only — batch also vectorizes whole "
+                             "sweeps)")
     common.add_argument("--no-cache", action="store_true",
                         default=argparse.SUPPRESS,
                         help="simulate every point even when cached")

@@ -52,6 +52,8 @@ def list_backends() -> str:
         aliases = f" (aliases: {', '.join(spec.aliases)})" if spec.aliases \
             else ""
         marker = " [default]" if spec.name == DEFAULT_BACKEND else ""
+        if spec.supports_batching:
+            marker += " [batches sweeps]"
         lines.append(f"  {spec.name:<14} {spec.display_name:<14} "
                      f"{spec.summary}{aliases}{marker}")
     return "\n".join(lines)

@@ -114,6 +114,8 @@ def runner_summary(runner) -> str:
         f"{report.cache_hits} from cache",
         f"{runner.workers} worker(s)",
     ]
+    if report.batch_groups:
+        parts.insert(3, f"{report.batch_groups} batched group(s)")
     if runner.cache is not None:
         parts.append(f"cache at {runner.cache.directory}")
     return ", ".join(parts)

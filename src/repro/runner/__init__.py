@@ -9,6 +9,10 @@ their injection-rate sweeps through an :class:`ExperimentRunner`, which
 * skips any point whose inputs hash to an already-cached result
   (:class:`ResultCache`, keyed by :func:`simulation_cache_key` over the
   topology, flow set, routes, simulation configuration and offered rate);
+* groups the remaining cache misses by :func:`batch_group_key` whenever the
+  selected backend supports batching (``--backend batch``), so a whole
+  sweep's points run as one vectorized call instead of N scalar runs —
+  per-point cache keys are unchanged by the grouping;
 * returns the exact same ``SweepResult`` objects the serial driver in
   :mod:`repro.simulator.simulation` produces, bit-identical for any worker
   count because every point is an independent, seeded, cold-start run.
@@ -44,6 +48,7 @@ from .engine import (
 )
 from .fingerprint import (
     CACHE_SCHEMA_VERSION,
+    batch_group_key,
     config_fingerprint,
     flow_set_fingerprint,
     route_set_fingerprint,
@@ -59,6 +64,7 @@ __all__ = [
     "RunnerReport",
     "SweepSpec",
     "WORKERS_ENV",
+    "batch_group_key",
     "config_fingerprint",
     "default_cache_dir",
     "flow_set_fingerprint",

@@ -38,16 +38,18 @@ from typing import (
 from ..exceptions import SimulationError
 from ..metrics.statistics import SimulationStatistics, SweepCurve, SweepPoint
 from ..routing.base import RouteSet, RoutingAlgorithm
+from ..simulator.backends import backend_spec
 from ..simulator.config import SimulationConfig
 from ..simulator.simulation import (
     SweepResult,
     phase_boundaries_for,
     simulate_route_set,
+    simulate_route_set_batch,
 )
 from ..topology.base import Topology
 from ..traffic.flow import FlowSet
 from .cache import ResultCache
-from .fingerprint import simulation_cache_key
+from .fingerprint import batch_group_key, simulation_cache_key
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -84,6 +86,26 @@ def _simulate_payload(payload) -> SimulationStatistics:
         topology, route_set, config, offered_rate,
         phase_boundaries=boundaries, fault_schedule=faults,
     )
+
+
+def _simulate_batch_payload(payload) -> List[SimulationStatistics]:
+    topology, route_set, points, boundaries, faults = payload
+    return simulate_route_set_batch(
+        topology, route_set, points,
+        phase_boundaries=boundaries, fault_schedule=faults,
+    )
+
+
+def _group_payload(group):
+    """One batched payload for a group of pending entries.
+
+    The group members have equal :func:`batch_group_key` fingerprints, so
+    any member's topology / routes / boundaries / faults are content
+    identical to every other's; the first member stands in for all.
+    """
+    topology, route_set, _, _, boundaries, faults = group[0][3]
+    points = [(payload[2], payload[3]) for _, _, _, payload in group]
+    return (topology, route_set, points, boundaries, faults)
 
 
 def _apply_function(task):
@@ -123,16 +145,21 @@ class RunnerReport:
     points_simulated: int = 0
     cache_hits: int = 0
     workers: int = 1
+    batch_groups: int = 0
 
     def merge(self, other: "RunnerReport") -> None:
         self.points_total += other.points_total
         self.points_simulated += other.points_simulated
         self.cache_hits += other.cache_hits
+        self.batch_groups += other.batch_groups
 
     def describe(self) -> str:
-        return (f"{self.points_total} points, {self.points_simulated} "
+        text = (f"{self.points_total} points, {self.points_simulated} "
                 f"simulated, {self.cache_hits} cached, "
                 f"{self.workers} worker(s)")
+        if self.batch_groups:
+            text += f", {self.batch_groups} batched group(s)"
+        return text
 
 
 class ExperimentRunner:
@@ -287,7 +314,7 @@ class ExperimentRunner:
 
         report.points_simulated = len(pending)
         if pending:
-            self._run_pending(pending, collected)
+            self._run_pending(pending, collected, report)
         self.last_report = report
         self.total_report.merge(report)
 
@@ -312,36 +339,77 @@ class ExperimentRunner:
         return results
 
     # ------------------------------------------------------------------
-    def _run_pending(self, pending, collected) -> None:
-        if self.workers == 1 or len(pending) == 1:
-            for key, index, cache_key, payload in pending:
-                stats = _simulate_payload(payload)
-                collected[key][index] = stats
-                if self.cache is not None and cache_key is not None:
-                    self.cache.put(cache_key, stats)
+    def _plan_pending(self, pending):
+        """Split cache-miss points into scalar tasks and batchable groups.
+
+        A point whose resolved backend advertises ``supports_batching``
+        joins the group of every other such point with the same
+        :func:`batch_group_key` (same topology, routes, boundaries, faults
+        and configuration modulo the lane-variable fields); each group
+        becomes one vectorized :func:`simulate_route_set_batch` call.
+        Grouping and lane order follow the deterministic pending order and
+        content-addressed keys, never object identity, so results are
+        bit-identical for any worker count and ``PYTHONHASHSEED``.
+        """
+        scalar = []
+        groups: Dict[str, list] = {}
+        for entry in pending:
+            topology, route_set, config, _, boundaries, faults = entry[3]
+            try:
+                spec = backend_spec(config.backend)
+            except SimulationError:
+                # unknown backend: keep the scalar path's error message
+                scalar.append(entry)
+                continue
+            if not spec.supports_batching:
+                scalar.append(entry)
+                continue
+            group = batch_group_key(topology, route_set, config,
+                                    boundaries, fault_schedule=faults)
+            groups.setdefault(group, []).append(entry)
+        return scalar, list(groups.values())
+
+    def _record(self, collected, entries, stats_list) -> None:
+        for (key, index, cache_key, _), stats in zip(entries, stats_list):
+            collected[key][index] = stats
+            if self.cache is not None and cache_key is not None:
+                self.cache.put(cache_key, stats)
+
+    def _run_pending(self, pending, collected, report) -> None:
+        scalar, groups = self._plan_pending(pending)
+        report.batch_groups = len(groups)
+        tasks = len(scalar) + len(groups)
+        if self.workers == 1 or tasks == 1:
+            for entry in scalar:
+                self._record(collected, [entry],
+                             [_simulate_payload(entry[3])])
+            for group in groups:
+                self._record(collected, group,
+                             _simulate_batch_payload(_group_payload(group)))
             return
         with ProcessPoolExecutor(
-                max_workers=min(self.workers, len(pending))) as pool:
-            futures = {
-                pool.submit(_simulate_payload, payload):
-                    (key, index, cache_key)
-                for key, index, cache_key, payload in pending
-            }
+                max_workers=min(self.workers, tasks)) as pool:
+            futures = {}
+            for entry in scalar:
+                futures[pool.submit(_simulate_payload, entry[3])] = [entry]
+            for group in groups:
+                futures[pool.submit(_simulate_batch_payload,
+                                    _group_payload(group))] = group
             # cache every result the moment it lands so a late worker
             # failure cannot discard hours of completed simulation; the
             # first error is re-raised after the surviving points are safe
             first_error: Optional[BaseException] = None
             for future in as_completed(futures):
-                key, index, cache_key = futures[future]
+                entries = futures[future]
                 try:
-                    stats = future.result()
+                    result = future.result()
                 except BaseException as error:
                     if first_error is None:
                         first_error = error
                     continue
-                collected[key][index] = stats
-                if self.cache is not None and cache_key is not None:
-                    self.cache.put(cache_key, stats)
+                if not isinstance(result, list):
+                    result = [result]
+                self._record(collected, entries, result)
             if first_error is not None:
                 raise first_error
 

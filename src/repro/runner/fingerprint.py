@@ -28,6 +28,7 @@ import json
 from typing import Dict, Optional
 
 from ..routing.base import RouteSet
+from ..simulator.batchsim import LANE_VARIABLE_FIELDS
 from ..simulator.config import SimulationConfig
 from ..topology.base import Topology
 from ..topology.links import physical, virtual_index
@@ -126,6 +127,45 @@ def simulation_cache_key(topology: Topology, route_set: RouteSet,
         "routes": route_set_fingerprint(route_set),
         "config": config_fingerprint(config),
         "offered_rate": float(offered_rate),
+        "phase_boundaries": sorted((phase_boundaries or {}).items()),
+    }
+    if fault_schedule:
+        payload["faults"] = fault_schedule.to_payload()
+    return _digest(payload)
+
+
+def batch_group_key(topology: Topology, route_set: RouteSet,
+                    config: SimulationConfig,
+                    phase_boundaries: Optional[Dict[str, int]] = None,
+                    fault_schedule=None,
+                    ) -> str:
+    """The content-addressed key of one *batchable* family of points.
+
+    Two simulation points may share a lane of one vectorized
+    :class:`~repro.simulator.batchsim.BatchSimulator` batch exactly when
+    they agree on everything except the offered rate and the lane-variable
+    configuration fields (:data:`~repro.simulator.batchsim.LANE_VARIABLE_FIELDS`:
+    VC count, seed, backend and the bandwidth-variation knobs).  This key
+    digests precisely that shared remainder — the same canonical payload as
+    :func:`simulation_cache_key` minus ``offered_rate`` and the
+    lane-variable config fields — so the runner can group pending
+    cache-miss points by equal keys without ever comparing live objects.
+    Like every fingerprint here it is ``PYTHONHASHSEED``-independent, which
+    keeps the grouping (and therefore lane order and results) deterministic
+    across processes and worker counts.  Per-point *cache* keys are not
+    affected: batched points are still stored under their unchanged
+    :func:`simulation_cache_key`.
+    """
+    config_payload = {
+        field: value for field, value in config_fingerprint(config).items()
+        if field not in LANE_VARIABLE_FIELDS
+    }
+    payload = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "topology": topology_fingerprint(topology),
+        "flows": flow_set_fingerprint(route_set),
+        "routes": route_set_fingerprint(route_set),
+        "config": config_payload,
         "phase_boundaries": sorted((phase_boundaries or {}).items()),
     }
     if fault_schedule:

@@ -39,6 +39,7 @@ from .backends import (
     create_simulator,
     register_backend,
 )
+from .batchsim import BatchSimulator
 from .config import SimulationConfig
 from .fastsim import FastSimulator
 from .injection import (
@@ -56,6 +57,7 @@ from .simulation import (
     phase_boundaries_for,
     phase_boundaries_from_intermediates,
     simulate_route_set,
+    simulate_route_set_batch,
     sweep_algorithm,
     sweep_injection_rates,
 )
@@ -63,6 +65,7 @@ from .state import SimulatorState, build_state
 
 __all__ = [
     "BackendSpec",
+    "BatchSimulator",
     "BernoulliInjection",
     "FastSimulator",
     "Flit",
@@ -85,6 +88,7 @@ __all__ = [
     "phase_boundaries_from_intermediates",
     "register_backend",
     "simulate_route_set",
+    "simulate_route_set_batch",
     "sweep_algorithm",
     "sweep_injection_rates",
 ]

@@ -62,6 +62,7 @@ from ..registry import Registry, normalize_name
 from ..routing.base import RouteSet
 from ..topology.base import Topology
 from .config import SimulationConfig
+from .batchsim import BatchSimulator
 from .fastsim import FastSimulator
 from .injection import InjectionProcess
 from .network import NetworkSimulator
@@ -94,6 +95,14 @@ class BackendSpec:
     mechanism:
         A paragraph describing how the kernel achieves its performance
         (architecture-doc source).
+    supports_batching:
+        True when the factory also exposes ``for_lanes(topology,
+        route_set, configs, injections, phase_boundaries=None,
+        fault_schedules=None)``, simulating many sweep points sharing one
+        (topology, route set) pair in a single call.  The runner groups
+        cache-miss points into such calls
+        (:func:`repro.simulator.simulation.simulate_route_set_batch`);
+        per-point results and cache keys are unchanged.
     """
 
     name: str
@@ -102,6 +111,7 @@ class BackendSpec:
     aliases: Tuple[str, ...] = ()
     summary: str = ""
     mechanism: str = ""
+    supports_batching: bool = False
 
     def create(self, topology: Topology, route_set: RouteSet,
                config: SimulationConfig, injection: InjectionProcess,
@@ -143,6 +153,7 @@ def normalize_backend_name(name: str) -> str:
 def register_backend(name: str, *, display_name: Optional[str] = None,
                      aliases: Sequence[str] = (),
                      summary: str = "", mechanism: str = "",
+                     supports_batching: bool = False,
                      ) -> Callable[[BackendFactory], BackendFactory]:
     """Class/function decorator adding a kernel to the backend registry.
 
@@ -159,6 +170,7 @@ def register_backend(name: str, *, display_name: Optional[str] = None,
             aliases=tuple(normalize_name(alias) for alias in aliases),
             summary=summary,
             mechanism=mechanism,
+            supports_batching=supports_batching,
         )
         _BACKENDS.add(spec.name, spec,
                       extra_keys=[*spec.aliases,
@@ -235,3 +247,23 @@ register_backend(
         "objects."
     ),
 )(FastSimulator)
+
+register_backend(
+    "batch",
+    display_name="Batch",
+    aliases=("vectorized", "numpy"),
+    summary="Vectorized numpy kernel simulating many sweep points at once "
+            "over one lane-batched state tensor; bit-identical to "
+            "reference (requires numpy).",
+    mechanism=(
+        "Folds a point-batch axis (rates, VC counts or seeds varying per "
+        "lane over shared topology and routes) into one flat "
+        "structure-of-arrays buffer arena; eject, VC-allocate, "
+        "switch-arbitrate and link-traverse run as grouped numpy segment "
+        "kernels over all lanes' active buffers per cycle, Bernoulli "
+        "arrival draws are bulk-precomputed from the transplanted "
+        "Mersenne-Twister state, and deadlocked or faulted lanes are "
+        "masked out without disturbing their batch mates."
+    ),
+    supports_batching=True,
+)(BatchSimulator)

@@ -20,7 +20,7 @@ from ..routing.valiant import ValiantRouting
 from ..topology.base import Topology
 from ..topology.links import physical
 from ..traffic.flow import FlowSet
-from .backends import create_simulator
+from .backends import backend_spec, create_simulator
 from .config import SimulationConfig
 from .injection import make_injection_process
 
@@ -101,6 +101,60 @@ def simulate_route_set(topology: Topology, route_set: RouteSet,
         fault_schedule=fault_schedule,
     )
     return simulator.run()
+
+
+def simulate_route_set_batch(topology: Topology, route_set: RouteSet,
+                             points: Sequence[tuple],
+                             phase_boundaries: Optional[Dict[str, int]] = None,
+                             backend: Optional[str] = None,
+                             fault_schedule=None,
+                             ) -> List[SimulationStatistics]:
+    """Simulate many points of one route set in a single batched call.
+
+    *points* is a sequence of ``(config, offered_rate)`` pairs sharing the
+    same topology, routes and phase boundaries; configurations may differ
+    only in the lane-variable fields (VC count, seed, backend and the
+    variation knobs — see
+    :data:`repro.simulator.batchsim.LANE_VARIABLE_FIELDS`).  Results are
+    returned in point order and are bit-identical to per-point
+    :func:`simulate_route_set` calls, which is what lets the runner batch
+    cache misses without touching per-point cache keys.
+
+    The backend (resolved from *backend* or the first configuration) must
+    advertise ``supports_batching``; a shared non-empty *fault_schedule*
+    applies to every lane, fail-stop masked lane-locally.
+    """
+    if not points:
+        raise SimulationError("batch simulation needs at least one point")
+    if not route_set.is_complete():
+        missing = [flow.name for flow in route_set.missing_flows()]
+        raise SimulationError(f"route set is missing routes for flows: {missing}")
+    configs = [config for config, _ in points]
+    spec = backend_spec(backend if backend is not None
+                        else configs[0].backend)
+    if not spec.supports_batching:
+        raise SimulationError(
+            f"simulator backend {spec.name!r} does not support batched "
+            f"simulation; use simulate_route_set per point or a batching "
+            f"backend"
+        )
+    injections = [
+        make_injection_process(
+            route_set.flow_set, rate,
+            variation_fraction=config.bandwidth_variation,
+            mean_dwell_cycles=config.variation_dwell_cycles,
+            seed=config.seed,
+        )
+        for config, rate in points
+    ]
+    fault_schedules = None
+    if fault_schedule:
+        fault_schedules = [fault_schedule] * len(configs)
+    simulator = spec.factory.for_lanes(
+        topology, route_set, configs, injections,
+        phase_boundaries=phase_boundaries, fault_schedules=fault_schedules,
+    )
+    return simulator.run_all()
 
 
 @dataclass

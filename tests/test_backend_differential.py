@@ -21,6 +21,7 @@ The matrix covered here:
 
 from __future__ import annotations
 
+import dataclasses
 from collections import deque
 
 import pytest
@@ -29,23 +30,43 @@ from repro.faults import route_with_faults
 from repro.routing.base import RouteSet
 from repro.routing.registry import available_routers, create_router
 from repro.simulator import (
+    BatchSimulator,
     FastSimulator,
     NetworkSimulator,
     SimulationConfig,
     available_backends,
+    backend_spec,
     make_injection_process,
     simulate_route_set,
+    simulate_route_set_batch,
 )
+from repro.simulator.batchsim import np as _numpy
 from repro.simulator.simulation import phase_boundaries_for
-from repro.topology import Mesh2D, Torus2D
+from repro.topology import Mesh2D, Ring, Torus2D
 from repro.traffic import FlowSet, synthetic_by_name
 from repro.workloads import capture_simulation, replay_simulation
 from repro.workloads.registry import workload_flow_set
+
+needs_numpy = pytest.mark.skipif(
+    _numpy is None, reason="the batch backend requires numpy")
 
 DIFF_CONFIG = SimulationConfig(
     num_vcs=2, buffer_depth=4, packet_size_flits=4,
     warmup_cycles=100, measurement_cycles=400,
 )
+
+
+def runnable_backends():
+    """Every registered backend that can run in this environment.
+
+    Without numpy the ``batch`` entry still registers (so ``list`` can
+    document it) but cannot simulate; the scalar matrix skips it and the
+    dedicated batch tests skip themselves via :data:`needs_numpy`.
+    """
+    return [
+        backend for backend in available_backends()
+        if _numpy is not None or not backend_spec(backend).supports_batching
+    ]
 
 
 def both_backends(topology, route_set, config, rate, boundaries=None,
@@ -56,7 +77,7 @@ def both_backends(topology, route_set, config, rate, boundaries=None,
                                     phase_boundaries=boundaries,
                                     backend=backend,
                                     fault_schedule=fault_schedule)
-        for backend in available_backends()
+        for backend in runnable_backends()
     }
 
 
@@ -222,6 +243,156 @@ class TestDegradedTopologies:
             assert replayed == live
             assert replayed.flits_lost_to_faults == live.flits_lost_to_faults
             assert replayed.per_flow_latency == live.per_flow_latency
+
+
+def mixed_lanes(base=DIFF_CONFIG):
+    """Three lanes varying every lane-variable axis: VC count, seed, rate."""
+    return [
+        (base, 1.0),
+        (dataclasses.replace(base, num_vcs=4, seed=3), 3.0),
+        (dataclasses.replace(base, seed=9), 6.0),
+    ]
+
+
+def assert_lanes_match_reference(topology, routes, points, boundaries=None,
+                                 fault_schedule=None):
+    """Every lane of one batched call equals its scalar reference run."""
+    batch = simulate_route_set_batch(
+        topology, routes, points, phase_boundaries=boundaries,
+        backend="batch", fault_schedule=fault_schedule)
+    assert len(batch) == len(points)
+    for lane, (config, rate) in enumerate(points):
+        reference = simulate_route_set(
+            topology, routes, config, rate, phase_boundaries=boundaries,
+            backend="reference", fault_schedule=fault_schedule)
+        assert batch[lane] == reference, (
+            f"batch lane {lane} diverged from reference: "
+            f"{batch[lane]} != {reference}"
+        )
+        assert batch[lane].per_flow_latency == reference.per_flow_latency
+        assert batch[lane].per_flow_delivered == reference.per_flow_delivered
+    return batch
+
+
+@needs_numpy
+class TestBatchLanes:
+    """Multi-point batches are lane-for-lane identical to scalar runs.
+
+    The scalar matrix above already proves the one-lane ``batch`` kernel
+    bit-identical; these tests prove the *batched* axis — lanes with
+    different VC counts, seeds and offered rates sharing one state tensor
+    never bleed into each other, on clean, degraded and faulted networks.
+    """
+
+    @pytest.mark.parametrize("router_name", available_routers())
+    def test_every_router_on_a_mesh(self, mesh4, router_name):
+        flows = synthetic_by_name("transpose", 16, demand=25.0)
+        router = create_router(router_name, seed=0, milp_time_limit=10.0)
+        routes = router.compute_routes(mesh4, flows)
+        boundaries = phase_boundaries_for(router, routes)
+        assert_lanes_match_reference(mesh4, routes, mixed_lanes(), boundaries)
+
+    def test_torus_shortest_path_lanes(self):
+        torus = Torus2D(4)
+        flows = synthetic_by_name("bit_complement", 16, demand=25.0)
+        routes = shortest_path_routes(torus, flows)
+        points = mixed_lanes() + [
+            (dataclasses.replace(DIFF_CONFIG, num_vcs=1, seed=5), 8.0),
+        ]
+        assert_lanes_match_reference(torus, routes, points)
+
+    def test_deadlocking_lane_freezes_alone(self):
+        """A saturated lane on cyclic clockwise ring routes wedges; its
+        watchdog freezes that lane only, and the surviving lanes keep
+        stepping to the full cycle count, all lanes bit-identical."""
+        ring = Ring(4)
+        flows = FlowSet.from_tuples([(0, 2, 25.0), (1, 3, 25.0),
+                                     (2, 0, 25.0), (3, 1, 25.0)])
+        routes = RouteSet(ring, flows, algorithm="cw")
+        for flow in flows:
+            routes.add_node_path(flow, [flow.source,
+                                        (flow.source + 1) % 4,
+                                        flow.destination])
+        points = [
+            (DIFF_CONFIG, 0.2),
+            (dataclasses.replace(DIFF_CONFIG, num_vcs=1), 8.0),
+            (dataclasses.replace(DIFF_CONFIG, num_vcs=4, seed=3), 0.2),
+        ]
+        batch = assert_lanes_match_reference(ring, routes, points)
+        # the frozen lane's truncated cycle count is per lane, not global
+        cycles = [stats.cycles for stats in batch]
+        assert cycles[1] < cycles[0] == cycles[2]
+
+    @pytest.mark.parametrize("topology_cls", [Mesh2D, Torus2D])
+    def test_appgraph_workload(self, topology_cls):
+        topology = topology_cls(4)
+        flows = workload_flow_set("decoder-pipeline", topology, seed=0)
+        routes = (create_router("dor").compute_routes(topology, flows)
+                  if topology_cls is Mesh2D
+                  else shortest_path_routes(topology, flows))
+        assert_lanes_match_reference(topology, routes, mixed_lanes())
+
+    def test_degraded_mesh_with_scheduled_faults(self, mesh4):
+        """Mid-run link deaths hit every lane at the same cycle, and each
+        lane loses exactly the flits its own traffic had in flight."""
+        flows = synthetic_by_name("transpose", 16, demand=25.0)
+        routed = route_with_faults(create_router("dor", seed=0), mesh4,
+                                   flows, "link:0-1,link:5-6@200")
+        batch = assert_lanes_match_reference(
+            routed.topology, routed.route_set, mixed_lanes(),
+            routed.phase_boundaries, fault_schedule=routed.schedule)
+        assert any(stats.flits_lost_to_faults > 0 for stats in batch)
+
+    def test_trace_replay_across_batch_and_reference(self, mesh4):
+        """Captures on the batch kernel replay on the scalar kernels and
+        vice versa — the injection trace format is backend-neutral."""
+        flows = synthetic_by_name("transpose", 16, demand=25.0)
+        routes = create_router("dor").compute_routes(mesh4, flows)
+        for capture_on, replay_on in (("batch", "reference"),
+                                      ("reference", "batch"),
+                                      ("batch", "fast")):
+            live, trace = capture_simulation(
+                mesh4, routes, DIFF_CONFIG.with_backend(capture_on), 2.0)
+            replayed = replay_simulation(
+                mesh4, routes, DIFF_CONFIG.with_backend(replay_on), trace)
+            assert replayed == live
+            assert replayed.per_flow_latency == live.per_flow_latency
+
+    def test_stepwise_lane_audits(self, mesh4):
+        """Each lane's ledgers equal its scalar twin's at every probed
+        cycle — mid-flight state, not just final statistics."""
+        flows = synthetic_by_name("shuffle", 16, demand=25.0)
+        router = create_router("bsor-dijkstra", seed=0)
+        routes = router.compute_routes(mesh4, flows)
+        boundaries = phase_boundaries_for(router, routes)
+        points = mixed_lanes()
+        configs = [config for config, _ in points]
+        injections = [
+            make_injection_process(routes.flow_set, rate, seed=config.seed)
+            for config, rate in points
+        ]
+        batch = BatchSimulator.for_lanes(
+            mesh4, routes, configs, injections,
+            phase_boundaries=boundaries)
+        scalars = []
+        for config, rate in points:
+            injection = make_injection_process(
+                routes.flow_set, rate, seed=config.seed)
+            scalars.append(NetworkSimulator(
+                mesh4, routes, config, injection,
+                phase_boundaries=boundaries))
+        for stop in (1, 17, 100, 163, 350):
+            while batch.cycle < stop:
+                batch.step()
+            for lane, scalar in enumerate(scalars):
+                while scalar.cycle < stop:
+                    scalar.step()
+                assert batch.flit_audit(lane) == scalar.flit_audit()
+                assert (batch.occupancy_snapshot(lane)
+                        == scalar.occupancy_snapshot())
+                assert batch.statistics(lane) == scalar.statistics()
+                assert batch.lane_in_flight(lane) == scalar.in_flight_flits
+                assert batch.conservation_violations(lane) == []
 
 
 class TestAuditsAtArbitraryStopCycles:

@@ -127,6 +127,76 @@ class TestListSubcommand:
         assert "info or clear" in capsys.readouterr().err
 
 
+class TestBatchBackendCli:
+    """The batch backend through the front door: list metadata, sweep /
+    compare / run acceptance, and the pinned no-numpy error text."""
+
+    def test_list_backends_shows_batch_metadata(self, capsys):
+        assert repro_main(["list", "backends"]) == 0
+        out = capsys.readouterr().out
+        line = next(line for line in out.splitlines()
+                    if line.strip().startswith("batch"))
+        assert "Vectorized" in line
+        assert "aliases: vectorized, numpy" in line
+        assert "[batches sweeps]" in line
+
+    def test_sweep_backend_batch_matches_fast(self, capsys):
+        argv = ["sweep", "--workload", "transpose", "--algorithms", "XY",
+                "--rates", "0.5,1.5", "--profile", "quick", "--workers",
+                "1", "--no-cache"]
+        assert repro_main([*argv, "--backend", "fast"]) == 0
+        fast_out = capsys.readouterr().out
+        assert repro_main([*argv, "--backend", "batch"]) == 0
+        batch_out = capsys.readouterr().out
+        # identical modulo the trailing "[... 0.0s]" timing line ...
+        strip = lambda text: "\n".join(
+            line for line in text.splitlines()
+            if not line.startswith("["))
+        assert strip(batch_out) == strip(fast_out)
+        # ... which is where the batched dispatch shows its work
+        assert "batched group(s)" in batch_out
+        assert "batched group(s)" not in fast_out
+
+    def test_compare_accepts_batch_backend(self, capsys):
+        code = repro_main(["--profile", "quick", "--workers", "1",
+                           "--no-cache", "compare", "--backend", "batch",
+                           "--topology", "mesh4x4",
+                           "--patterns", "transpose", "--routers", "dor",
+                           "--max-rate", "1", "--resolution", "0.5"])
+        assert code == 0
+        assert "## mesh4x4 / transpose" in capsys.readouterr().out
+
+    def test_run_study_accepts_batch_backend(self, capsys):
+        assert repro_main(["run", str(EXAMPLES / "smoke.yaml"),
+                           "--no-cache", "--backend", "batch"]) == 0
+        captured = capsys.readouterr()
+        assert "# Study: smoke" in captured.out
+        assert "2 points, 2 simulated" in captured.err
+
+    def test_no_numpy_error_matches_golden(self, capsys, monkeypatch):
+        """Without numpy, ``--backend batch`` fails with the actionable
+        install-or-switch message; its wording is pinned as a golden."""
+        import repro.simulator.batchsim as batchsim
+
+        monkeypatch.setattr(batchsim, "np", None)
+        code = repro_main(["sweep", "--workload", "transpose",
+                           "--algorithms", "XY", "--rates", "0.5",
+                           "--backend", "batch", "--profile", "quick",
+                           "--workers", "1", "--no-cache"])
+        assert code == 1
+        err = capsys.readouterr().err
+        golden = GOLDEN_DIR / "batch_no_numpy.txt"
+        if os.environ.get("REPRO_UPDATE_GOLDEN") == "1":
+            golden.write_text(err if err.endswith("\n") else err + "\n")
+        assert golden.exists(), (
+            f"golden fixture {golden} missing; regenerate with "
+            f"REPRO_UPDATE_GOLDEN=1"
+        )
+        assert _normalize(err) == _normalize(golden.read_text())
+        assert "pip install numpy" in err
+        assert "--backend fast" in err
+
+
 class TestValidateSubcommand:
     def test_all_bundled_examples_validate(self, capsys):
         specs = sorted(str(path) for path in EXAMPLES.glob("*.yaml"))

@@ -5,6 +5,7 @@ import pytest
 from repro.exceptions import SimulationError
 from repro.routing import XYRouting
 from repro.simulator import (
+    BatchSimulator,
     BernoulliInjection,
     FastSimulator,
     NetworkSimulator,
@@ -29,11 +30,17 @@ def point(mesh3):
 
 
 class TestRegistry:
-    def test_both_kernels_registered(self):
+    def test_all_kernels_registered(self):
         names = available_backends()
-        assert names == ["reference", "fast"]
+        assert names == ["reference", "fast", "batch"]
         assert backend_spec("reference").factory is NetworkSimulator
         assert backend_spec("fast").factory is FastSimulator
+        assert backend_spec("batch").factory is BatchSimulator
+
+    def test_only_the_batch_kernel_supports_batching(self):
+        assert backend_spec("batch").supports_batching
+        assert not backend_spec("reference").supports_batching
+        assert not backend_spec("fast").supports_batching
 
     def test_default_backend_is_registered(self):
         assert DEFAULT_BACKEND in available_backends()

@@ -14,8 +14,14 @@
 #                     spec, and the smoke study on a tiny mesh
 #   make bench-smoke - time all three simulator backends on a small fixed
 #                     sweep (the batch kernel as one vectorized call),
-#                     write BENCH_simkernel.json, and fail if a backend
-#                     regresses below parity (generous margin)
+#                     write BENCH_simkernel.json (appending the record to
+#                     its trajectory), fail if a backend regresses below
+#                     parity (generous margin), then gate the trajectory:
+#                     a tracked speedup more than 20% below its best
+#                     recorded value fails the job (scripts/bench_trend.py)
+#   make report-smoke - run the smoke study to JSON and render it as the
+#                     single-file HTML report (pivots + channel-occupancy
+#                     heatmap) to prove the report path end to end
 #   make links      - fail on broken relative links in README.md / docs/
 #   make docs       - regenerate docs/api/*.md, docs/routing-guide.md and
 #                     docs/workloads-guide.md
@@ -30,7 +36,7 @@ export PYTHONPATH := src:$(PYTHONPATH)
 #: Minimum line coverage (percent) the full CI job enforces.
 COVERAGE_FLOOR ?= 74
 
-.PHONY: test test-fast test-faults coverage smoke smoke-cli bench-smoke links docs docs-check check clean-cache
+.PHONY: test test-fast test-faults coverage smoke smoke-cli bench-smoke bench-trend report-smoke links docs docs-check check clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -59,6 +65,20 @@ smoke-cli:
 
 bench-smoke:
 	$(PYTHON) scripts/bench_smoke.py --check
+	$(PYTHON) scripts/bench_trend.py
+
+bench-trend:
+	$(PYTHON) scripts/bench_trend.py
+
+report-smoke:
+	$(PYTHON) -m repro run examples/studies/smoke.yaml --backend fast \
+		--no-cache --format json --output /tmp/repro-report-smoke.json \
+		--progress quiet
+	$(PYTHON) -m repro report /tmp/repro-report-smoke.json \
+		--cycles 128 --buckets 16 \
+		--output /tmp/repro-report-smoke.html
+	@grep -q "channel occupancy" /tmp/repro-report-smoke.html
+	@echo "report-smoke: ok"
 
 links:
 	$(PYTHON) scripts/check_links.py

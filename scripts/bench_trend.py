@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Guard the benchmark trajectory against speedup regressions.
+
+``scripts/bench_smoke.py`` measures the simulator kernels and appends each
+record to the ``trajectory`` array of ``BENCH_simkernel.json``, so the
+repository carries the speedup history across PRs.  This script is the CI
+gate over that history:
+
+1. it verifies the ledger's current headline metrics are present in the
+   trajectory (appending them when a hand-edited ledger lost its last
+   entry — the append is idempotent, so running it after ``make
+   bench-smoke`` never duplicates entries);
+2. it compares the newest value of every **tracked speedup** against the
+   best value the trajectory ever recorded and **fails when the drop
+   exceeds the regression budget** (default 20%).
+
+Tracked speedups: ``speedup_fast_over_reference`` and
+``speedup_batch_over_fast_per_sweep``.  A metric missing from the newest
+record (e.g. the batch backend skipped without numpy) is reported but not
+failed — absence is an environment property, not a regression.
+
+Usage::
+
+    python scripts/bench_trend.py            # gate with the 20% budget
+    python scripts/bench_trend.py --max-regression 0.1
+    python scripts/bench_trend.py --ledger path/to/BENCH.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The speedups the regression gate watches, with display labels.
+TRACKED_METRICS = (
+    ("speedup_fast_over_reference", "fast/reference"),
+    ("speedup_batch_over_fast_per_sweep", "batch/fast per-sweep"),
+)
+
+
+def load_ledger(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except OSError as error:
+        raise SystemExit(f"error: cannot read bench ledger {path}: {error}")
+    except ValueError as error:
+        raise SystemExit(f"error: bench ledger {path} is not valid JSON: "
+                         f"{error}")
+
+
+def current_entry(ledger: dict) -> dict:
+    """The headline metrics of the ledger's newest measurement."""
+    entry = {"backends": sorted(ledger.get("backends", {}))}
+    for metric, _ in TRACKED_METRICS:
+        if ledger.get(metric) is not None:
+            entry[metric] = ledger[metric]
+    return entry
+
+
+def ensure_recorded(ledger: dict) -> bool:
+    """Append the headline record to the trajectory unless already there.
+
+    Returns True when the ledger was changed.  ``bench_smoke.py`` appends
+    its own entry, so in the normal flow this is a no-op; it only repairs
+    a ledger whose trajectory was trimmed or hand-edited out of sync.
+    """
+    trajectory = ledger.setdefault("trajectory", [])
+    entry = current_entry(ledger)
+    if trajectory and all(
+            trajectory[-1].get(metric) == entry.get(metric)
+            for metric, _ in TRACKED_METRICS):
+        return False
+    trajectory.append(entry)
+    return True
+
+
+def check_regressions(ledger: dict, budget: float) -> list:
+    """Failures of the regression gate, as printable strings."""
+    trajectory = ledger.get("trajectory", [])
+    failures = []
+    for metric, label in TRACKED_METRICS:
+        history = [entry[metric] for entry in trajectory
+                   if isinstance(entry.get(metric), (int, float))]
+        if not history:
+            print(f"note: no trajectory history for {metric}; skipping")
+            continue
+        newest = history[-1]
+        best = max(history)
+        floor = best * (1.0 - budget)
+        status = "ok" if newest >= floor else "REGRESSION"
+        print(f"{status}: {label} speedup {newest:.2f}x "
+              f"(best recorded {best:.2f}x, floor {floor:.2f}x at "
+              f"{budget:.0%} budget, {len(history)} record(s))")
+        if newest < floor:
+            failures.append(
+                f"{label} speedup regressed to {newest:.2f}x — more than "
+                f"{budget:.0%} below the best recorded {best:.2f}x"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--ledger",
+                        default=str(REPO_ROOT / "BENCH_simkernel.json"),
+                        help="bench ledger to gate (default: %(default)s)")
+    parser.add_argument("--max-regression", type=float, default=0.20,
+                        help="largest tolerated fractional drop of a "
+                             "tracked speedup below its best recorded "
+                             "value (default: %(default)s)")
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.max_regression < 1.0:
+        parser.error("--max-regression must be in [0, 1)")
+
+    path = Path(args.ledger)
+    ledger = load_ledger(path)
+    if ensure_recorded(ledger):
+        path.write_text(json.dumps(ledger, indent=2) + "\n")
+        print(f"appended the current record to {path.name}'s trajectory")
+
+    failures = check_regressions(ledger, args.max_regression)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

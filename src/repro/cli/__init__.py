@@ -10,6 +10,7 @@ Every way of running the reproduction goes through this CLI::
     python -m repro saturate --topology mesh8x8 --patterns transpose
     python -m repro cache info
     python -m repro profile --workload transpose --rate 2.5
+    python -m repro report results.json --output report.html
     python -m repro list routers
     python -m repro validate examples/studies/*.yaml
 
@@ -36,6 +37,7 @@ import time
 from typing import List, Optional
 
 from ..exceptions import ReproError
+from ..progress import make_observer
 from .common import (
     COMMON_DEFAULTS,
     EXIT_FAILURE,
@@ -45,9 +47,11 @@ from .common import (
     UsageError,
     apply_common_defaults,
     common_options,
+    quiet_broken_pipe,
 )
 from .compare_command import add_compare_options, run_compare
 from .listing import LIST_KINDS, render_listing
+from .report_command import add_report_options, run_report_command
 from .runner_commands import (
     add_runner_subcommands,
     run_cache,
@@ -83,6 +87,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="compare routers across a (topology x pattern x router) matrix")
     add_compare_options(compare)
 
+    report = commands.add_parser(
+        "report",
+        help="render a result-set JSON file as a single-file HTML report")
+    add_report_options(report)
+
     listing = commands.add_parser(
         "list", help="list a registered vocabulary")
     listing.add_argument("kind", choices=LIST_KINDS,
@@ -108,8 +117,22 @@ def _dispatch(args: argparse.Namespace) -> int:
         return EXIT_OK
     if args.command == "validate":
         return run_validate_command(args)
+    if args.command == "report":
+        return run_report_command(args)
 
     apply_common_defaults(args)
+    # one observer per invocation: progress events go to stderr (a live
+    # tty line, jsonl, or nothing) and are closed before returning so a
+    # TtyObserver's in-place line never lingers under later output
+    observer = make_observer(args.progress)
+    args.progress_observer = observer
+    try:
+        return _dispatch_execution(args, observer)
+    finally:
+        observer.close()
+
+
+def _dispatch_execution(args: argparse.Namespace, observer) -> int:
     if args.command == "compare":
         return run_compare(args)
     if args.command == "run":
@@ -140,7 +163,7 @@ def _dispatch(args: argparse.Namespace) -> int:
     from .runner_commands import experiment_config
 
     started = time.time()
-    runner = runner_for(experiment_config(args))
+    runner = runner_for(experiment_config(args), observer=observer)
     if args.command == "figure":
         output = run_figure(args, runner)
     elif args.command == "table":
@@ -151,7 +174,8 @@ def _dispatch(args: argparse.Namespace) -> int:
     print(output)
     from ..experiments.report import runner_summary
 
-    print(f"\n[{runner_summary(runner)}; {elapsed:.1f}s]")
+    observer.close()
+    print(f"[{runner_summary(runner)}; {elapsed:.1f}s]", file=sys.stderr)
     return EXIT_OK
 
 
@@ -166,7 +190,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         code = exit_code.code
         return code if isinstance(code, int) else EXIT_USAGE
     try:
-        return _dispatch(args)
+        code = _dispatch(args)
+        # flush inside the handler's reach: with a short output the broken
+        # pipe only surfaces at flush time, which must map to a quiet exit
+        # (not an exit-time traceback)
+        sys.stdout.flush()
+        return code
+    except BrokenPipeError:
+        return quiet_broken_pipe()
     except UsageError as error:
         print(f"usage error: {error}", file=sys.stderr)
         return EXIT_USAGE

@@ -8,6 +8,10 @@ before and after a subcommand), the exit-code policy constants, and the
 from __future__ import annotations
 
 import argparse
+import os
+import sys
+
+from ..progress import PROGRESS_MODES
 
 #: Accepted experiment scales (mirrors ``ExperimentConfig.from_profile``).
 PROFILES = ("quick", "default", "paper")
@@ -32,6 +36,7 @@ COMMON_DEFAULTS = {
     "no_cache": False,
     "cache_dir": None,
     "list_backends": False,
+    "progress": None,
 }
 
 
@@ -56,6 +61,12 @@ def common_options() -> argparse.ArgumentParser:
     common.add_argument("--list-backends", action="store_true",
                         default=argparse.SUPPRESS,
                         help="list registered simulator backends and exit")
+    common.add_argument("--progress", choices=PROGRESS_MODES,
+                        default=argparse.SUPPRESS,
+                        help="progress events on stderr: a live tty line, "
+                             "machine-readable jsonl, or quiet (default: "
+                             "tty when stderr is interactive, else quiet); "
+                             "stdout is byte-identical in every mode")
     return common
 
 
@@ -71,3 +82,27 @@ def apply_common_defaults(args: argparse.Namespace) -> argparse.Namespace:
         if not hasattr(args, name):
             setattr(args, name, default)
     return args
+
+
+def quiet_broken_pipe() -> int:
+    """Turn a BrokenPipeError on stdout into a quiet success exit.
+
+    ``python -m repro list routers | head -3`` is a legitimate use: when
+    the reader goes away mid-write the command did its job.  Point the
+    stdout file descriptor at ``/dev/null`` so the interpreter's exit-time
+    flush of the already-broken stream cannot raise a second traceback,
+    then report success.  When stdout has no file descriptor (an
+    in-process fake during tests) there is nothing to redirect.
+    """
+    try:
+        fd = sys.stdout.fileno()
+    except (AttributeError, OSError, ValueError):
+        fd = None
+    if fd is not None:
+        try:
+            devnull = os.open(os.devnull, os.O_WRONLY)
+            os.dup2(devnull, fd)
+            os.close(devnull)
+        except OSError:
+            pass
+    return EXIT_OK

@@ -126,7 +126,8 @@ def run_compare(args: argparse.Namespace) -> int:
         config = config.with_backend(backend_spec(args.backend).name)
     started = time.time()
     matrix = CompareMatrix(config=config, criteria=_criteria(args),
-                           runner=runner_for(config))
+                           runner=runner_for(config),
+                           observer=getattr(args, "progress_observer", None))
     fault_sets = [entry.strip() for entry in args.faults.split(";")
                   if entry.strip()] if args.faults else None
     result = matrix.run(
@@ -141,6 +142,9 @@ def run_compare(args: argparse.Namespace) -> int:
     else:
         print(output)
     elapsed = time.time() - started
+    observer = getattr(args, "progress_observer", None)
+    if observer is not None:
+        observer.close()  # erase a live tty line before the summary
     print(f"[{result.total_invocations()} rate point(s) across "
           f"{len(result.cells)} cell(s); {result.report.describe()}; "
           f"{elapsed:.1f}s]", file=sys.stderr)

@@ -92,6 +92,13 @@ def _emit(output: str, target) -> None:
         print(output)
 
 
+def _close_progress(args: argparse.Namespace) -> None:
+    """Erase a live tty progress line before the stderr timing summary."""
+    observer = getattr(args, "progress_observer", None)
+    if observer is not None:
+        observer.close()
+
+
 def _run_overrides(args: argparse.Namespace) -> dict:
     """Map the shared CLI options onto :meth:`Study.run` overrides.
 
@@ -105,6 +112,7 @@ def _run_overrides(args: argparse.Namespace) -> dict:
         "cache": False if args.no_cache else None,
         "cache_dir": args.cache_dir,
         "backend": args.backend,
+        "observer": getattr(args, "progress_observer", None),
     }
     if getattr(args, "profile_explicit", True):
         overrides["profile"] = args.profile
@@ -125,6 +133,7 @@ def run_study_command(args: argparse.Namespace) -> int:
     result = study.run(**_run_overrides(args))
     _emit(_render(result, args.format), args.output)
     elapsed = time.time() - started
+    _close_progress(args)
     print(f"[{result.report.describe()}; {elapsed:.1f}s]", file=sys.stderr)
     return 0
 
@@ -154,6 +163,7 @@ def run_saturate_command(args: argparse.Namespace) -> int:
     result = study.run(**_run_overrides(args))
     _emit(_render(result, args.format), None)
     elapsed = time.time() - started
+    _close_progress(args)
     print(f"[{result.report.describe()}; {elapsed:.1f}s]", file=sys.stderr)
     return 0
 

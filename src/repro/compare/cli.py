@@ -53,10 +53,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     from ..cli import main as unified_main
+    from ..cli.common import quiet_broken_pipe
 
     print(DEPRECATION_NOTE, file=sys.stderr)
     forwarded = list(sys.argv[1:] if argv is None else argv)
-    return unified_main(["compare", *forwarded])
+    try:
+        code = unified_main(["compare", *forwarded])
+        sys.stdout.flush()
+        return code
+    except BrokenPipeError:
+        return quiet_broken_pipe()
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

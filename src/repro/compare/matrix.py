@@ -272,14 +272,21 @@ class CompareMatrix:
     runner:
         An existing :class:`ExperimentRunner`; built from *config* when
         omitted.
+    observer:
+        A :class:`~repro.progress.ProgressObserver` receiving the typed
+        progress-event stream (attached to the runner — every round of
+        one-point-per-cell batches emits through it).
     """
 
     def __init__(self, config: Optional[ExperimentConfig] = None,
                  criteria: Optional[SaturationCriteria] = None,
-                 runner: Optional[ExperimentRunner] = None) -> None:
+                 runner: Optional[ExperimentRunner] = None,
+                 observer=None) -> None:
         self.config = config or ExperimentConfig()
         self.criteria = criteria or SaturationCriteria()
         self.runner = runner or runner_for(self.config)
+        if observer is not None:
+            self.runner.observer = observer
 
     # ------------------------------------------------------------------
     def run(self, topologies: Sequence[str], patterns: Sequence[str],

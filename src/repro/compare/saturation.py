@@ -282,15 +282,35 @@ Evaluator = Callable[[float], Evaluation]
 
 def find_saturation(evaluate: Evaluator,
                     criteria: Optional[SaturationCriteria] = None,
-                    ) -> SaturationResult:
-    """Run one adaptive search to completion against an evaluator callable."""
+                    observer=None) -> SaturationResult:
+    """Run one adaptive search to completion against an evaluator callable.
+
+    An *observer* (:class:`~repro.progress.ProgressObserver`) receives a
+    ``point_started`` / ``point_finished`` pair per evaluated rate and one
+    ``sweep_finished`` when the search converges — the same typed stream
+    the runner emits, so a stand-alone search is observable too.
+    """
+    from ..progress import emitter_for
+
+    emitter = emitter_for(observer)
+    if emitter is not None:
+        emitter.started_at = emitter.clock()
     search = SaturationSearch(criteria)
     while True:
         rate = search.next_rate()
         if rate is None:
             break
+        if emitter is not None:
+            emitter.total += 1
+            emitter.point_started("saturation", rate)
         throughput, latency, delivery = evaluate(rate)
         search.observe(rate, throughput, latency, delivery)
+        if emitter is not None:
+            emitter.point_finished("saturation", rate)
+    if emitter is not None:
+        emitter.sweep_finished(len(search.observations),
+                               len(search.observations), 0,
+                               label="saturation")
     return search.result()
 
 

@@ -32,9 +32,15 @@ DEPRECATION_NOTE = ("note: `python -m repro.runner` is deprecated; use "
 
 def main(argv: Optional[List[str]] = None) -> int:
     from ..cli import main as unified_main
+    from ..cli.common import quiet_broken_pipe
 
     print(DEPRECATION_NOTE, file=sys.stderr)
-    return unified_main(list(sys.argv[1:] if argv is None else argv))
+    try:
+        code = unified_main(list(sys.argv[1:] if argv is None else argv))
+        sys.stdout.flush()
+        return code
+    except BrokenPipeError:
+        return quiet_broken_pipe()
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

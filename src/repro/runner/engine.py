@@ -37,6 +37,7 @@ from typing import (
 
 from ..exceptions import SimulationError
 from ..metrics.statistics import SimulationStatistics, SweepCurve, SweepPoint
+from ..progress import ProgressObserver, emitter_for
 from ..routing.base import RouteSet, RoutingAlgorithm
 from ..simulator.backends import backend_spec
 from ..simulator.config import SimulationConfig
@@ -174,10 +175,16 @@ class ExperimentRunner:
         ``None`` disables caching.  A :class:`ResultCache` is used as is; a
         string / path creates one at that directory; ``True`` creates one at
         the default location (``$REPRO_CACHE_DIR`` or ``~/.cache/repro-bsor``).
+    observer:
+        A :class:`~repro.progress.ProgressObserver` receiving the typed
+        event stream of every sweep (``None`` runs silent).  Also settable
+        after construction via :attr:`observer` — the comparison matrix and
+        the study engine attach theirs that way.
     """
 
     def __init__(self, workers: Optional[int] = 1,
                  cache: Union[ResultCache, str, os.PathLike, bool, None] = None,
+                 observer: Optional[ProgressObserver] = None,
                  ) -> None:
         self.workers = resolve_workers(workers)
         if cache is True:
@@ -188,6 +195,7 @@ class ExperimentRunner:
             self.cache = cache
         else:
             self.cache = ResultCache(cache)
+        self.observer = observer
         self.last_report = RunnerReport(workers=self.workers)
         self.total_report = RunnerReport(workers=self.workers)
 
@@ -289,6 +297,12 @@ class ExperimentRunner:
                 )
 
         report = RunnerReport(workers=self.workers)
+        emitter = emitter_for(self.observer)
+        if emitter is not None:
+            emitter.sweep_started(
+                sum(len(spec.offered_rates) for spec in specs.values()),
+                self.workers,
+            )
         collected: Dict[str, List[Optional[SimulationStatistics]]] = {
             key: [None] * len(spec.offered_rates) for key, spec in specs.items()
         }
@@ -307,6 +321,8 @@ class ExperimentRunner:
                     if cached is not None:
                         collected[key][index] = cached
                         report.cache_hits += 1
+                        if emitter is not None:
+                            emitter.cache_hit(key, rate)
                         continue
                 payload = (spec.topology, spec.route_set, spec.config,
                            rate, spec.phase_boundaries, spec.fault_schedule)
@@ -314,7 +330,12 @@ class ExperimentRunner:
 
         report.points_simulated = len(pending)
         if pending:
-            self._run_pending(pending, collected, report)
+            self._run_pending(pending, collected, report, emitter)
+        if emitter is not None:
+            emitter.sweep_finished(report.points_total,
+                                   report.points_simulated,
+                                   report.cache_hits,
+                                   batch_groups=report.batch_groups)
         self.last_report = report
         self.total_report.merge(report)
 
@@ -367,32 +388,40 @@ class ExperimentRunner:
             group = batch_group_key(topology, route_set, config,
                                     boundaries, fault_schedule=faults)
             groups.setdefault(group, []).append(entry)
-        return scalar, list(groups.values())
+        return scalar, list(groups.items())
 
-    def _record(self, collected, entries, stats_list) -> None:
-        for (key, index, cache_key, _), stats in zip(entries, stats_list):
+    def _record(self, collected, entries, stats_list, emitter=None) -> None:
+        for (key, index, cache_key, payload), stats in zip(entries, stats_list):
             collected[key][index] = stats
             if self.cache is not None and cache_key is not None:
                 self.cache.put(cache_key, stats)
+            if emitter is not None:
+                emitter.point_finished(key, payload[3])
 
-    def _run_pending(self, pending, collected, report) -> None:
+    def _run_pending(self, pending, collected, report, emitter=None) -> None:
         scalar, groups = self._plan_pending(pending)
         report.batch_groups = len(groups)
+        if emitter is not None:
+            for key, _, _, payload in scalar:
+                emitter.point_started(key, payload[3])
+            for group_key, entries in groups:
+                emitter.batch_group(group_key, len(entries))
         tasks = len(scalar) + len(groups)
         if self.workers == 1 or tasks == 1:
             for entry in scalar:
                 self._record(collected, [entry],
-                             [_simulate_payload(entry[3])])
-            for group in groups:
+                             [_simulate_payload(entry[3])], emitter)
+            for _, group in groups:
                 self._record(collected, group,
-                             _simulate_batch_payload(_group_payload(group)))
+                             _simulate_batch_payload(_group_payload(group)),
+                             emitter)
             return
         with ProcessPoolExecutor(
                 max_workers=min(self.workers, tasks)) as pool:
             futures = {}
             for entry in scalar:
                 futures[pool.submit(_simulate_payload, entry[3])] = [entry]
-            for group in groups:
+            for _, group in groups:
                 futures[pool.submit(_simulate_batch_payload,
                                     _group_payload(group))] = group
             # cache every result the moment it lands so a late worker
@@ -409,7 +438,7 @@ class ExperimentRunner:
                     continue
                 if not isinstance(result, list):
                     result = [result]
-                self._record(collected, entries, result)
+                self._record(collected, entries, result, emitter)
             if first_error is not None:
                 raise first_error
 
@@ -421,12 +450,14 @@ class ExperimentRunner:
                 f"last run: {self.last_report.describe()})")
 
 
-def runner_for(config) -> ExperimentRunner:
+def runner_for(config, observer: Optional[ProgressObserver] = None
+               ) -> ExperimentRunner:
     """Build the runner an :class:`ExperimentConfig` asks for.
 
     Reads the config's ``workers`` / ``use_cache`` / ``cache_dir`` fields
     (absent fields default to serial and uncached, the seed behaviour), so
-    existing call sites that pass a plain configuration keep working.
+    existing call sites that pass a plain configuration keep working.  An
+    *observer* receives the runner's progress-event stream.
     """
     workers = getattr(config, "workers", 1)
     use_cache = getattr(config, "use_cache", False)
@@ -438,4 +469,4 @@ def runner_for(config) -> ExperimentRunner:
         cache = cache_dir
     else:
         cache = True
-    return ExperimentRunner(workers=workers, cache=cache)
+    return ExperimentRunner(workers=workers, cache=cache, observer=observer)

@@ -329,13 +329,21 @@ def run_study(study: Study, *, workers: Optional[int] = None,
               cache_dir: Optional[str] = None,
               backend: Optional[str] = None,
               profile: Optional[str] = None,
-              runner: Optional[ExperimentRunner] = None) -> StudyResult:
-    """Validate and execute *study*; the engine behind :meth:`Study.run`."""
+              runner: Optional[ExperimentRunner] = None,
+              observer=None) -> StudyResult:
+    """Validate and execute *study*; the engine behind :meth:`Study.run`.
+
+    An *observer* (:class:`~repro.progress.ProgressObserver`) is attached
+    to the runner and receives the typed progress-event stream of every
+    scenario — sweep batches and saturation rounds alike.
+    """
     study.validate()
     config = resolve_config(study, workers=workers, cache=cache,
                             cache_dir=cache_dir, backend=backend,
                             profile=profile)
     runner = runner or runner_for(config)
+    if observer is not None:
+        runner.observer = observer
     report = RunnerReport(workers=runner.workers)
     rows: List[Dict] = []
     columns: List[str] = []

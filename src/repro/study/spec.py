@@ -627,19 +627,22 @@ class Study:
             cache_dir: Optional[str] = None,
             backend: Optional[str] = None,
             profile: Optional[str] = None,
-            runner=None):
+            runner=None, observer=None):
         """Execute every scenario; returns a
         :class:`~repro.study.execute.StudyResult`.
 
         Keyword overrides take precedence over the study's execution policy
         (the CLI maps ``--workers`` / ``--no-cache`` / ``--cache-dir`` /
-        ``--backend`` / ``--profile`` here).
+        ``--backend`` / ``--profile`` here).  An *observer*
+        (:class:`~repro.progress.ProgressObserver`) receives the typed
+        progress-event stream while the study executes (the CLI maps
+        ``--progress`` here).
         """
         from .execute import run_study
 
         return run_study(self, workers=workers, cache=cache,
                          cache_dir=cache_dir, backend=backend,
-                         profile=profile, runner=runner)
+                         profile=profile, runner=runner, observer=observer)
 
     # ------------------------------------------------------------------
     def __eq__(self, other) -> bool:

@@ -1,0 +1,127 @@
+"""Tests for the benchmark-trajectory regression gate.
+
+``scripts/bench_trend.py`` watches the tracked speedups in
+``BENCH_simkernel.json``'s trajectory and fails CI when the newest value
+drops more than the budget (20% by default) below the best recorded one.
+These tests drive it against synthetic ledgers: the idempotent repair
+append, the pass/fail boundary of the budget, and the not-a-failure
+treatment of a metric absent from the environment.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).parent.parent
+_spec = importlib.util.spec_from_file_location(
+    "bench_trend", REPO_ROOT / "scripts" / "bench_trend.py")
+bench_trend = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("bench_trend", bench_trend)
+_spec.loader.exec_module(bench_trend)
+
+
+def _ledger(current=1.8, history=(1.5, 1.8), batch=1.3):
+    entries = [{"speedup_fast_over_reference": value} for value in history]
+    ledger = {
+        "backends": {"fast": {}, "reference": {}},
+        "speedup_fast_over_reference": current,
+        "trajectory": entries,
+    }
+    if batch is not None:
+        ledger["speedup_batch_over_fast_per_sweep"] = batch
+    return ledger
+
+
+def _write(tmp_path, ledger):
+    path = tmp_path / "BENCH.json"
+    path.write_text(json.dumps(ledger))
+    return path
+
+
+class TestEnsureRecorded:
+    def test_appends_missing_headline_entry(self):
+        ledger = _ledger(current=1.8, history=(1.5,))
+        assert bench_trend.ensure_recorded(ledger) is True
+        newest = ledger["trajectory"][-1]
+        assert newest["speedup_fast_over_reference"] == 1.8
+        assert newest["speedup_batch_over_fast_per_sweep"] == 1.3
+
+    def test_idempotent_when_already_recorded(self):
+        ledger = _ledger(current=1.8, history=(1.5,))
+        bench_trend.ensure_recorded(ledger)
+        length = len(ledger["trajectory"])
+        assert bench_trend.ensure_recorded(ledger) is False
+        assert len(ledger["trajectory"]) == length
+
+    def test_starts_trajectory_on_fresh_ledger(self):
+        ledger = {"speedup_fast_over_reference": 2.0}
+        assert bench_trend.ensure_recorded(ledger) is True
+        assert ledger["trajectory"][-1]["speedup_fast_over_reference"] == 2.0
+
+
+class TestRegressionGate:
+    def test_within_budget_passes(self, capsys):
+        # 1.8 -> 1.5 is a 16.7% drop: inside the 20% budget
+        ledger = _ledger(current=1.5, history=(1.8, 1.5), batch=None)
+        failures = bench_trend.check_regressions(ledger, 0.20)
+        assert failures == []
+        assert "ok: fast/reference" in capsys.readouterr().out
+
+    def test_over_budget_fails(self, capsys):
+        # 2.0 -> 1.5 is a 25% drop: outside the 20% budget
+        ledger = _ledger(current=1.5, history=(2.0, 1.5), batch=None)
+        failures = bench_trend.check_regressions(ledger, 0.20)
+        assert len(failures) == 1
+        assert "regressed" in failures[0]
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_missing_metric_is_note_not_failure(self, capsys):
+        # no batch history anywhere (numpy-less environment)
+        ledger = _ledger(batch=None)
+        failures = bench_trend.check_regressions(ledger, 0.20)
+        assert failures == []
+        assert "no trajectory history" in capsys.readouterr().out
+
+    def test_gate_compares_newest_against_best_ever(self):
+        # an old peak of 2.4 sets the floor even if recent values crept up
+        ledger = _ledger(current=1.8, history=(2.4, 1.7, 1.8), batch=None)
+        failures = bench_trend.check_regressions(ledger, 0.20)
+        assert len(failures) == 1  # 1.8 < 2.4 * 0.8 = 1.92
+
+
+class TestMain:
+    def test_passing_ledger_exits_zero(self, tmp_path, capsys):
+        path = _write(tmp_path, _ledger())
+        assert bench_trend.main(["--ledger", str(path)]) == 0
+        capsys.readouterr()
+
+    def test_regressed_ledger_exits_one(self, tmp_path, capsys):
+        path = _write(tmp_path, _ledger(current=1.0, history=(2.0, 1.0),
+                                        batch=None))
+        assert bench_trend.main(["--ledger", str(path)]) == 1
+        assert "FAIL" in capsys.readouterr().err
+
+    def test_repair_append_is_persisted(self, tmp_path, capsys):
+        path = _write(tmp_path, _ledger(current=1.8, history=(1.5,)))
+        assert bench_trend.main(["--ledger", str(path)]) == 0
+        capsys.readouterr()
+        saved = json.loads(path.read_text())
+        assert saved["trajectory"][-1][
+            "speedup_fast_over_reference"] == 1.8
+
+    def test_budget_must_be_a_fraction(self, tmp_path, capsys):
+        path = _write(tmp_path, _ledger())
+        with pytest.raises(SystemExit):
+            bench_trend.main(["--ledger", str(path),
+                              "--max-regression", "1.5"])
+        capsys.readouterr()
+
+    def test_real_repo_ledger_passes(self, capsys):
+        # the committed trajectory must satisfy its own gate
+        assert bench_trend.main([]) == 0
+        capsys.readouterr()

@@ -145,17 +145,15 @@ class TestBatchBackendCli:
                 "--rates", "0.5,1.5", "--profile", "quick", "--workers",
                 "1", "--no-cache"]
         assert repro_main([*argv, "--backend", "fast"]) == 0
-        fast_out = capsys.readouterr().out
+        fast = capsys.readouterr()
         assert repro_main([*argv, "--backend", "batch"]) == 0
-        batch_out = capsys.readouterr().out
-        # identical modulo the trailing "[... 0.0s]" timing line ...
-        strip = lambda text: "\n".join(
-            line for line in text.splitlines()
-            if not line.startswith("["))
-        assert strip(batch_out) == strip(fast_out)
+        batch = capsys.readouterr()
+        # stdout is byte-identical: the "[... 0.0s]" run summary is
+        # bookkeeping and lives on stderr ...
+        assert batch.out == fast.out
         # ... which is where the batched dispatch shows its work
-        assert "batched group(s)" in batch_out
-        assert "batched group(s)" not in fast_out
+        assert "batched group(s)" in batch.err
+        assert "batched group(s)" not in fast.err
 
     def test_compare_accepts_batch_backend(self, capsys):
         code = repro_main(["--profile", "quick", "--workers", "1",
@@ -324,11 +322,9 @@ class TestShimForwarding:
         unified = capsys.readouterr().out
         assert runner_main(argv) == 0
         captured = capsys.readouterr()
-        # identical modulo the trailing "[... 0.0s]" timing line
-        strip = lambda text: "\n".join(
-            line for line in text.splitlines()
-            if not line.startswith("["))
-        assert strip(captured.out) == strip(unified)
+        # byte-identical: the timing summary moved to stderr, so stdout
+        # carries only the sweep tables on both paths
+        assert captured.out == unified
         assert RUNNER_NOTE in captured.err
 
     def test_runner_shim_accepts_options_before_subcommand(self, capsys):

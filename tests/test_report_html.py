@@ -1,0 +1,174 @@
+"""Tests for the single-file HTML run report (:mod:`repro.report`).
+
+Covers the two accepted result-file shapes (study document and bare row
+array), the channel-occupancy reconstruction (deterministic flit totals,
+row/bucket dimensions, conservation against the recorded trace), the
+graceful degradation paths (missing router tags, unknown routers become
+notes, not failures), and the rendered page structure: pivots, heatmap
+cells with the sequential ramp, legend, table view and tooltips.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.report import (
+    SEQUENTIAL_RAMP,
+    build_report,
+    heatmaps_for,
+    load_result_rows,
+    occupancy_heatmap,
+    render_report,
+)
+from repro.study.resultset import ResultSet
+
+
+def _sweep_rows():
+    rows = []
+    for router in ("dor", "bsor-dijkstra"):
+        for rate in (1.0, 2.0):
+            rows.append({
+                "mode": "sweep", "topology": "mesh4",
+                "pattern": "transpose", "router": router,
+                "offered_rate": rate, "throughput": rate * 0.9,
+                "average_latency": 10.0 + rate,
+            })
+    return rows
+
+
+class TestLoadResultRows:
+    def test_bare_array_shape(self, tmp_path):
+        path = tmp_path / "rows.json"
+        path.write_text(json.dumps(_sweep_rows()))
+        results, metadata = load_result_rows(str(path))
+        assert len(results) == 4
+        assert metadata == {}
+
+    def test_study_document_shape(self, tmp_path):
+        path = tmp_path / "study.json"
+        path.write_text(json.dumps(
+            {"study": {"name": "demo"}, "rows": _sweep_rows()}))
+        results, metadata = load_result_rows(str(path))
+        assert len(results) == 4
+        assert metadata["study"]["name"] == "demo"
+
+    def test_missing_file_is_repro_error(self, tmp_path):
+        with pytest.raises(ReproError, match="cannot read"):
+            load_result_rows(str(tmp_path / "nope.json"))
+
+    def test_invalid_json_is_repro_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ReproError, match="not valid JSON"):
+            load_result_rows(str(path))
+
+    def test_wrong_shape_is_repro_error(self, tmp_path):
+        path = tmp_path / "scalar.json"
+        path.write_text("42")
+        with pytest.raises(ReproError, match="neither"):
+            load_result_rows(str(path))
+
+
+class TestOccupancyHeatmap:
+    def test_dimensions_and_conservation(self):
+        heatmap = occupancy_heatmap("mesh4", "transpose", "dor", 2.0,
+                                    num_cycles=64, buckets=8)
+        assert heatmap.buckets == 8
+        assert heatmap.cycles_per_bucket == 8
+        assert len(heatmap.matrix) == len(heatmap.channel_labels)
+        assert all(len(row) == 8 for row in heatmap.matrix)
+        assert heatmap.total_packets > 0
+        # every packet's flits land on >= 1 channel, so the matrix total
+        # is at least packets * flits (longer routes contribute more)
+        total = sum(value for row in heatmap.matrix for value in row)
+        assert total >= heatmap.total_packets
+        assert heatmap.max_value() == max(max(row) for row in heatmap.matrix)
+
+    def test_deterministic_for_fixed_seed(self):
+        first = occupancy_heatmap("mesh4", "transpose", "dor", 2.0,
+                                  num_cycles=64, buckets=8)
+        second = occupancy_heatmap("mesh4", "transpose", "dor", 2.0,
+                                   num_cycles=64, buckets=8)
+        assert first.matrix == second.matrix
+        assert first.total_packets == second.total_packets
+
+    def test_buckets_clamped_to_cycles(self):
+        heatmap = occupancy_heatmap("mesh4", "transpose", "dor", 2.0,
+                                    num_cycles=16, buckets=64)
+        assert heatmap.buckets == 16
+
+    def test_unknown_router_raises_repro_error(self):
+        with pytest.raises(ReproError):
+            occupancy_heatmap("mesh4", "transpose", "no-such-router", 2.0,
+                              num_cycles=16, buckets=4)
+
+
+class TestHeatmapsFor:
+    def test_one_heatmap_per_router_first_group(self):
+        heatmaps, notes = heatmaps_for(ResultSet(_sweep_rows()),
+                                       num_cycles=32, buckets=4)
+        assert [heatmap.router for heatmap in heatmaps] == [
+            "dor", "bsor-dijkstra"]
+        # rate defaults to the median of the group's offered rates
+        assert heatmaps[0].offered_rate == 2.0
+        assert notes == []
+
+    def test_rows_without_router_tag_degrade_to_note(self):
+        rows = [{"topology": "mesh4", "pattern": "transpose",
+                 "offered_rate": 1.0, "throughput": 0.9}]
+        heatmaps, notes = heatmaps_for(ResultSet(rows))
+        assert heatmaps == []
+        assert any("router tag" in note for note in notes)
+
+    def test_unknown_router_degrades_to_note(self):
+        rows = [{"topology": "mesh4", "pattern": "transpose",
+                 "router": "warp-drive", "offered_rate": 1.0}]
+        heatmaps, notes = heatmaps_for(ResultSet(rows),
+                                       num_cycles=16, buckets=4)
+        assert heatmaps == []
+        assert any("warp-drive" in note for note in notes)
+
+    def test_empty_rows(self):
+        heatmaps, notes = heatmaps_for(ResultSet([]))
+        assert heatmaps == []
+        assert notes
+
+
+class TestRenderedPage:
+    def test_build_report_end_to_end(self, tmp_path):
+        path = tmp_path / "rows.json"
+        path.write_text(json.dumps(_sweep_rows()))
+        page = build_report(str(path), num_cycles=32, buckets=4)
+        assert page.startswith("<!DOCTYPE html>")
+        assert "channel occupancy" in page
+        assert "throughput (packets/cycle)" in page
+        assert "average latency (cycles)" in page
+        assert "table view" in page
+        # identity via text, magnitude via the sequential ramp
+        assert SEQUENTIAL_RAMP[-1] in page or SEQUENTIAL_RAMP[0] in page
+        # per-cell tooltips carry the values the color alone can't
+        assert "flits in cycles" in page
+
+    def test_no_heatmap_flag_skips_reconstruction(self, tmp_path):
+        path = tmp_path / "rows.json"
+        path.write_text(json.dumps(_sweep_rows()))
+        page = build_report(str(path), with_heatmap=False)
+        assert "channel occupancy" not in page
+        assert "throughput (packets/cycle)" in page
+
+    def test_render_report_escapes_and_titles(self):
+        page = render_report(ResultSet([]), title="<script>alert(1)</script>")
+        assert "<script>alert(1)" not in page
+        assert "&lt;script&gt;" in page
+
+    def test_saturate_rows_get_summary_section(self):
+        rows = [{"mode": "saturate", "topology": "mesh4",
+                 "pattern": "transpose", "router": "dor",
+                 "saturation_rate": 2.5, "saturation_throughput": 2.2,
+                 "low_load_latency": 9.5}]
+        page = render_report(ResultSet(rows))
+        assert "saturation summary" in page
+        assert "2.500" in page or "2.5" in page

@@ -114,8 +114,11 @@ class TestFigure67BitIdentity:
         code = runner_main(["figure", "6.7", "--profile", "quick",
                             "--workers", "1", "--cache-dir", cache_dir])
         assert code == 0
-        legacy_out = capsys.readouterr().out
-        assert "36 task(s), 36 executed, 0 from cache" in legacy_out
+        # the runner summary is run bookkeeping, so it goes to stderr —
+        # stdout carries only the figure itself
+        legacy = capsys.readouterr()
+        assert "36 task(s), 36 executed, 0 from cache" in legacy.err
+        assert "task(s)" not in legacy.out
 
         study = Study.from_file(EXAMPLES / "figure_6_7.yaml")
         result = study.run(profile="quick", workers=1, cache_dir=cache_dir)
@@ -147,5 +150,5 @@ class TestFigure67BitIdentity:
         code = runner_main(["figure", "6.7", "--profile", "quick",
                             "--workers", "1", "--cache-dir", cache_dir])
         assert code == 0
-        out = capsys.readouterr().out
-        assert "36 task(s), 0 executed, 36 from cache" in out
+        assert "36 task(s), 0 executed, 36 from cache" in \
+            capsys.readouterr().err

@@ -22,6 +22,11 @@
 #   make report-smoke - run the smoke study to JSON and render it as the
 #                     single-file HTML report (pivots + channel-occupancy
 #                     heatmap) to prove the report path end to end
+#   make serve-smoke - start a real `python -m repro serve` subprocess on
+#                     an ephemeral port, submit the smoke study cold,
+#                     resubmit it warm (must complete entirely from the
+#                     result cache, byte-identical document), and shut the
+#                     server down cleanly (scripts/serve_smoke.py)
 #   make links      - fail on broken relative links in README.md / docs/
 #   make docs       - regenerate docs/api/*.md, docs/routing-guide.md and
 #                     docs/workloads-guide.md
@@ -34,9 +39,9 @@ PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
 #: Minimum line coverage (percent) the full CI job enforces.
-COVERAGE_FLOOR ?= 74
+COVERAGE_FLOOR ?= 75
 
-.PHONY: test test-fast test-faults coverage smoke smoke-cli bench-smoke bench-trend report-smoke links docs docs-check check clean-cache
+.PHONY: test test-fast test-faults coverage smoke smoke-cli bench-smoke bench-trend report-smoke serve-smoke links docs docs-check check clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -79,6 +84,9 @@ report-smoke:
 		--output /tmp/repro-report-smoke.html
 	@grep -q "channel occupancy" /tmp/repro-report-smoke.html
 	@echo "report-smoke: ok"
+
+serve-smoke:
+	$(PYTHON) scripts/serve_smoke.py
 
 links:
 	$(PYTHON) scripts/check_links.py

@@ -8,9 +8,12 @@ Every way of running the reproduction goes through this CLI::
     python -m repro table 6-1
     python -m repro sweep --workload transpose --algorithms XY,BSOR-Dijkstra
     python -m repro saturate --topology mesh8x8 --patterns transpose
-    python -m repro cache info
+    python -m repro cache stats
     python -m repro profile --workload transpose --rate 2.5
     python -m repro report results.json --output report.html
+    python -m repro serve --port 8787
+    python -m repro submit examples/studies/smoke.yaml --url http://host:8787
+    python -m repro worker --queue-dir /shared/queue
     python -m repro list routers
     python -m repro validate examples/studies/*.yaml
 
@@ -19,9 +22,11 @@ Every way of running the reproduction goes through this CLI::
 reproduction commands that used to live in ``python -m repro.runner``, and
 ``compare`` is the matrix engine that used to live in ``python -m
 repro.compare`` — both old entry points keep working as deprecation shims
-that forward here.  ``list`` enumerates every registered vocabulary
-(routers, workloads, backends, patterns) from the shared
-:mod:`repro.registry` machinery.
+that forward here.  ``serve`` / ``submit`` / ``worker`` are the
+serving plane (:mod:`repro.serve`): a study-serving HTTP front door, its
+client, and the work-queue drainer behind ``--execution queue``.  ``list``
+enumerates every registered vocabulary (routers, workloads, backends,
+patterns, executions) from the shared :mod:`repro.registry` machinery.
 
 Exit codes are uniform across every subcommand: ``0`` on success, ``2`` for
 usage errors (unknown options, malformed values), ``1`` for execution
@@ -60,6 +65,12 @@ from .runner_commands import (
     run_sweep,
     run_table,
 )
+from .serve_commands import (
+    add_serve_subcommands,
+    run_serve_command,
+    run_submit_command,
+    run_worker_command,
+)
 from .study_commands import (
     add_study_subcommands,
     run_saturate_command,
@@ -81,6 +92,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_study_subcommands(commands, common)
     add_runner_subcommands(commands, common)
+    add_serve_subcommands(commands, common)
 
     compare = commands.add_parser(
         "compare", parents=[common],
@@ -139,6 +151,12 @@ def _dispatch_execution(args: argparse.Namespace, observer) -> int:
         return run_study_command(args)
     if args.command == "saturate":
         return run_saturate_command(args)
+    if args.command == "serve":
+        return run_serve_command(args)
+    if args.command == "worker":
+        return run_worker_command(args)
+    if args.command == "submit":
+        return run_submit_command(args)
 
     listing = _maybe_list(args)
     if listing is not None:
@@ -152,7 +170,7 @@ def _dispatch_execution(args: argparse.Namespace, observer) -> int:
     if args.command == "cache":
         if args.action is None:
             raise UsageError("cache: missing the action argument "
-                             "(info or clear)")
+                             "(info, stats or clear)")
         print(run_cache(args))
         return EXIT_OK
     if args.command == "profile":

@@ -35,6 +35,9 @@ COMMON_DEFAULTS = {
     "backend": None,
     "no_cache": False,
     "cache_dir": None,
+    "shared_cache_dir": None,
+    "execution": None,
+    "queue_dir": None,
     "list_backends": False,
     "progress": None,
 }
@@ -58,6 +61,18 @@ def common_options() -> argparse.ArgumentParser:
     common.add_argument("--cache-dir", default=argparse.SUPPRESS,
                         help="result cache directory (default: $REPRO_CACHE_DIR "
                              "or ~/.cache/repro-bsor)")
+    common.add_argument("--shared-cache-dir", default=argparse.SUPPRESS,
+                        help="shared second-tier cache directory layered "
+                             "behind the local cache (read-through with "
+                             "write-back; default: $REPRO_SHARED_CACHE_DIR)")
+    common.add_argument("--execution", default=argparse.SUPPRESS,
+                        help="execution backend for cache-miss points: local "
+                             "(in-process pool, the default) or queue (a "
+                             "shared work-queue directory drained by "
+                             "`python -m repro worker` processes)")
+    common.add_argument("--queue-dir", default=argparse.SUPPRESS,
+                        help="work-queue directory for `--execution queue` "
+                             "(default: $REPRO_QUEUE_DIR)")
     common.add_argument("--list-backends", action="store_true",
                         default=argparse.SUPPRESS,
                         help="list registered simulator backends and exit")

@@ -16,7 +16,7 @@ from typing import Callable, Dict
 from ..exceptions import ExperimentError
 
 #: The listable vocabularies, in help order.
-LIST_KINDS = ("routers", "workloads", "backends", "patterns")
+LIST_KINDS = ("routers", "workloads", "backends", "patterns", "executions")
 
 
 def list_routers() -> str:
@@ -81,11 +81,26 @@ def list_patterns() -> str:
     return "\n".join(lines)
 
 
+def list_executions() -> str:
+    from ..runner.backends import DEFAULT_EXECUTION, execution_specs
+
+    lines = ["registered execution backends (where cache-miss points run; "
+             "results are identical on every backend):"]
+    for spec in execution_specs():
+        aliases = f" (aliases: {', '.join(spec.aliases)})" if spec.aliases \
+            else ""
+        marker = " [default]" if spec.name == DEFAULT_EXECUTION else ""
+        lines.append(f"  {spec.name:<14} {spec.display_name:<14} "
+                     f"{spec.summary}{aliases}{marker}")
+    return "\n".join(lines)
+
+
 _RENDERERS: Dict[str, Callable[[], str]] = {
     "routers": list_routers,
     "workloads": list_workloads,
     "backends": list_backends,
     "patterns": list_patterns,
+    "executions": list_executions,
 }
 
 

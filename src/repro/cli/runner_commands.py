@@ -56,7 +56,11 @@ def add_runner_subcommands(commands, common: argparse.ArgumentParser) -> None:
     cache = commands.add_parser("cache", help="inspect or clear the cache",
                                 parents=[common])
     cache.add_argument("action", nargs="?", default=None,
-                       choices=("info", "clear"))
+                       choices=("info", "stats", "clear"))
+    cache.add_argument("--shared-dir", default=None,
+                       help="shared second-tier cache directory to inspect "
+                            "alongside the local one (default: "
+                            "$REPRO_SHARED_CACHE_DIR)")
 
     prof = commands.add_parser(
         "profile", parents=[common],
@@ -87,6 +91,9 @@ def experiment_config(args: argparse.Namespace):
         workers=args.workers,
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
+        shared_cache_dir=getattr(args, "shared_cache_dir", None),
+        execution=getattr(args, "execution", None),
+        queue_dir=getattr(args, "queue_dir", None),
     )
     if args.backend:
         # resolve eagerly so a typo fails with the registry's did-you-mean
@@ -231,12 +238,43 @@ def run_profile(args: argparse.Namespace) -> str:
     return header + stream.getvalue().rstrip()
 
 
+def _render_cache_stats(cache: ResultCache) -> str:
+    """The ``cache stats`` report: tier sizes plus the last-run counters."""
+    stats = cache.stats()
+    lines = [
+        f"local   {stats['directory']}: {stats['entries']} entries, "
+        f"{stats['bytes']} bytes",
+    ]
+    if "shared_dir" in stats:
+        lines.append(
+            f"shared  {stats['shared_dir']}: {stats['shared_entries']} "
+            f"entries, {stats['shared_bytes']} bytes"
+        )
+    last_run = stats.get("last_run")
+    if last_run:
+        lines.append(
+            f"last run: {last_run.get('points_total', 0)} points, "
+            f"{last_run.get('cache_hits', 0)} cache hit(s), "
+            f"{last_run.get('points_simulated', 0)} simulated, "
+            f"{last_run.get('shared_hits', 0)} from the shared tier"
+        )
+    else:
+        lines.append("last run: no run recorded in this cache directory yet")
+    return "\n".join(lines)
+
+
 def run_cache(args: argparse.Namespace) -> str:
-    cache = ResultCache(args.cache_dir or default_cache_dir())
+    cache = ResultCache(args.cache_dir or default_cache_dir(),
+                        shared_dir=getattr(args, "shared_dir", None))
     if args.action == "clear":
         removed = cache.clear()
         return f"removed {removed} cached result(s) from {cache.directory}"
-    return f"{cache.directory}: {len(cache)} cached result(s)"
+    if args.action == "stats":
+        return _render_cache_stats(cache)
+    text = f"{cache.directory}: {len(cache)} cached result(s)"
+    if cache.shared_dir is not None:
+        text += f" (shared tier: {cache.shared_dir})"
+    return text
 
 
 __all__ = [

@@ -111,7 +111,10 @@ def _run_overrides(args: argparse.Namespace) -> dict:
         "workers": args.workers or None,
         "cache": False if args.no_cache else None,
         "cache_dir": args.cache_dir,
+        "shared_cache_dir": getattr(args, "shared_cache_dir", None),
         "backend": args.backend,
+        "execution": getattr(args, "execution", None),
+        "queue_dir": getattr(args, "queue_dir", None),
         "observer": getattr(args, "progress_observer", None),
     }
     if getattr(args, "profile_explicit", True):

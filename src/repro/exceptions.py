@@ -102,3 +102,12 @@ class StudyError(ReproError):
     workload, an invalid injection-rate schedule, or an unknown execution
     profile or mode.
     """
+
+
+class ServeError(ReproError):
+    """Raised for study-serving failures (:mod:`repro.serve`).
+
+    Examples: a service that cannot bind its port, a client request against
+    an unknown job id, polling a job whose study failed, or a malformed
+    submission body.
+    """

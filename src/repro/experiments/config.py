@@ -61,6 +61,16 @@ class ExperimentConfig:
     use_cache: bool = False
     #: cache directory (None = $REPRO_CACHE_DIR or ~/.cache/repro-bsor).
     cache_dir: Optional[str] = None
+    #: shared second-tier cache directory the local cache reads through to
+    #: (None = $REPRO_SHARED_CACHE_DIR or no shared tier).  Not part of any
+    #: simulation fingerprint — where results are stored never changes them.
+    shared_cache_dir: Optional[str] = None
+    #: execution backend for cache-miss points (None = "local"; "queue"
+    #: drains through a shared work-queue directory).
+    execution: Optional[str] = None
+    #: queue directory for the "queue" execution backend
+    #: (None = $REPRO_QUEUE_DIR).
+    queue_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.mesh_size < 2:

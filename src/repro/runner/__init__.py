@@ -31,10 +31,26 @@ The command line mirrors the API: ``python -m repro.runner figure 6-1
 --workers 4`` regenerates a figure, ``... cache info`` inspects the store.
 """
 
+from .backends import (
+    DEFAULT_EXECUTION,
+    QUEUE_DIR_ENV,
+    ExecutionBackendSpec,
+    ExecutionTask,
+    LocalExecutionBackend,
+    QueueExecutionBackend,
+    available_executions,
+    execution_spec,
+    execution_specs,
+    register_execution_backend,
+    resolve_execution,
+    run_task,
+)
 from .cache import (
     CACHE_DIR_ENV,
+    SHARED_CACHE_DIR_ENV,
     ResultCache,
     default_cache_dir,
+    default_shared_cache_dir,
     statistics_from_dict,
     statistics_to_dict,
 )
@@ -46,6 +62,8 @@ from .engine import (
     resolve_workers,
     runner_for,
 )
+from .worker import run_worker_loop
+from .workqueue import WorkQueue
 from .fingerprint import (
     CACHE_SCHEMA_VERSION,
     batch_group_key,
@@ -59,17 +77,33 @@ from .fingerprint import (
 __all__ = [
     "CACHE_DIR_ENV",
     "CACHE_SCHEMA_VERSION",
+    "DEFAULT_EXECUTION",
+    "ExecutionBackendSpec",
+    "ExecutionTask",
     "ExperimentRunner",
+    "LocalExecutionBackend",
+    "QUEUE_DIR_ENV",
+    "QueueExecutionBackend",
     "ResultCache",
     "RunnerReport",
+    "SHARED_CACHE_DIR_ENV",
     "SweepSpec",
     "WORKERS_ENV",
+    "WorkQueue",
+    "available_executions",
     "batch_group_key",
     "config_fingerprint",
     "default_cache_dir",
+    "default_shared_cache_dir",
+    "execution_spec",
+    "execution_specs",
     "flow_set_fingerprint",
+    "register_execution_backend",
+    "resolve_execution",
     "resolve_workers",
     "route_set_fingerprint",
+    "run_task",
+    "run_worker_loop",
     "runner_for",
     "simulation_cache_key",
     "statistics_from_dict",

@@ -7,9 +7,30 @@ Entries are immutable — a key fully determines its statistics because the
 simulator is deterministic in its seed — so the cache never needs
 invalidation logic beyond the key itself.
 
-Writes are atomic (temp file + ``os.replace``), which makes the cache safe
-to share between the worker processes of one run and between concurrent
-runs pointed at the same directory.
+Writes are atomic (a ``.tmp-<pid>-<random>`` temp file in the destination
+directory, published with ``os.replace``), which makes the cache safe to
+share between the worker processes of one run, between concurrent runs
+pointed at the same directory, and between the hosts of a serving
+deployment mounted on one shared filesystem: a reader can never observe a
+partially-written JSON entry, and racing writers of the same key simply
+last-write-wins with byte-identical content.
+
+Layered mode
+------------
+
+A cache may carry a **shared tier** behind its local directory
+(``ResultCache(local_dir, shared_dir=...)``, or ``$REPRO_SHARED_CACHE_DIR``):
+
+* ``get`` is **read-through** — a local miss falls through to the shared
+  directory, and a shared hit is **written back** into the local directory
+  so subsequent reads are local;
+* ``put`` is **write-through** — every new result is published to both
+  tiers, so every worker process, queue worker and service front door
+  pointed at the same shared directory serves the others' warm keys.
+
+The shared tier is what turns the cache into a serving layer
+(:mod:`repro.serve`): a study whose every point is warm anywhere in the
+deployment completes without a single simulator invocation.
 """
 
 from __future__ import annotations
@@ -18,17 +39,28 @@ import dataclasses
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
-from typing import Iterator, Optional, Union
+from typing import Dict, Iterator, Optional, Union
 
 from ..metrics.statistics import SimulationStatistics
 
 #: Environment variable overriding the default cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
+#: Environment variable naming a shared (second-tier) cache directory; when
+#: set, every :class:`ResultCache` built without an explicit ``shared_dir``
+#: layers itself over it.
+SHARED_CACHE_DIR_ENV = "REPRO_SHARED_CACHE_DIR"
+
 #: Directory used when neither an explicit path nor the environment variable
 #: names one.
 DEFAULT_CACHE_DIR = "~/.cache/repro-bsor"
+
+#: Name of the last-run counter snapshot a runner records in its cache
+#: directory (``python -m repro cache stats`` reads it back).  The leading
+#: dot keeps it out of the ``*.json`` entry enumeration.
+LAST_RUN_FILE = ".last-run.json"
 
 
 def default_cache_dir() -> Path:
@@ -37,73 +69,169 @@ def default_cache_dir() -> Path:
                 os.path.expanduser(DEFAULT_CACHE_DIR))
 
 
-class ResultCache:
-    """A directory of ``<key>.json`` files, one per simulated sweep point."""
+def default_shared_cache_dir() -> Optional[Path]:
+    """The shared-tier directory ``$REPRO_SHARED_CACHE_DIR`` names, if any."""
+    shared = os.environ.get(SHARED_CACHE_DIR_ENV)
+    return Path(shared) if shared else None
 
-    def __init__(self, directory: Union[str, os.PathLike, None] = None) -> None:
+
+def _atomic_write_text(directory: Path, target: Path, text: str) -> None:
+    """Publish *text* at *target* atomically (temp file + ``os.replace``).
+
+    The temp file lives in *directory* (same filesystem as the target, a
+    requirement for an atomic rename) and its ``.tmp-<pid>-`` prefix keeps
+    in-flight writes out of the ``*.json`` glob that entry enumeration
+    uses.  Concurrent writers of the same target each publish a complete
+    file; the last replace wins and no reader ever sees partial JSON.
+    """
+    directory.mkdir(parents=True, exist_ok=True)
+    handle, temp_path = tempfile.mkstemp(
+        dir=directory, prefix=f".tmp-{os.getpid()}-", suffix=".part"
+    )
+    try:
+        with os.fdopen(handle, "w") as stream:
+            stream.write(text)
+        os.replace(temp_path, target)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+
+
+class ResultCache:
+    """A directory of ``<key>.json`` files, one per simulated sweep point.
+
+    Parameters
+    ----------
+    directory:
+        The local (first-tier) directory; ``None`` resolves via
+        ``$REPRO_CACHE_DIR`` / the default location.
+    shared_dir:
+        An optional shared (second-tier) directory layered behind the local
+        one — read-through on ``get`` (with write-back of shared hits into
+        the local tier) and write-through on ``put``.  ``None`` resolves
+        via ``$REPRO_SHARED_CACHE_DIR``; an unset variable means no shared
+        tier.
+    """
+
+    def __init__(self, directory: Union[str, os.PathLike, None] = None,
+                 shared_dir: Union[str, os.PathLike, None] = None) -> None:
         self.directory = Path(directory) if directory else default_cache_dir()
+        if shared_dir is None:
+            shared = default_shared_cache_dir()
+        else:
+            shared = Path(shared_dir)
+        # a shared tier equal to the local tier would double every write
+        # for no benefit; collapse it to plain single-tier mode
+        self.shared_dir: Optional[Path] = (
+            shared if shared is not None and shared != self.directory else None
+        )
         self.hits = 0
         self.misses = 0
+        #: Subset of :attr:`hits` served by the shared tier (local misses).
+        self.shared_hits = 0
 
     # ------------------------------------------------------------------
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
 
-    def get(self, key: str) -> Optional[SimulationStatistics]:
-        """The cached statistics for *key*, or ``None`` on a miss."""
-        path = self._path(key)
+    def _shared_path(self, key: str) -> Optional[Path]:
+        if self.shared_dir is None:
+            return None
+        return self.shared_dir / f"{key}.json"
+
+    @staticmethod
+    def _load(path: Path) -> Optional[SimulationStatistics]:
+        """Statistics stored at *path*, or None when absent/unreadable."""
         try:
             payload = json.loads(path.read_text())
         except (OSError, ValueError):
-            self.misses += 1
             return None
         try:
-            stats = statistics_from_dict(payload["statistics"])
+            return statistics_from_dict(payload["statistics"])
         except (KeyError, TypeError):
             # unreadable / stale schema: treat as a miss, entry will be
             # overwritten by the fresh result
-            self.misses += 1
             return None
-        self.hits += 1
-        return stats
+
+    def get(self, key: str) -> Optional[SimulationStatistics]:
+        """The cached statistics for *key*, or ``None`` on a miss.
+
+        With a shared tier configured, a local miss reads through to the
+        shared directory; a shared hit is copied back into the local tier
+        so the next read of the same key never leaves this host.
+        """
+        stats = self._load(self._path(key))
+        if stats is not None:
+            self.hits += 1
+            return stats
+        shared_path = self._shared_path(key)
+        if shared_path is not None:
+            stats = self._load(shared_path)
+            if stats is not None:
+                self.hits += 1
+                self.shared_hits += 1
+                try:
+                    self._publish(self.directory, self._path(key), key, stats)
+                except OSError:
+                    pass  # a read must not fail because write-back did
+                return stats
+        self.misses += 1
+        return None
+
+    def _publish(self, directory: Path, target: Path, key: str,
+                 statistics: SimulationStatistics) -> None:
+        payload = {"key": key, "statistics": statistics_to_dict(statistics)}
+        _atomic_write_text(directory, target, json.dumps(payload))
 
     def put(self, key: str, statistics: SimulationStatistics) -> None:
-        """Store *statistics* under *key* (atomic, last writer wins)."""
-        self.directory.mkdir(parents=True, exist_ok=True)
-        payload = {"key": key, "statistics": statistics_to_dict(statistics)}
-        # the ".tmp" suffix keeps in-flight writes out of the "*.json" glob
-        # that keys()/len()/clear() enumerate
-        handle, temp_path = tempfile.mkstemp(
-            dir=self.directory, prefix=".write-", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(handle, "w") as stream:
-                json.dump(payload, stream)
-            os.replace(temp_path, self._path(key))
-        except BaseException:
-            try:
-                os.unlink(temp_path)
-            except OSError:
-                pass
-            raise
+        """Store *statistics* under *key* (atomic, last writer wins).
+
+        Concurrent writers — threads, worker processes, other hosts on a
+        shared filesystem — are safe: each publishes a complete temp file
+        named ``.tmp-<pid>-<random>`` and renames it over the entry, so a
+        partially-written JSON document can never become visible under the
+        key.  With a shared tier configured the entry is written through to
+        both directories.
+        """
+        self._publish(self.directory, self._path(key), key, statistics)
+        shared_path = self._shared_path(key)
+        if shared_path is not None:
+            assert self.shared_dir is not None
+            self._publish(self.shared_dir, shared_path, key, statistics)
 
     def __contains__(self, key: str) -> bool:
-        return self._path(key).exists()
+        if self._path(key).exists():
+            return True
+        shared_path = self._shared_path(key)
+        return shared_path is not None and shared_path.exists()
 
     def __len__(self) -> int:
         return sum(1 for _ in self.keys())
 
-    def keys(self) -> Iterator[str]:
-        if not self.directory.is_dir():
+    @staticmethod
+    def _directory_keys(directory: Optional[Path]) -> Iterator[str]:
+        if directory is None or not directory.is_dir():
             return
-        for path in self.directory.glob("*.json"):
+        for path in directory.glob("*.json"):
             # pathlib's glob matches dotfiles; never surface in-flight or
-            # foreign temp files as cache entries
+            # foreign temp files (or the last-run snapshot) as entries
             if not path.name.startswith("."):
                 yield path.stem
 
+    def keys(self) -> Iterator[str]:
+        """Keys of the **local** tier (the entries this host holds)."""
+        return self._directory_keys(self.directory)
+
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+        """Delete every local entry; returns the number removed.
+
+        The shared tier is deliberately left untouched — it belongs to the
+        deployment, not to this host (clear it by pointing a cache directly
+        at the shared directory).
+        """
         removed = 0
         for key in list(self.keys()):
             try:
@@ -113,8 +241,77 @@ class ResultCache:
                 pass
         return removed
 
+    # ------------------------------------------------------------------
+    # observability: sizes, counters and the last-run snapshot
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _directory_stats(directory: Optional[Path]) -> Dict[str, int]:
+        entries = 0
+        total_bytes = 0
+        for key in ResultCache._directory_keys(directory):
+            assert directory is not None
+            try:
+                total_bytes += (directory / f"{key}.json").stat().st_size
+                entries += 1
+            except OSError:
+                pass  # entry vanished mid-scan (concurrent clear)
+        return {"entries": entries, "bytes": total_bytes}
+
+    def stats(self) -> Dict[str, object]:
+        """One flat mapping of sizes and counters, for the ``cache stats``
+        CLI and the service's introspection endpoints.
+
+        ``hits`` / ``misses`` / ``shared_hits`` are this process's counters;
+        ``last_run`` is the snapshot the most recent runner recorded in the
+        directory (:meth:`record_run`), or ``None``.
+        """
+        payload: Dict[str, object] = {"directory": str(self.directory)}
+        payload.update(self._directory_stats(self.directory))
+        if self.shared_dir is not None:
+            shared = self._directory_stats(self.shared_dir)
+            payload["shared_dir"] = str(self.shared_dir)
+            payload["shared_entries"] = shared["entries"]
+            payload["shared_bytes"] = shared["bytes"]
+        payload["hits"] = self.hits
+        payload["misses"] = self.misses
+        payload["shared_hits"] = self.shared_hits
+        payload["last_run"] = self.last_run()
+        return payload
+
+    def record_run(self, report) -> None:
+        """Snapshot one runner call's counters into the cache directory.
+
+        The runner calls this after every ``sweep_many`` batch; ``python -m
+        repro cache stats`` reads the snapshot back, so the counters of the
+        last run survive the process that produced them.  The write is
+        atomic and best-effort — bookkeeping must never fail a simulation.
+        """
+        payload = {
+            "at": time.time(),
+            "points_total": getattr(report, "points_total", 0),
+            "cache_hits": getattr(report, "cache_hits", 0),
+            "points_simulated": getattr(report, "points_simulated", 0),
+            "shared_hits": self.shared_hits,
+        }
+        try:
+            _atomic_write_text(self.directory,
+                               self.directory / LAST_RUN_FILE,
+                               json.dumps(payload))
+        except OSError:
+            pass
+
+    def last_run(self) -> Optional[Dict[str, object]]:
+        """The most recent :meth:`record_run` snapshot, or ``None``."""
+        try:
+            payload = json.loads((self.directory / LAST_RUN_FILE).read_text())
+        except (OSError, ValueError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
     def describe(self) -> str:
-        return (f"ResultCache({self.directory}, entries={len(self)}, "
+        shared = f", shared={self.shared_dir}" if self.shared_dir is not None \
+            else ""
+        return (f"ResultCache({self.directory}{shared}, entries={len(self)}, "
                 f"hits={self.hits}, misses={self.misses})")
 
 

@@ -21,7 +21,7 @@ simulated in a worker process equals the same point simulated inline.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import (
     Callable,
@@ -49,6 +49,7 @@ from ..simulator.simulation import (
 )
 from ..topology.base import Topology
 from ..traffic.flow import FlowSet
+from .backends import ExecutionTask, resolve_execution
 from .cache import ResultCache
 from .fingerprint import batch_group_key, simulation_cache_key
 
@@ -180,11 +181,18 @@ class ExperimentRunner:
         event stream of every sweep (``None`` runs silent).  Also settable
         after construction via :attr:`observer` — the comparison matrix and
         the study engine attach theirs that way.
+    execution:
+        Where cache-miss tasks execute: ``None`` is the in-process
+        ``local`` backend (the seed behaviour), a string resolves through
+        the execution-backend registry (:mod:`repro.runner.backends` —
+        ``"queue"`` selects the distributed file-backed work queue), and
+        any object exposing ``run_tasks`` is used as is.
     """
 
     def __init__(self, workers: Optional[int] = 1,
                  cache: Union[ResultCache, str, os.PathLike, bool, None] = None,
                  observer: Optional[ProgressObserver] = None,
+                 execution=None,
                  ) -> None:
         self.workers = resolve_workers(workers)
         if cache is True:
@@ -196,6 +204,7 @@ class ExperimentRunner:
         else:
             self.cache = ResultCache(cache)
         self.observer = observer
+        self.execution = resolve_execution(execution)
         self.last_report = RunnerReport(workers=self.workers)
         self.total_report = RunnerReport(workers=self.workers)
 
@@ -338,6 +347,8 @@ class ExperimentRunner:
                                    batch_groups=report.batch_groups)
         self.last_report = report
         self.total_report.merge(report)
+        if self.cache is not None:
+            self.cache.record_run(report)
 
         results: Dict[str, SweepResult] = {}
         for key, spec in specs.items():
@@ -406,41 +417,25 @@ class ExperimentRunner:
                 emitter.point_started(key, payload[3])
             for group_key, entries in groups:
                 emitter.batch_group(group_key, len(entries))
-        tasks = len(scalar) + len(groups)
-        if self.workers == 1 or tasks == 1:
-            for entry in scalar:
-                self._record(collected, [entry],
-                             [_simulate_payload(entry[3])], emitter)
-            for _, group in groups:
-                self._record(collected, group,
-                             _simulate_batch_payload(_group_payload(group)),
-                             emitter)
-            return
-        with ProcessPoolExecutor(
-                max_workers=min(self.workers, tasks)) as pool:
-            futures = {}
-            for entry in scalar:
-                futures[pool.submit(_simulate_payload, entry[3])] = [entry]
-            for _, group in groups:
-                futures[pool.submit(_simulate_batch_payload,
-                                    _group_payload(group))] = group
-            # cache every result the moment it lands so a late worker
-            # failure cannot discard hours of completed simulation; the
-            # first error is re-raised after the surviving points are safe
-            first_error: Optional[BaseException] = None
-            for future in as_completed(futures):
-                entries = futures[future]
-                try:
-                    result = future.result()
-                except BaseException as error:
-                    if first_error is None:
-                        first_error = error
-                    continue
-                if not isinstance(result, list):
-                    result = [result]
-                self._record(collected, entries, result, emitter)
-            if first_error is not None:
-                raise first_error
+        tasks: List[ExecutionTask] = [
+            ExecutionTask(kind="scalar", payload=entry[3], entries=[entry],
+                          cache_keys=[entry[2]])
+            for entry in scalar
+        ]
+        tasks.extend(
+            ExecutionTask(kind="batch", payload=_group_payload(group),
+                          entries=group,
+                          cache_keys=[entry[2] for entry in group])
+            for _, group in groups
+        )
+
+        def record(task: ExecutionTask, stats_list) -> None:
+            self._record(collected, task.entries, stats_list, emitter)
+
+        # how is the backend's choice (inline, process pool, work queue);
+        # recording and caching stay here so every backend shares the
+        # record-on-landing durability and the emitter's event stream
+        self.execution.run_tasks(tasks, record, workers=self.workers)
 
     # ------------------------------------------------------------------
     def describe(self) -> str:
@@ -454,19 +449,26 @@ def runner_for(config, observer: Optional[ProgressObserver] = None
                ) -> ExperimentRunner:
     """Build the runner an :class:`ExperimentConfig` asks for.
 
-    Reads the config's ``workers`` / ``use_cache`` / ``cache_dir`` fields
-    (absent fields default to serial and uncached, the seed behaviour), so
-    existing call sites that pass a plain configuration keep working.  An
-    *observer* receives the runner's progress-event stream.
+    Reads the config's ``workers`` / ``use_cache`` / ``cache_dir`` /
+    ``shared_cache_dir`` / ``execution`` / ``queue_dir`` fields (absent
+    fields default to serial, uncached, local execution — the seed
+    behaviour), so existing call sites that pass a plain configuration keep
+    working.  An *observer* receives the runner's progress-event stream.
     """
     workers = getattr(config, "workers", 1)
     use_cache = getattr(config, "use_cache", False)
     cache_dir = getattr(config, "cache_dir", None)
+    shared_cache_dir = getattr(config, "shared_cache_dir", None)
     cache: Union[ResultCache, str, bool, None]
     if not use_cache:
         cache = None
-    elif cache_dir:
-        cache = cache_dir
+    elif cache_dir or shared_cache_dir:
+        cache = ResultCache(cache_dir, shared_dir=shared_cache_dir)
     else:
         cache = True
-    return ExperimentRunner(workers=workers, cache=cache, observer=observer)
+    execution = getattr(config, "execution", None)
+    if isinstance(execution, str):
+        execution = resolve_execution(
+            execution, queue_dir=getattr(config, "queue_dir", None))
+    return ExperimentRunner(workers=workers, cache=cache, observer=observer,
+                            execution=execution)

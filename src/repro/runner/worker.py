@@ -1,0 +1,121 @@
+"""The queue-draining worker loop behind ``python -m repro worker``.
+
+A worker binds to one :class:`~repro.runner.workqueue.WorkQueue` directory
+and loops: claim a task (atomic rename), hold the lease with a heartbeat
+thread while simulating, publish the statistics, repeat.  Any number of
+workers on one or many hosts can drain the same queue; the claim protocol
+guarantees each task runs at least once and the determinism of the
+simulator makes duplicate runs harmless.
+
+Workers are cache-aware: given a :class:`~repro.runner.cache.ResultCache`
+(typically layered over the deployment's shared directory), a task whose
+every point is already cached is answered without simulating, and every
+freshly simulated point is written through — so a fleet of workers warms
+the shared tier for the service front door and for each other.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import sys
+import time
+import traceback
+from typing import Optional
+
+from .backends import run_task
+from .cache import ResultCache
+from .workqueue import DEFAULT_HEARTBEAT, ClaimedTask, WorkQueue
+
+
+def worker_name() -> str:
+    """``host:pid``, stamped on every outcome this worker publishes."""
+    return f"{socket.gethostname()}:{os.getpid()}"
+
+
+def _cached_statistics(cache: Optional[ResultCache], task):
+    """Every point of *task* from the cache, or ``None`` on any miss."""
+    if cache is None or not task.cache_keys or \
+            any(key is None for key in task.cache_keys):
+        return None
+    statistics = []
+    for key in task.cache_keys:
+        stats = cache.get(key)
+        if stats is None:
+            return None
+        statistics.append(stats)
+    return statistics
+
+
+def _execute(claimed: ClaimedTask, cache: Optional[ResultCache],
+             heartbeat: float, name: str) -> bool:
+    """Run one claimed task to completion; returns False on task failure."""
+    task = claimed.task
+    cached = _cached_statistics(cache, task)
+    if cached is not None:
+        claimed.complete(cached, worker=name)
+        return True
+    try:
+        with claimed.keepalive(heartbeat):
+            statistics = run_task(task.kind, task.payload)
+    except BaseException:
+        claimed.fail(traceback.format_exc(), worker=name)
+        return False
+    if cache is not None:
+        for key, stats in zip(task.cache_keys, statistics):
+            if key is not None:
+                cache.put(key, stats)
+    claimed.complete(statistics, worker=name)
+    return True
+
+
+def run_worker_loop(queue_dir, cache: Optional[ResultCache] = None,
+                    max_tasks: Optional[int] = None,
+                    idle_exit: Optional[float] = None,
+                    poll_interval: float = 0.05,
+                    heartbeat: float = DEFAULT_HEARTBEAT,
+                    log=None) -> int:
+    """Drain *queue_dir* until stopped; returns the number of tasks run.
+
+    ``max_tasks`` bounds how many tasks this worker executes;
+    ``idle_exit`` (seconds) makes the worker exit once the queue stays
+    empty that long — both ``None`` means loop forever (the deployment
+    shape: workers live as long as the fleet).  *log* is an optional
+    ``callable(str)`` for progress lines (the CLI passes stderr).
+    """
+    queue = WorkQueue(queue_dir)
+    name = worker_name()
+    if log is not None:
+        log(f"worker {name}: draining {queue.directory}")
+    completed = 0
+    idle_since = time.time()
+    while max_tasks is None or completed < max_tasks:
+        claimed = queue.claim()
+        if claimed is None:
+            queue.reclaim_stale()
+            if idle_exit is not None and \
+                    time.time() - idle_since >= idle_exit:
+                break
+            time.sleep(poll_interval)
+            continue
+        ok = _execute(claimed, cache, heartbeat, name)
+        completed += 1
+        idle_since = time.time()
+        if log is not None:
+            status = "done" if ok else "FAILED"
+            log(f"worker {name}: task {claimed.task.task_id} "
+                f"({claimed.task.kind}) {status} [{completed} total]")
+    if log is not None:
+        log(f"worker {name}: exiting after {completed} task(s)")
+    return completed
+
+
+def main(queue_dir: Optional[str] = None) -> int:
+    """Minimal direct entry point (the CLI wraps this with argparse)."""
+    directory = queue_dir or os.environ.get("REPRO_QUEUE_DIR")
+    if not directory:
+        print("worker: no queue directory (set $REPRO_QUEUE_DIR)",
+              file=sys.stderr)
+        return 2
+    run_worker_loop(directory, log=lambda line: print(line, file=sys.stderr))
+    return 0

@@ -1,0 +1,317 @@
+"""A durable, file-backed work queue for distributed sweep execution.
+
+This is the transport of the ``queue`` execution backend
+(:mod:`repro.runner.backends`): a submitting runner serialises its pending
+simulation tasks into a queue directory, any number of worker processes
+(``python -m repro worker``) on one or many hosts drain it, and results flow
+back through the same directory.  Everything is plain files on a (possibly
+network-mounted) filesystem — no broker, no sockets, no extra dependencies —
+and every state transition is a single atomic ``os.replace``:
+
+* **submit** — a task is written to a temp file and renamed into
+  ``pending/``; a partially-written task can never be claimed;
+* **claim** — a worker renames ``pending/<id>.task`` into ``claimed/``;
+  exactly one worker wins the rename, every loser gets
+  ``FileNotFoundError`` and moves on (the lock-free claim used by
+  high-parallelism benchmark orchestrators);
+* **lease + heartbeat** — the claimed file's mtime is the lease; the
+  worker's heartbeat thread touches it (``os.utime``) while the task runs;
+* **stale-lease reclaim** — anyone (submitters polling for results, other
+  workers) renames a claimed task whose lease has expired back into
+  ``pending/``, so a crashed or wedged worker's tasks are re-run instead of
+  lost.  Tasks are deterministic simulations, so the resulting
+  at-least-once execution is safe: a double-executed task publishes
+  byte-identical results, last write wins;
+* **complete** — the result is written to a temp file and renamed into
+  ``results/``; the submitter deletes it after collecting.
+
+Payloads are pickled (topologies, route sets and configurations are plain
+picklable objects — the same property the process-pool backend relies on),
+so the queue directory must only be shared between mutually trusting
+processes, exactly like a shared result-cache directory.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..exceptions import SimulationError
+
+#: Subdirectories of a queue directory, by task state.
+PENDING_DIR = "pending"
+CLAIMED_DIR = "claimed"
+RESULTS_DIR = "results"
+
+#: Default seconds between worker heartbeats on a claimed task.
+DEFAULT_HEARTBEAT = 2.0
+
+#: Default seconds after the last heartbeat before a lease counts as stale.
+DEFAULT_LEASE_TIMEOUT = 60.0
+
+
+@dataclass
+class QueueTask:
+    """One unit of work: a simulation payload plus its bookkeeping.
+
+    ``kind`` is ``"scalar"`` (one sweep point) or ``"batch"`` (one
+    vectorized group); ``payload`` is the picklable simulation input tuple
+    the runner would otherwise hand to its process pool; ``cache_keys``
+    carries the content-addressed key of every point the task produces
+    (``None`` entries when the submitting runner has caching disabled), so
+    workers can warm a shared result cache directly.
+    """
+
+    task_id: str
+    kind: str
+    payload: tuple
+    cache_keys: List[Optional[str]] = field(default_factory=list)
+
+
+@dataclass
+class TaskOutcome:
+    """What a worker reported for one task."""
+
+    task_id: str
+    ok: bool
+    statistics: list = field(default_factory=list)
+    error: str = ""
+    worker: str = ""
+
+
+class ClaimedTask:
+    """A task this process has exclusively claimed.
+
+    The claim is leased: :meth:`heartbeat` (or the :meth:`keepalive`
+    context manager's background thread) refreshes the lease while the
+    task executes; :meth:`complete` / :meth:`fail` publish the outcome and
+    release the claim.
+    """
+
+    def __init__(self, queue: "WorkQueue", task: QueueTask,
+                 claimed_path: Path) -> None:
+        self.queue = queue
+        self.task = task
+        self.claimed_path = claimed_path
+
+    # ------------------------------------------------------------------
+    def heartbeat(self) -> None:
+        """Refresh the lease (touch the claimed file's mtime)."""
+        try:
+            os.utime(self.claimed_path)
+        except OSError:
+            pass  # the task was reclaimed or completed under us
+
+    def keepalive(self, interval: float = DEFAULT_HEARTBEAT
+                  ) -> "_Keepalive":
+        """Context manager running a heartbeat thread around execution."""
+        return _Keepalive(self, interval)
+
+    def complete(self, statistics: list, worker: str = "") -> None:
+        """Publish the task's statistics and release the claim."""
+        self.queue._publish_outcome(TaskOutcome(
+            task_id=self.task.task_id, ok=True, statistics=list(statistics),
+            worker=worker,
+        ))
+        self._release()
+
+    def fail(self, error: str, worker: str = "") -> None:
+        """Publish a failure (the submitter re-raises it) and release."""
+        self.queue._publish_outcome(TaskOutcome(
+            task_id=self.task.task_id, ok=False, error=error, worker=worker,
+        ))
+        self._release()
+
+    def _release(self) -> None:
+        try:
+            self.claimed_path.unlink()
+        except OSError:
+            pass  # already reclaimed; the published outcome still counts
+
+
+class _Keepalive:
+    """Daemon heartbeat thread bound to one claimed task."""
+
+    def __init__(self, claimed: ClaimedTask, interval: float) -> None:
+        self.claimed = claimed
+        self.interval = max(float(interval), 0.05)
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def __enter__(self) -> "_Keepalive":
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.claimed.heartbeat()
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=self.interval + 1.0)
+
+
+class WorkQueue:
+    """The file-backed queue over one directory (see the module docstring)."""
+
+    def __init__(self, directory: Union[str, os.PathLike]) -> None:
+        self.directory = Path(directory)
+        self.pending_dir = self.directory / PENDING_DIR
+        self.claimed_dir = self.directory / CLAIMED_DIR
+        self.results_dir = self.directory / RESULTS_DIR
+
+    # ------------------------------------------------------------------
+    def _ensure_layout(self) -> None:
+        for path in (self.pending_dir, self.claimed_dir, self.results_dir):
+            path.mkdir(parents=True, exist_ok=True)
+
+    def _atomic_pickle(self, directory: Path, target: Path,
+                       payload: object) -> None:
+        handle, temp_path = tempfile.mkstemp(
+            dir=directory, prefix=f".tmp-{os.getpid()}-", suffix=".part"
+        )
+        try:
+            with os.fdopen(handle, "wb") as stream:
+                pickle.dump(payload, stream, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp_path, target)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+
+    @staticmethod
+    def _load_pickle(path: Path) -> Optional[object]:
+        try:
+            with open(path, "rb") as stream:
+                return pickle.load(stream)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return None
+
+    # ------------------------------------------------------------------
+    # submitter side
+    # ------------------------------------------------------------------
+    def submit(self, kind: str, payload: tuple,
+               cache_keys: Optional[List[Optional[str]]] = None) -> str:
+        """Enqueue one task; returns its id.
+
+        The id leads with a millisecond timestamp so directory listings
+        approximate FIFO order; uniqueness comes from the random suffix.
+        """
+        self._ensure_layout()
+        task_id = f"{int(time.time() * 1000):013d}-{uuid.uuid4().hex[:12]}"
+        task = QueueTask(task_id=task_id, kind=kind, payload=payload,
+                         cache_keys=list(cache_keys or []))
+        self._atomic_pickle(self.pending_dir,
+                            self.pending_dir / f"{task_id}.task", task)
+        return task_id
+
+    def take_result(self, task_id: str) -> Optional[TaskOutcome]:
+        """Collect (and delete) the outcome of *task_id*, if published."""
+        path = self.results_dir / f"{task_id}.result"
+        outcome = self._load_pickle(path)
+        if outcome is None:
+            return None
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        if not isinstance(outcome, TaskOutcome):
+            raise SimulationError(
+                f"work queue {self.directory}: malformed result for task "
+                f"{task_id}"
+            )
+        return outcome
+
+    def reclaim_stale(self, lease_timeout: float = DEFAULT_LEASE_TIMEOUT
+                      ) -> int:
+        """Move claimed tasks with expired leases back to pending.
+
+        Returns the number reclaimed.  Safe to call from anywhere, any
+        time: the move is a single rename, and a worker that completes a
+        task after losing its lease merely publishes a byte-identical
+        result for the re-run to overwrite (deterministic tasks).
+        """
+        if not self.claimed_dir.is_dir():
+            return 0
+        reclaimed = 0
+        now = time.time()
+        for path in self.claimed_dir.glob("*.task"):
+            try:
+                age = now - path.stat().st_mtime
+            except OSError:
+                continue  # completed or reclaimed under us
+            if age <= lease_timeout:
+                continue
+            try:
+                os.replace(path, self.pending_dir / path.name)
+                reclaimed += 1
+            except OSError:
+                continue
+        return reclaimed
+
+    # ------------------------------------------------------------------
+    # worker side
+    # ------------------------------------------------------------------
+    def claim(self) -> Optional[ClaimedTask]:
+        """Atomically claim the oldest pending task, or ``None`` when idle.
+
+        Many workers may race for the same file; ``os.replace`` picks
+        exactly one winner and the losers silently try the next task.
+        """
+        self._ensure_layout()
+        for path in sorted(self.pending_dir.glob("*.task")):
+            if path.name.startswith("."):
+                continue
+            claimed_path = self.claimed_dir / path.name
+            try:
+                os.replace(path, claimed_path)
+            except OSError:
+                continue  # another worker won this task
+            task = self._load_pickle(claimed_path)
+            if not isinstance(task, QueueTask):
+                # unreadable task: publish the failure so the submitter is
+                # not left waiting on a task nobody can run
+                try:
+                    claimed_path.unlink()
+                except OSError:
+                    pass
+                continue
+            return ClaimedTask(self, task, claimed_path)
+        return None
+
+    def _publish_outcome(self, outcome: TaskOutcome) -> None:
+        self._ensure_layout()
+        self._atomic_pickle(self.results_dir,
+                            self.results_dir / f"{outcome.task_id}.result",
+                            outcome)
+
+    # ------------------------------------------------------------------
+    def counts(self) -> Dict[str, int]:
+        """Pending / claimed / unclaimed-result counts, for observability."""
+        def count(directory: Path, suffix: str) -> int:
+            if not directory.is_dir():
+                return 0
+            return sum(1 for path in directory.glob(f"*{suffix}")
+                       if not path.name.startswith("."))
+
+        return {
+            "pending": count(self.pending_dir, ".task"),
+            "claimed": count(self.claimed_dir, ".task"),
+            "results": count(self.results_dir, ".result"),
+        }
+
+    def describe(self) -> str:
+        counts = self.counts()
+        return (f"WorkQueue({self.directory}, pending={counts['pending']}, "
+                f"claimed={counts['claimed']}, results={counts['results']})")

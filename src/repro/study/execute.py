@@ -144,8 +144,11 @@ class StudyResult:
 def resolve_config(study: Study, *, workers: Optional[int] = None,
                    cache: Optional[bool] = None,
                    cache_dir: Optional[str] = None,
+                   shared_cache_dir: Optional[str] = None,
                    backend: Optional[str] = None,
-                   profile: Optional[str] = None) -> ExperimentConfig:
+                   profile: Optional[str] = None,
+                   execution: Optional[str] = None,
+                   queue_dir: Optional[str] = None) -> ExperimentConfig:
     """The :class:`ExperimentConfig` a study (plus overrides) asks for."""
     policy = study.policy
     chosen_profile = profile if profile is not None else policy.profile
@@ -158,6 +161,9 @@ def resolve_config(study: Study, *, workers: Optional[int] = None,
         workers=workers if workers is not None else policy.workers,
         use_cache=cache if cache is not None else policy.cache,
         cache_dir=cache_dir if cache_dir is not None else policy.cache_dir,
+        shared_cache_dir=shared_cache_dir,
+        execution=execution,
+        queue_dir=queue_dir,
     )
     chosen_backend = backend if backend is not None else policy.backend
     if chosen_backend:
@@ -327,20 +333,29 @@ def _run_saturate_scenario(scenario: Scenario, config: ExperimentConfig,
 def run_study(study: Study, *, workers: Optional[int] = None,
               cache: Optional[bool] = None,
               cache_dir: Optional[str] = None,
+              shared_cache_dir: Optional[str] = None,
               backend: Optional[str] = None,
               profile: Optional[str] = None,
+              execution: Optional[str] = None,
+              queue_dir: Optional[str] = None,
               runner: Optional[ExperimentRunner] = None,
               observer=None) -> StudyResult:
     """Validate and execute *study*; the engine behind :meth:`Study.run`.
 
     An *observer* (:class:`~repro.progress.ProgressObserver`) is attached
     to the runner and receives the typed progress-event stream of every
-    scenario — sweep batches and saturation rounds alike.
+    scenario — sweep batches and saturation rounds alike.  ``execution``
+    selects the execution backend for cache-miss points ("local" pool or
+    the distributed "queue"); ``shared_cache_dir`` layers the runner's
+    result cache over a deployment-shared directory
+    (:mod:`repro.runner.cache`).
     """
     study.validate()
     config = resolve_config(study, workers=workers, cache=cache,
-                            cache_dir=cache_dir, backend=backend,
-                            profile=profile)
+                            cache_dir=cache_dir,
+                            shared_cache_dir=shared_cache_dir,
+                            backend=backend, profile=profile,
+                            execution=execution, queue_dir=queue_dir)
     runner = runner or runner_for(config)
     if observer is not None:
         runner.observer = observer

@@ -625,8 +625,11 @@ class Study:
     def run(self, *, workers: Optional[int] = None,
             cache: Optional[bool] = None,
             cache_dir: Optional[str] = None,
+            shared_cache_dir: Optional[str] = None,
             backend: Optional[str] = None,
             profile: Optional[str] = None,
+            execution: Optional[str] = None,
+            queue_dir: Optional[str] = None,
             runner=None, observer=None):
         """Execute every scenario; returns a
         :class:`~repro.study.execute.StudyResult`.
@@ -636,13 +639,18 @@ class Study:
         ``--backend`` / ``--profile`` here).  An *observer*
         (:class:`~repro.progress.ProgressObserver`) receives the typed
         progress-event stream while the study executes (the CLI maps
-        ``--progress`` here).
+        ``--progress`` here).  ``execution`` / ``queue_dir`` select the
+        execution backend for cache-miss points and ``shared_cache_dir``
+        layers the result cache over a deployment-shared directory.
         """
         from .execute import run_study
 
         return run_study(self, workers=workers, cache=cache,
-                         cache_dir=cache_dir, backend=backend,
-                         profile=profile, runner=runner, observer=observer)
+                         cache_dir=cache_dir,
+                         shared_cache_dir=shared_cache_dir,
+                         backend=backend, profile=profile,
+                         execution=execution, queue_dir=queue_dir,
+                         runner=runner, observer=observer)
 
     # ------------------------------------------------------------------
     def __eq__(self, other) -> bool:

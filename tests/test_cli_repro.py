@@ -50,7 +50,8 @@ class TestHelpGolden:
         repro_main(["--help"])
         out = capsys.readouterr().out
         for command in ("run", "compare", "figure", "table", "sweep",
-                        "saturate", "cache", "profile", "list", "validate"):
+                        "saturate", "cache", "profile", "list", "validate",
+                        "serve", "worker", "submit"):
             assert command in out
 
 
@@ -124,7 +125,7 @@ class TestListSubcommand:
         assert repro_main(["figure"]) == 2
         assert "missing the number" in capsys.readouterr().err
         assert repro_main(["cache"]) == 2
-        assert "info or clear" in capsys.readouterr().err
+        assert "info, stats or clear" in capsys.readouterr().err
 
 
 class TestBatchBackendCli:

@@ -1,0 +1,300 @@
+"""Tests for the execution-backend registry and the two shipped backends.
+
+The registry must behave exactly like the simulator/routing registries
+(canonical slugs, aliases, did-you-mean errors); the ``local`` backend must
+honour the workers=1 no-process-pool promise; and the ``queue`` backend must
+be byte-identical to local execution — the foundation the serving layer
+stands on.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.routing import XYRouting
+from repro.runner import ExperimentRunner
+from repro.runner.backends import (
+    DEFAULT_EXECUTION,
+    ExecutionTask,
+    LocalExecutionBackend,
+    QueueExecutionBackend,
+    available_executions,
+    execution_spec,
+    execution_specs,
+    resolve_execution,
+    run_task,
+)
+from repro.runner.worker import run_worker_loop
+from repro.simulator import SimulationConfig
+
+
+@pytest.fixture
+def sim_config() -> SimulationConfig:
+    return SimulationConfig(num_vcs=2, buffer_depth=4, packet_size_flits=4,
+                            warmup_cycles=50, measurement_cycles=200)
+
+
+@pytest.fixture
+def xy_routes(mesh4, transpose4):
+    return XYRouting().compute_routes(mesh4, transpose4)
+
+
+def scalar_task(mesh, routes, config, rate) -> ExecutionTask:
+    return ExecutionTask(
+        kind="scalar", payload=(mesh, routes, config, rate, None, None))
+
+
+class TestRegistry:
+    def test_both_backends_registered(self):
+        names = available_executions()
+        assert names == ["local", "queue"]
+        assert DEFAULT_EXECUTION == "local"
+
+    def test_specs_carry_documentation(self):
+        for spec in execution_specs():
+            assert spec.summary
+            assert spec.mechanism
+
+    def test_aliases_resolve(self):
+        assert execution_spec("pool").name == "local"
+        assert execution_spec("in-process").name == "local"
+        assert execution_spec("workqueue").name == "queue"
+        assert execution_spec("distributed").name == "queue"
+        assert execution_spec("Local").name == "local"  # display name
+
+    def test_unknown_name_has_did_you_mean(self):
+        with pytest.raises(SimulationError, match="did you mean 'local'"):
+            execution_spec("locel")
+
+    def test_unknown_name_lists_backends(self):
+        with pytest.raises(SimulationError, match="local"):
+            execution_spec("zzz")
+
+
+class TestResolveExecution:
+    def test_none_is_local(self):
+        assert isinstance(resolve_execution(None), LocalExecutionBackend)
+
+    def test_string_resolves_with_options(self, tmp_path):
+        backend = resolve_execution("queue", queue_dir=str(tmp_path))
+        assert isinstance(backend, QueueExecutionBackend)
+        assert backend.queue.directory == tmp_path
+
+    def test_unknown_options_are_dropped(self):
+        # one CLI option set serves every backend: local ignores queue_dir
+        backend = resolve_execution("local", queue_dir="/nowhere")
+        assert isinstance(backend, LocalExecutionBackend)
+
+    def test_object_with_run_tasks_passes_through(self):
+        class Custom:
+            def run_tasks(self, tasks, record, workers=1):
+                pass
+
+        custom = Custom()
+        assert resolve_execution(custom) is custom
+
+    def test_anything_else_is_an_error(self):
+        with pytest.raises(SimulationError, match="run_tasks"):
+            resolve_execution(42)
+
+    def test_queue_without_directory_is_an_error(self, monkeypatch):
+        monkeypatch.delenv("REPRO_QUEUE_DIR", raising=False)
+        with pytest.raises(SimulationError, match="queue directory"):
+            resolve_execution("queue")
+
+    def test_queue_directory_from_environment(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_QUEUE_DIR", str(tmp_path))
+        backend = resolve_execution("queue")
+        assert backend.queue.directory == tmp_path
+
+
+class TestLocalBackend:
+    def test_single_worker_never_creates_a_pool(
+            self, mesh4, xy_routes, sim_config, monkeypatch):
+        """Regression: workers=1 (e.g. $REPRO_WORKERS=1) must execute
+        inline — constructing a process pool here is a bug."""
+        import repro.runner.backends as backends
+
+        def forbidden(*args, **kwargs):
+            raise AssertionError("ProcessPoolExecutor created with workers=1")
+
+        monkeypatch.setattr(backends, "ProcessPoolExecutor", forbidden)
+        tasks = [scalar_task(mesh4, xy_routes, sim_config, rate)
+                 for rate in (0.3, 0.9)]
+        recorded = []
+        LocalExecutionBackend().run_tasks(
+            tasks, lambda task, stats: recorded.append((task, stats)),
+            workers=1)
+        assert len(recorded) == 2
+        assert all(len(stats) == 1 for _, stats in recorded)
+
+    def test_single_task_runs_inline_even_with_many_workers(
+            self, mesh4, xy_routes, sim_config, monkeypatch):
+        import repro.runner.backends as backends
+
+        def forbidden(*args, **kwargs):
+            raise AssertionError("pool created for a single task")
+
+        monkeypatch.setattr(backends, "ProcessPoolExecutor", forbidden)
+        recorded = []
+        LocalExecutionBackend().run_tasks(
+            [scalar_task(mesh4, xy_routes, sim_config, 0.5)],
+            lambda task, stats: recorded.append(stats), workers=8)
+        assert len(recorded) == 1
+
+    def test_runner_with_one_worker_skips_the_pool(
+            self, tmp_path, mesh4, xy_routes, sim_config, monkeypatch):
+        """The promise holds through the runner front door too."""
+        import repro.runner.backends as backends
+
+        def forbidden(*args, **kwargs):
+            raise AssertionError("ProcessPoolExecutor created with workers=1")
+
+        monkeypatch.setattr(backends, "ProcessPoolExecutor", forbidden)
+        runner = ExperimentRunner(workers=1, cache=tmp_path)
+        result = runner.sweep(mesh4, xy_routes, sim_config, [0.3, 0.9])
+        assert len(result.statistics) == 2
+        assert runner.last_report.points_simulated == 2
+
+    def test_empty_task_list_is_a_no_op(self):
+        LocalExecutionBackend().run_tasks(
+            [], lambda task, stats: pytest.fail("record called"), workers=4)
+
+    def test_unknown_task_kind_raises(self):
+        with pytest.raises(SimulationError, match="unknown execution task"):
+            run_task("mystery", ())
+
+
+class TestQueueBackend:
+    def drain_in_thread(self, queue_dir, tasks: int) -> threading.Thread:
+        thread = threading.Thread(
+            target=run_worker_loop,
+            kwargs=dict(queue_dir=queue_dir, max_tasks=tasks,
+                        poll_interval=0.01),
+            daemon=True,
+        )
+        thread.start()
+        return thread
+
+    def test_byte_identical_to_local(self, tmp_path, mesh4, xy_routes,
+                                     sim_config):
+        """Acceptance: statistics through the queue equal inline execution."""
+        rates = (0.3, 0.9)
+        tasks = [scalar_task(mesh4, xy_routes, sim_config, rate)
+                 for rate in rates]
+        local: dict = {}
+        LocalExecutionBackend().run_tasks(
+            tasks, lambda task, stats: local.update({task.payload[3]: stats}),
+            workers=1)
+
+        backend = QueueExecutionBackend(queue_dir=tmp_path / "q",
+                                        poll_interval=0.01, timeout=120)
+        worker = self.drain_in_thread(tmp_path / "q", len(tasks))
+        queued: dict = {}
+        backend.run_tasks(
+            tasks, lambda task, stats: queued.update({task.payload[3]: stats}),
+            workers=1)
+        worker.join(timeout=30)
+        assert queued == local  # SimulationStatistics compare field-wise
+
+    def test_runner_sweep_through_the_queue(self, tmp_path, mesh4, xy_routes,
+                                            sim_config):
+        local = ExperimentRunner(workers=1, cache=None).sweep(
+            mesh4, xy_routes, sim_config, [0.3, 0.9])
+        backend = QueueExecutionBackend(queue_dir=tmp_path / "q",
+                                        poll_interval=0.01, timeout=120)
+        worker = self.drain_in_thread(tmp_path / "q", 2)
+        runner = ExperimentRunner(workers=1, cache=None, execution=backend)
+        queued = runner.sweep(mesh4, xy_routes, sim_config, [0.3, 0.9])
+        worker.join(timeout=30)
+        assert queued.curve.throughputs == local.curve.throughputs
+        assert queued.curve.latencies == local.curve.latencies
+        assert queued.statistics == local.statistics
+
+    def test_worker_failure_propagates_with_traceback(self, tmp_path):
+        backend = QueueExecutionBackend(queue_dir=tmp_path / "q",
+                                        poll_interval=0.01, timeout=120)
+        bad = ExecutionTask(kind="mystery", payload=())
+        worker = self.drain_in_thread(tmp_path / "q", 1)
+        with pytest.raises(SimulationError) as excinfo:
+            backend.run_tasks([bad], lambda task, stats: None)
+        worker.join(timeout=30)
+        assert "queue task failed" in str(excinfo.value)
+        assert "unknown execution task" in str(excinfo.value)
+
+    def test_timeout_with_no_workers(self, tmp_path, mesh4, xy_routes,
+                                     sim_config):
+        backend = QueueExecutionBackend(queue_dir=tmp_path / "q",
+                                        poll_interval=0.01, timeout=0.2)
+        with pytest.raises(SimulationError, match="timed out"):
+            backend.run_tasks(
+                [scalar_task(mesh4, xy_routes, sim_config, 0.5)],
+                lambda task, stats: None)
+
+    def test_empty_task_list_is_a_no_op(self, tmp_path):
+        QueueExecutionBackend(queue_dir=tmp_path / "q").run_tasks(
+            [], lambda task, stats: pytest.fail("record called"))
+
+    @pytest.mark.slow
+    def test_spawned_worker_subprocesses(self, tmp_path, mesh4, xy_routes,
+                                         sim_config):
+        """The self-contained shape: the submitter spawns its own
+        ``python -m repro worker`` fleet and the results match local."""
+        local = ExperimentRunner(workers=1, cache=None).sweep(
+            mesh4, xy_routes, sim_config, [0.3, 0.9])
+        backend = QueueExecutionBackend(queue_dir=tmp_path / "q",
+                                        spawn_workers=2, poll_interval=0.02,
+                                        timeout=300)
+        runner = ExperimentRunner(workers=1, cache=None, execution=backend)
+        queued = runner.sweep(mesh4, xy_routes, sim_config, [0.3, 0.9])
+        assert queued.statistics == local.statistics
+
+
+class TestWorkerCacheAwareness:
+    def test_fully_cached_task_skips_simulation(self, tmp_path, mesh4,
+                                                xy_routes, sim_config,
+                                                monkeypatch):
+        """A task whose every point is cached is answered without running
+        the simulator at all."""
+        from repro.runner import ResultCache, simulation_cache_key
+        from repro.runner.workqueue import WorkQueue
+        import repro.runner.worker as worker_module
+
+        key = simulation_cache_key(mesh4, xy_routes, sim_config, 0.5)
+        stats = run_task(
+            "scalar", (mesh4, xy_routes, sim_config, 0.5, None, None))
+        cache = ResultCache(tmp_path / "cache")
+        cache.put(key, stats[0])
+
+        def forbidden(*args, **kwargs):
+            raise AssertionError("simulated despite a warm cache")
+
+        monkeypatch.setattr(worker_module, "run_task", forbidden)
+        queue = WorkQueue(tmp_path / "q")
+        task_id = queue.submit(
+            "scalar", (mesh4, xy_routes, sim_config, 0.5, None, None),
+            cache_keys=[key])
+        completed = run_worker_loop(tmp_path / "q", cache=cache, max_tasks=1,
+                                    poll_interval=0.01)
+        assert completed == 1
+        outcome = queue.take_result(task_id)
+        assert outcome.ok
+        assert outcome.statistics == stats
+
+    def test_fresh_results_are_written_through(self, tmp_path, mesh4,
+                                               xy_routes, sim_config):
+        from repro.runner import ResultCache, simulation_cache_key
+        from repro.runner.workqueue import WorkQueue
+
+        key = simulation_cache_key(mesh4, xy_routes, sim_config, 0.5)
+        cache = ResultCache(tmp_path / "cache")
+        queue = WorkQueue(tmp_path / "q")
+        queue.submit(
+            "scalar", (mesh4, xy_routes, sim_config, 0.5, None, None),
+            cache_keys=[key])
+        run_worker_loop(tmp_path / "q", cache=cache, max_tasks=1,
+                        poll_interval=0.01)
+        assert cache.get(key) is not None

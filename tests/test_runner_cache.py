@@ -210,6 +210,180 @@ class TestResultCacheStore:
             statistics_from_dict({"cycles": 1, "bogus": 2})
 
 
+def _stats(latency: float = 500.0) -> SimulationStatistics:
+    return SimulationStatistics(
+        cycles=100, warmup_cycles=10, packets_injected=50,
+        packets_delivered=40, flits_delivered=160, total_latency=latency,
+        per_flow_latency={"f1": latency}, per_flow_delivered={"f1": 40},
+    )
+
+
+class TestLayeredCache:
+    def test_put_writes_through_to_both_tiers(self, tmp_path):
+        cache = ResultCache(tmp_path / "local", shared_dir=tmp_path / "shared")
+        cache.put("a" * 64, _stats())
+        assert (tmp_path / "local" / ("a" * 64 + ".json")).exists()
+        assert (tmp_path / "shared" / ("a" * 64 + ".json")).exists()
+
+    def test_shared_hit_reads_through_and_writes_back(self, tmp_path):
+        # another host warmed the shared tier
+        ResultCache(tmp_path / "shared").put("b" * 64, _stats())
+        cache = ResultCache(tmp_path / "local", shared_dir=tmp_path / "shared")
+        loaded = cache.get("b" * 64)
+        assert loaded == _stats()
+        assert cache.hits == 1
+        assert cache.shared_hits == 1
+        # written back: the next read never leaves the local tier
+        assert (tmp_path / "local" / ("b" * 64 + ".json")).exists()
+
+    def test_local_hit_does_not_touch_the_shared_counter(self, tmp_path):
+        cache = ResultCache(tmp_path / "local", shared_dir=tmp_path / "shared")
+        cache.put("c" * 64, _stats())
+        assert cache.get("c" * 64) is not None
+        assert cache.shared_hits == 0
+
+    def test_miss_in_both_tiers(self, tmp_path):
+        cache = ResultCache(tmp_path / "local", shared_dir=tmp_path / "shared")
+        assert cache.get("d" * 64) is None
+        assert cache.misses == 1
+
+    def test_contains_sees_the_shared_tier(self, tmp_path):
+        ResultCache(tmp_path / "shared").put("e" * 64, _stats())
+        cache = ResultCache(tmp_path / "local", shared_dir=tmp_path / "shared")
+        assert "e" * 64 in cache
+
+    def test_clear_leaves_the_shared_tier_alone(self, tmp_path):
+        cache = ResultCache(tmp_path / "local", shared_dir=tmp_path / "shared")
+        cache.put("f" * 64, _stats())
+        assert cache.clear() == 1
+        assert (tmp_path / "shared" / ("f" * 64 + ".json")).exists()
+
+    def test_shared_equal_to_local_collapses(self, tmp_path):
+        cache = ResultCache(tmp_path, shared_dir=tmp_path)
+        assert cache.shared_dir is None
+
+    def test_environment_variable_names_the_shared_tier(self, tmp_path,
+                                                        monkeypatch):
+        from repro.runner import SHARED_CACHE_DIR_ENV
+
+        monkeypatch.setenv(SHARED_CACHE_DIR_ENV, str(tmp_path / "shared"))
+        cache = ResultCache(tmp_path / "local")
+        assert cache.shared_dir == tmp_path / "shared"
+        monkeypatch.delenv(SHARED_CACHE_DIR_ENV)
+        assert ResultCache(tmp_path / "local").shared_dir is None
+
+    def test_runner_serves_warm_points_from_the_shared_tier(
+            self, tmp_path, mesh4, xy_routes, sim_config):
+        """The deployment shape: host A simulates, host B answers warm."""
+        host_a = ExperimentRunner(workers=1, cache=ResultCache(
+            tmp_path / "a", shared_dir=tmp_path / "shared"))
+        first = host_a.sweep(mesh4, xy_routes, sim_config, [0.3, 0.9])
+        assert host_a.last_report.points_simulated == 2
+
+        host_b = ExperimentRunner(workers=1, cache=ResultCache(
+            tmp_path / "b", shared_dir=tmp_path / "shared"))
+        second = host_b.sweep(mesh4, xy_routes, sim_config, [0.3, 0.9])
+        assert host_b.last_report.points_simulated == 0
+        assert host_b.last_report.cache_hits == 2
+        assert host_b.cache.shared_hits == 2
+        assert second.curve.throughputs == first.curve.throughputs
+
+
+class TestCacheObservability:
+    def test_stats_payload(self, tmp_path):
+        cache = ResultCache(tmp_path / "local", shared_dir=tmp_path / "shared")
+        cache.put("a" * 64, _stats())
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["bytes"] > 0
+        assert stats["shared_entries"] == 1
+        assert stats["shared_dir"] == str(tmp_path / "shared")
+        assert stats["last_run"] is None
+
+    def test_record_run_round_trip(self, tmp_path, mesh4, xy_routes,
+                                   sim_config):
+        runner = ExperimentRunner(workers=1, cache=tmp_path)
+        runner.sweep(mesh4, xy_routes, sim_config, [0.3, 0.9])
+        last = ResultCache(tmp_path).last_run()
+        assert last is not None
+        assert last["points_total"] == 2
+        assert last["points_simulated"] == 2
+        assert last["cache_hits"] == 0
+        runner.sweep(mesh4, xy_routes, sim_config, [0.3, 0.9])
+        assert ResultCache(tmp_path).last_run()["cache_hits"] == 2
+
+    def test_snapshot_is_not_an_entry(self, tmp_path, mesh4, xy_routes,
+                                      sim_config):
+        """The dotted last-run file never leaks into the key enumeration."""
+        runner = ExperimentRunner(workers=1, cache=tmp_path)
+        runner.sweep(mesh4, xy_routes, sim_config, [0.3])
+        cache = ResultCache(tmp_path)
+        assert len(cache) == 1
+        assert all(len(key) == 64 for key in cache.keys())
+
+    def test_describe_mentions_the_shared_tier(self, tmp_path):
+        cache = ResultCache(tmp_path / "local", shared_dir=tmp_path / "shared")
+        assert "shared=" in cache.describe()
+
+
+class TestConcurrentWriters:
+    def test_racing_puts_never_corrupt_an_entry(self, tmp_path):
+        """Regression: concurrent writers of one key (threads here, worker
+        processes and other hosts in deployment) must leave readers either
+        a complete entry or a miss — never partial JSON."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        cache = ResultCache(tmp_path)
+        key = "a" * 64
+        rounds = 50
+
+        def hammer(worker: int) -> None:
+            mine = ResultCache(tmp_path)
+            for _ in range(rounds):
+                mine.put(key, _stats())
+
+        failures = []
+
+        def read_loop() -> None:
+            mine = ResultCache(tmp_path)
+            for _ in range(rounds * 4):
+                loaded = mine.get(key)
+                if loaded is not None and loaded != _stats():
+                    failures.append(loaded)
+
+        with ThreadPoolExecutor(max_workers=5) as pool:
+            futures = [pool.submit(hammer, index) for index in range(4)]
+            futures.append(pool.submit(read_loop))
+            for future in futures:
+                future.result()
+        assert not failures
+        assert cache.get(key) == _stats()
+        # every temp file was published or cleaned up — none leak
+        assert not list(tmp_path.glob(".tmp-*"))
+
+    def test_racing_puts_across_processes(self, tmp_path, mesh4, transpose4,
+                                          sim_config):
+        """Two pool-backed runners racing the same cold points: both finish
+        and the directory holds exactly the expected complete entries."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        def run() -> list:
+            runner = ExperimentRunner(workers=1, cache=tmp_path)
+            routes = XYRouting().compute_routes(mesh4, transpose4)
+            return runner.sweep(mesh4, routes, sim_config,
+                                [0.3, 0.9]).curve.throughputs
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            first, second = [future.result()
+                             for future in [pool.submit(run),
+                                            pool.submit(run)]]
+        assert first == second
+        cache = ResultCache(tmp_path)
+        assert len(cache) == 2
+        for key in cache.keys():
+            assert cache.get(key) is not None
+
+
 class TestRunnerCacheBehaviour:
     def test_hit_miss_accounting(self, tmp_path, mesh4, xy_routes, sim_config):
         runner = ExperimentRunner(workers=1, cache=tmp_path)

@@ -1,0 +1,202 @@
+"""Tests for the durable file-backed work queue.
+
+Covers the claim protocol (atomic rename, exactly one winner under racing
+claimants), the lease/heartbeat/reclaim lifecycle that survives crashed
+workers, and the submit -> claim -> complete -> take_result round trip the
+``queue`` execution backend is built on.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.runner.workqueue import (
+    CLAIMED_DIR,
+    PENDING_DIR,
+    RESULTS_DIR,
+    QueueTask,
+    TaskOutcome,
+    WorkQueue,
+)
+
+
+@pytest.fixture
+def queue(tmp_path) -> WorkQueue:
+    return WorkQueue(tmp_path / "queue")
+
+
+class TestSubmitClaimComplete:
+    def test_round_trip(self, queue):
+        task_id = queue.submit("scalar", ("payload",), cache_keys=["k" * 64])
+        assert queue.counts() == {"pending": 1, "claimed": 0, "results": 0}
+
+        claimed = queue.claim()
+        assert claimed is not None
+        assert claimed.task.task_id == task_id
+        assert claimed.task.kind == "scalar"
+        assert claimed.task.payload == ("payload",)
+        assert claimed.task.cache_keys == ["k" * 64]
+        assert queue.counts() == {"pending": 0, "claimed": 1, "results": 0}
+
+        claimed.complete(["stats"], worker="test:1")
+        assert queue.counts() == {"pending": 0, "claimed": 0, "results": 1}
+
+        outcome = queue.take_result(task_id)
+        assert outcome is not None
+        assert outcome.ok
+        assert outcome.statistics == ["stats"]
+        assert outcome.worker == "test:1"
+        # collecting deletes the result file
+        assert queue.take_result(task_id) is None
+        assert queue.counts() == {"pending": 0, "claimed": 0, "results": 0}
+
+    def test_failure_round_trip(self, queue):
+        task_id = queue.submit("scalar", ())
+        claimed = queue.claim()
+        claimed.fail("Traceback: boom", worker="test:2")
+        outcome = queue.take_result(task_id)
+        assert outcome is not None
+        assert not outcome.ok
+        assert "boom" in outcome.error
+        assert outcome.worker == "test:2"
+
+    def test_claim_on_empty_queue_is_none(self, queue):
+        assert queue.claim() is None
+
+    def test_result_before_completion_is_none(self, queue):
+        task_id = queue.submit("scalar", ())
+        assert queue.take_result(task_id) is None
+
+    def test_fifo_ish_ordering(self, queue):
+        """Task ids lead with a timestamp, so claims drain oldest-first."""
+        first = queue.submit("scalar", (1,))
+        time.sleep(0.002)  # distinct millisecond prefixes
+        queue.submit("scalar", (2,))
+        claimed = queue.claim()
+        assert claimed.task.task_id == first
+
+    def test_unreadable_task_is_discarded(self, queue):
+        queue.submit("scalar", ())
+        # a corrupt task must not wedge the claim loop
+        (queue.pending_dir / "0000000000000-corrupt.task").write_bytes(
+            b"not a pickle")
+        claimed = queue.claim()
+        assert claimed is not None  # the corrupt (older-named) file skipped
+        assert not (queue.claimed_dir / "0000000000000-corrupt.task").exists()
+
+    def test_malformed_result_raises(self, queue):
+        queue._ensure_layout()
+        import pickle
+
+        (queue.results_dir / "bogus.result").write_bytes(
+            pickle.dumps("not an outcome"))
+        with pytest.raises(SimulationError, match="malformed result"):
+            queue.take_result("bogus")
+
+    def test_layout_directories(self, queue):
+        queue.submit("scalar", ())
+        for name in (PENDING_DIR, CLAIMED_DIR, RESULTS_DIR):
+            assert (queue.directory / name).is_dir()
+
+
+class TestRacingClaims:
+    def test_exactly_one_winner_per_task(self, queue):
+        """N threads racing M tasks: every task claimed exactly once."""
+        tasks = 8
+        for index in range(tasks):
+            queue.submit("scalar", (index,))
+        won: list = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(4)
+
+        def contend() -> None:
+            barrier.wait()
+            while True:
+                claimed = queue.claim()
+                if claimed is None:
+                    return
+                with lock:
+                    won.append(claimed.task.task_id)
+                claimed.complete([])
+
+        threads = [threading.Thread(target=contend) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert len(won) == tasks
+        assert len(set(won)) == tasks  # no double claims
+        assert queue.counts()["results"] == tasks
+
+
+class TestLeases:
+    def test_fresh_lease_is_not_reclaimed(self, queue):
+        queue.submit("scalar", ())
+        queue.claim()
+        assert queue.reclaim_stale(lease_timeout=60.0) == 0
+        assert queue.counts()["claimed"] == 1
+
+    def test_stale_lease_returns_to_pending(self, queue):
+        task_id = queue.submit("scalar", ())
+        claimed = queue.claim()
+        # simulate a crashed worker: age the claimed file past the lease
+        old = time.time() - 120.0
+        os.utime(claimed.claimed_path, (old, old))
+        assert queue.reclaim_stale(lease_timeout=60.0) == 1
+        assert queue.counts() == {"pending": 1, "claimed": 0, "results": 0}
+        # the reclaimed task is claimable again, payload intact
+        again = queue.claim()
+        assert again is not None
+        assert again.task.task_id == task_id
+
+    def test_heartbeat_refreshes_the_lease(self, queue):
+        queue.submit("scalar", ())
+        claimed = queue.claim()
+        old = time.time() - 120.0
+        os.utime(claimed.claimed_path, (old, old))
+        claimed.heartbeat()
+        assert queue.reclaim_stale(lease_timeout=60.0) == 0
+
+    def test_keepalive_thread_heartbeats(self, queue):
+        queue.submit("scalar", ())
+        claimed = queue.claim()
+        old = time.time() - 120.0
+        with claimed.keepalive(interval=0.05):
+            os.utime(claimed.claimed_path, (old, old))
+            time.sleep(0.2)  # at least one heartbeat fires
+            assert queue.reclaim_stale(lease_timeout=60.0) == 0
+
+    def test_complete_after_reclaim_is_harmless(self, queue):
+        """A worker that lost its lease still publishes; last write wins."""
+        task_id = queue.submit("scalar", ())
+        claimed = queue.claim()
+        old = time.time() - 120.0
+        os.utime(claimed.claimed_path, (old, old))
+        queue.reclaim_stale(lease_timeout=60.0)
+        claimed.complete(["late"])  # release of the vanished claim: no raise
+        outcome = queue.take_result(task_id)
+        assert outcome is not None and outcome.statistics == ["late"]
+
+    def test_reclaim_without_directory(self, queue):
+        assert queue.reclaim_stale() == 0
+
+
+class TestDataClasses:
+    def test_queue_task_defaults(self):
+        task = QueueTask(task_id="t", kind="scalar", payload=())
+        assert task.cache_keys == []
+
+    def test_outcome_defaults(self):
+        outcome = TaskOutcome(task_id="t", ok=True)
+        assert outcome.statistics == []
+        assert outcome.error == ""
+
+    def test_describe(self, queue):
+        queue.submit("scalar", ())
+        text = queue.describe()
+        assert "pending=1" in text and "claimed=0" in text
